@@ -1,0 +1,73 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` module regenerates one table/figure from the
+paper's evaluation section: it sweeps the same parameters, prints the
+series the figure plots, and (where the paper states numbers in prose)
+asserts the reproduced *shape* — orderings and rough ratios. Absolute
+seconds are not compared: the substrate is a simulator, not the 2014
+testbeds (see EXPERIMENTS.md).
+
+Results are also written to ``benchmarks/results/*.txt`` so the series
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Sequence
+
+from repro import MicroBenchmarkSuite, cluster_a, cluster_b, JobConf
+from repro.analysis import format_table, improvement_pct
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Cluster A experiments (Figs. 2, 4, 5, 6, 7): 16 maps / 8 reduces on
+#: 4 slaves, 1 KB key/value pairs, BytesWritable (Sect. 5.2).
+CLUSTER_A_PARAMS = dict(num_maps=16, num_reduces=8,
+                        key_size=512, value_size=512,
+                        data_type="BytesWritable")
+
+#: YARN experiments (Fig. 3): 32 maps / 16 reduces on 8 slaves.
+YARN_PARAMS = dict(num_maps=32, num_reduces=16,
+                   key_size=512, value_size=512,
+                   data_type="BytesWritable")
+
+#: Cluster A network set.
+CLUSTER_A_NETWORKS = ("1GigE", "10GigE", "ipoib-qdr")
+
+#: Shuffle-size sweep (GB) used for the job-time figures.
+SHUFFLE_SIZES_GB = (4.0, 8.0, 16.0, 32.0)
+
+
+def suite_cluster_a(slaves: int = 4, version: str = "mrv1") -> MicroBenchmarkSuite:
+    return MicroBenchmarkSuite(cluster=cluster_a(slaves),
+                               jobconf=JobConf(version=version))
+
+
+def suite_cluster_b(slaves: int = 8) -> MicroBenchmarkSuite:
+    return MicroBenchmarkSuite(cluster=cluster_b(slaves))
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def improvement_summary(sweep, baseline: str) -> str:
+    """Per-network mean improvement over ``baseline`` for a sweep."""
+    lines = []
+    for network in sweep.networks():
+        if network == baseline:
+            continue
+        pct = sweep.improvement(baseline, network)
+        lines.append(f"  {network:<22} vs {baseline}: {pct:+.1f}%")
+    return "\n".join(lines)
+
+
+def one_shot(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark (simulations are
+    deterministic, so repeated rounds add nothing)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

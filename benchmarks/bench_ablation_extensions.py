@@ -1,0 +1,92 @@
+"""Ablation A3 (ours): the extension features on the Fig. 2 workload.
+
+The paper's future work asks for "additional features ... so that users
+can gain a more concrete understanding of real-world workloads". This
+ablation exercises the reproduction's extensions: intermediate-data
+compression, a combiner, and the Zipf real-world-skew pattern — each
+across the Cluster A networks, because their value depends on how fast
+the wire is.
+"""
+
+from _harness import CLUSTER_A_PARAMS, one_shot, record, suite_cluster_a
+from repro import JobConf, MicroBenchmarkSuite, cluster_a
+from repro.analysis import format_table, improvement_pct
+
+WORKLOAD = dict(shuffle_gb=16, **CLUSTER_A_PARAMS)
+NETWORKS = ("1GigE", "ipoib-qdr", )
+
+
+def _time(jobconf, network, benchmark="MR-AVG"):
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4), jobconf=jobconf)
+    return suite.run(benchmark, network=network, **WORKLOAD).execution_time
+
+
+def bench_ablation_compression(benchmark):
+    """Compression trades codec CPU for wire bytes: a win on 1 GigE,
+    a wash (or loss) on IPoIB."""
+
+    def run():
+        rows = []
+        gains = {}
+        for network in NETWORKS:
+            plain = _time(JobConf(), network)
+            packed = _time(JobConf(compress_map_output=True), network)
+            gains[network] = improvement_pct(plain, packed)
+            rows.append([network, round(plain, 1), round(packed, 1),
+                         f"{gains[network]:+.1f}%"])
+        text = format_table(
+            ["network", "plain (s)", "compressed (s)", "gain"],
+            rows, title="A3: map-output compression (MR-AVG 16GB)")
+        record("ablation_compression", text)
+        return gains
+
+    gains = one_shot(benchmark, run)
+    assert gains["1GigE"] > 3.0           # slow wire: clear win
+    assert gains["1GigE"] > gains["ipoib-qdr"]  # fast wire: smaller win
+
+
+def bench_ablation_combiner(benchmark):
+    """A 4x combiner cuts shuffle volume; the win scales with how
+    expensive the wire is."""
+
+    def run():
+        rows = []
+        gains = {}
+        for network in NETWORKS:
+            plain = _time(JobConf(), network)
+            combined = _time(JobConf(combiner_reduction=0.25), network)
+            gains[network] = improvement_pct(plain, combined)
+            rows.append([network, round(plain, 1), round(combined, 1),
+                         f"{gains[network]:+.1f}%"])
+        text = format_table(
+            ["network", "no combiner (s)", "combiner 4x (s)", "gain"],
+            rows, title="A3: combiner (4x reduction, MR-AVG 16GB)")
+        record("ablation_combiner", text)
+        return gains
+
+    gains = one_shot(benchmark, run)
+    assert gains["1GigE"] > 10.0
+    assert gains["1GigE"] > gains["ipoib-qdr"]
+
+
+def bench_ablation_zipf_pattern(benchmark):
+    """MR-ZIPF sits between MR-AVG and MR-SKEW in straggler severity."""
+
+    def run():
+        suite = suite_cluster_a()
+        rows = []
+        times = {}
+        for name in ("MR-AVG", "MR-ZIPF", "MR-SKEW"):
+            t = suite.run(name, network="1GigE", **WORKLOAD).execution_time
+            times[name] = t
+            rows.append([name, round(t, 1),
+                         f"{t / times['MR-AVG']:.2f}x"])
+        text = format_table(
+            ["benchmark", "time (s)", "vs MR-AVG"],
+            rows, title="A3: Zipf real-world skew vs the paper's patterns "
+                        "(16GB, 1GigE)")
+        record("ablation_zipf", text)
+        return times
+
+    times = one_shot(benchmark, run)
+    assert times["MR-AVG"] < times["MR-ZIPF"] < times["MR-SKEW"]

@@ -1,0 +1,75 @@
+"""Ablation A1: sensitivity to the Hadoop parameters the suite can set.
+
+The paper motivates the suite as a tool for "tuning different internal
+parameters to obtain optimal performance". This ablation sweeps the
+three most shuffle-relevant JobConf knobs on the Fig. 2 workload and
+reports their effect — the kind of study the suite exists to enable.
+"""
+
+from _harness import CLUSTER_A_PARAMS, one_shot, record
+from repro import JobConf, MicroBenchmarkSuite, cluster_a
+from repro.analysis import format_table
+
+MB = 1e6
+WORKLOAD = dict(shuffle_gb=16, network="ipoib-qdr", **CLUSTER_A_PARAMS)
+
+
+def _run_with(jobconf):
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4), jobconf=jobconf)
+    return suite.run("MR-AVG", **WORKLOAD).execution_time
+
+
+def bench_ablation_io_sort_mb(benchmark):
+    """Bigger sort buffers -> fewer spills -> faster maps."""
+
+    def run():
+        rows = []
+        for mb in (50, 100, 200, 400):
+            t = _run_with(JobConf(io_sort_mb=mb * MB))
+            rows.append([mb, round(t, 1)])
+        text = format_table(["io.sort.mb (MB)", "time (s)"], rows,
+                            title="A1: io.sort.mb sensitivity (MR-AVG 16GB)")
+        record("ablation_io_sort_mb", text)
+        return [r[1] for r in rows]
+
+    times = one_shot(benchmark, run)
+    # With spills absorbed by the page cache, buffer size trades fewer
+    # spills against costlier large sorts: the net effect is small.
+    assert max(times) / min(times) < 1.10
+
+
+def bench_ablation_parallel_copies(benchmark):
+    """More fetchers -> better overlap, with diminishing returns."""
+
+    def run():
+        rows = []
+        for copies in (1, 2, 5, 10):
+            t = _run_with(JobConf(parallel_copies=copies))
+            rows.append([copies, round(t, 1)])
+        text = format_table(["parallel copies", "time (s)"], rows,
+                            title="A1: mapred.reduce.parallel.copies "
+                                  "sensitivity (MR-AVG 16GB)")
+        record("ablation_parallel_copies", text)
+        return [r[1] for r in rows]
+
+    times = one_shot(benchmark, run)
+    assert times[0] >= times[2]  # 1 copier is never faster than 5
+
+
+def bench_ablation_slowstart(benchmark):
+    """Launching reducers earlier overlaps shuffle with map waves."""
+
+    def run():
+        rows = []
+        jc_waves = dict(map_slots_per_node=2)  # force 2 map waves
+        for slowstart in (0.05, 0.5, 1.0):
+            t = _run_with(JobConf(reduce_slowstart=slowstart, **jc_waves))
+            rows.append([slowstart, round(t, 1)])
+        text = format_table(["slowstart", "time (s)"], rows,
+                            title="A1: reduce.slowstart sensitivity "
+                                  "(MR-AVG 16GB, 2 map waves)")
+        record("ablation_slowstart", text)
+        return [r[1] for r in rows]
+
+    times = one_shot(benchmark, run)
+    assert times[0] <= times[-1]  # early reducers never lose here

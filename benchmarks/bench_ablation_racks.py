@@ -1,0 +1,62 @@
+"""Ablation A4 (ours): rack oversubscription.
+
+Both paper testbeds use a single non-blocking switch; the paper notes
+the network "is an important consideration, especially when expanding
+the cluster". This ablation expands the simulated cluster across two
+racks and sweeps the uplink oversubscription ratio — quantifying how
+much of the all-to-all shuffle survives a typical datacenter topology,
+per interconnect.
+"""
+
+from _harness import one_shot, record
+from repro import BenchmarkConfig, cluster_a, run_simulated_job
+from repro.analysis import format_table
+
+RATIOS = (1.0, 2.0, 4.0, 8.0)
+NETWORKS = ("1GigE", "ipoib-qdr")
+
+
+def _sweep_oversubscription():
+    grid = {}
+    for network in NETWORKS:
+        config = BenchmarkConfig.from_shuffle_size(
+            16e9, num_maps=16, num_reduces=16, key_size=512, value_size=512,
+            network=network)
+        flat = run_simulated_job(config, cluster=cluster_a(8)).execution_time
+        grid[(network, "flat")] = flat
+        for ratio in RATIOS:
+            cluster = cluster_a(8).with_racks(2, oversubscription=ratio)
+            grid[(network, ratio)] = run_simulated_job(
+                config, cluster=cluster).execution_time
+    return grid
+
+
+def bench_ablation_rack_oversubscription(benchmark):
+    grid = one_shot(benchmark, _sweep_oversubscription)
+    rows = []
+    for ratio in RATIOS:
+        row = [f"{ratio:g}:1"]
+        for network in NETWORKS:
+            base = grid[(network, "flat")]
+            t = grid[(network, ratio)]
+            row.append(round(t, 1))
+            row.append(f"{100 * (t - base) / base:+.1f}%")
+        rows.append(row)
+    headers = ["oversub"]
+    for network in NETWORKS:
+        headers += [f"{network} (s)", "vs flat"]
+    text = format_table(
+        headers, rows,
+        title="A4: two-rack oversubscription (MR-AVG 16GB, 8 slaves, 16R)")
+    record("ablation_racks", text)
+
+    for network in NETWORKS:
+        # non-blocking racks match the flat switch...
+        assert grid[(network, 1.0)] <= grid[(network, "flat")] * 1.02
+        # ...and higher oversubscription monotonically hurts.
+        times = [grid[(network, r)] for r in RATIOS]
+        assert all(a <= b * 1.001 for a, b in zip(times, times[1:]))
+    # The slow wire suffers relatively more from a squeezed uplink.
+    slow_penalty = grid[("1GigE", 8.0)] / grid[("1GigE", "flat")]
+    fast_penalty = grid[("ipoib-qdr", 8.0)] / grid[("ipoib-qdr", "flat")]
+    assert slow_penalty >= fast_penalty * 0.98

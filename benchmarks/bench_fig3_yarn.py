@@ -1,0 +1,75 @@
+"""Figure 3: the three distribution patterns on Hadoop NextGen
+MapReduce (YARN), Cluster A.
+
+Paper setup: 1 KB pairs, 32 map tasks and 16 reduce tasks on 8 slave
+nodes, Hadoop 2.x.
+
+Paper shape: MR-AVG improves ~11 % (10 GigE) and ~18 % (IPoIB QDR) vs
+1 GigE; MR-RAND ~10 %/~17 %; MR-SKEW ~10-12 %; skew now costs >3x avg
+(the slowest reducer dominates despite the added concurrency).
+"""
+
+from _harness import (
+    CLUSTER_A_NETWORKS,
+    SHUFFLE_SIZES_GB,
+    YARN_PARAMS,
+    improvement_summary,
+    one_shot,
+    record,
+    suite_cluster_a,
+)
+
+
+def _run_pattern(pattern_name, subfig):
+    suite = suite_cluster_a(slaves=8, version="yarn")
+    sweep = suite.sweep(pattern_name, SHUFFLE_SIZES_GB, CLUSTER_A_NETWORKS,
+                        **YARN_PARAMS)
+    text = sweep.to_table(
+        title=f"Fig. 3({subfig}) {pattern_name} job execution time (s), "
+              f"Cluster A YARN (32M/16R, 8 slaves)")
+    text += "\n" + improvement_summary(sweep, "1GigE")
+    record(f"fig3{subfig}_{pattern_name.lower()}", text)
+    return sweep
+
+
+def bench_fig3a_mr_avg_yarn(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_pattern("MR-AVG", "a"))
+    d10 = sweep.improvement("1GigE", "10GigE")
+    dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
+    # Paper: ~11 % and ~18 %.
+    assert 6 <= d10 <= 25
+    assert 12 <= dib <= 30
+    assert dib > d10
+
+
+def bench_fig3b_mr_rand_yarn(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_pattern("MR-RAND", "b"))
+    dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
+    # Paper: up to ~17 %.
+    assert 12 <= dib <= 30
+
+
+def bench_fig3c_mr_skew_yarn(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_pattern("MR-SKEW", "c"))
+    dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
+    # Paper: ~10-12 % with high-speed interconnects.
+    assert dib > 6
+
+
+def bench_fig3_skew_exceeds_3x(benchmark):
+    """'the skewed data distribution increases the job execution time
+    by more than 3X' on YARN."""
+
+    def run():
+        suite = suite_cluster_a(slaves=8, version="yarn")
+        avg = suite.run("MR-AVG", shuffle_gb=16, network="1GigE",
+                        **YARN_PARAMS).execution_time
+        skew = suite.run("MR-SKEW", shuffle_gb=16, network="1GigE",
+                         **YARN_PARAMS).execution_time
+        record("fig3_skew_ratio",
+               f"Fig. 3 skew/avg ratio @16GB 1GigE YARN: {skew / avg:.2f}x "
+               f"(paper: >3x)")
+        return skew / avg
+
+    ratio = one_shot(benchmark, run)
+    assert ratio > 3.0

@@ -1,0 +1,81 @@
+"""Figure 4: impact of key/value pair size on MR-AVG job time.
+
+Paper setup: Cluster A, MRv1, 16 maps / 8 reduces on 4 slaves,
+BytesWritable; pair sizes 100 B, 1 KB, 10 KB (split evenly between key
+and value); job time vs shuffle size per network.
+
+Paper shape: every pair size benefits from faster networks (~18-22 %
+for 100 B); for a fixed shuffle volume, larger pairs are dramatically
+faster (at 16 GB on IPoIB QDR, ~1280 s at 100 B vs ~170 s at 10 KB —
+a ~7.5x gap), because per-record framework costs dominate small pairs.
+"""
+
+from _harness import (
+    CLUSTER_A_NETWORKS,
+    one_shot,
+    record,
+    suite_cluster_a,
+)
+
+SIZES_GB = (4.0, 8.0, 16.0)
+#: (label, key payload, value payload): 100 B / 1 KB / 10 KB pairs.
+KV_SIZES = (("100B", 50, 50), ("1KB", 512, 512), ("10KB", 5120, 5120))
+
+
+def _run_kv(label, key_size, value_size, subfig):
+    suite = suite_cluster_a()
+    sweep = suite.sweep(
+        "MR-AVG", SIZES_GB, CLUSTER_A_NETWORKS,
+        num_maps=16, num_reduces=8,
+        key_size=key_size, value_size=value_size,
+        data_type="BytesWritable",
+    )
+    text = sweep.to_table(
+        title=f"Fig. 4({subfig}) MR-AVG, key/value pair size {label}")
+    record(f"fig4{subfig}_kv_{label.lower()}", text)
+    return sweep
+
+
+def bench_fig4a_kv_100b(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[0], "a"))
+    dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
+    # Paper: ~22 % for 100 B pairs. In our model the 100 B job is
+    # heavily per-record-CPU-bound, so the network share — and the
+    # improvement — is much smaller. Documented deviation (EXPERIMENTS
+    # E3): we assert only the ordering survives.
+    assert dib > 0.5
+
+
+def bench_fig4b_kv_1kb(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[1], "b"))
+    assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
+
+
+def bench_fig4c_kv_10kb(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[2], "c"))
+    assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
+
+
+def bench_fig4_pair_size_gap(benchmark):
+    """Fixed 16 GB on IPoIB QDR: 100 B pairs are several times slower
+    than 10 KB pairs (paper: ~1280 s -> ~170 s, ~7.5x)."""
+
+    def run():
+        suite = suite_cluster_a()
+        times = {}
+        for label, k, v in KV_SIZES:
+            times[label] = suite.run(
+                "MR-AVG", shuffle_gb=16, network="ipoib-qdr",
+                num_maps=16, num_reduces=8, key_size=k, value_size=v,
+            ).execution_time
+        lines = [f"Fig. 4 pair-size effect @16GB IPoIB QDR:"]
+        for label, t in times.items():
+            lines.append(f"  {label:>5}: {t:8.1f} s")
+        lines.append(f"  100B/10KB ratio: {times['100B'] / times['10KB']:.1f}x"
+                     f" (paper ~7.5x)")
+        record("fig4_pair_size_gap", "\n".join(lines))
+        return times
+
+    times = one_shot(benchmark, run)
+    assert times["100B"] > times["1KB"] > times["10KB"]
+    assert times["100B"] / times["10KB"] > 4

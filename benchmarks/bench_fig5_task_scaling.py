@@ -1,0 +1,73 @@
+"""Figure 5: impact of the number of map and reduce tasks (MR-AVG).
+
+Paper setup: Cluster A, MRv1, 1 KB pairs, 10 GigE vs IPoIB QDR, two
+task configurations: 4 maps / 2 reduces (4M-2R) and 8 maps / 4 reduces
+(8M-4R); job time vs shuffle size.
+
+Paper shape: IPoIB QDR outperforms 10 GigE in both configurations
+(~13 %); doubling the tasks helps both networks, and helps IPoIB more
+(32 % vs 24 % at 32 GB) — more concurrent fetch streams keep the fat
+pipe busy.
+"""
+
+from _harness import one_shot, record, suite_cluster_a
+from repro.analysis import format_table, improvement_pct
+
+SIZES_GB = (8.0, 16.0, 32.0)
+NETWORKS = ("10GigE", "ipoib-qdr")
+TASK_CONFIGS = (("4M-2R", 4, 2), ("8M-4R", 8, 4))
+
+
+def _sweep_tasks():
+    suite = suite_cluster_a()
+    grid = {}
+    for label, maps, reduces in TASK_CONFIGS:
+        for network in NETWORKS:
+            sweep = suite.sweep("MR-AVG", SIZES_GB, [network],
+                                num_maps=maps, num_reduces=reduces,
+                                key_size=512, value_size=512)
+            for size in SIZES_GB:
+                net_name = sweep.networks()[0]
+                grid[(label, net_name, size)] = sweep.time(net_name, size)
+    return grid
+
+
+def bench_fig5_task_scaling(benchmark):
+    grid = one_shot(benchmark, _sweep_tasks)
+    networks = sorted({k[1] for k in grid})
+    headers = ["Shuffle (GB)"] + [
+        f"{net} {label}" for net in networks for label, _m, _r in TASK_CONFIGS
+    ]
+    rows = []
+    for size in SIZES_GB:
+        row = [size]
+        for net in networks:
+            for label, _m, _r in TASK_CONFIGS:
+                row.append(round(grid[(label, net, size)], 1))
+        rows.append(row)
+    text = format_table(headers, rows,
+                        title="Fig. 5 MR-AVG with varying map/reduce tasks")
+
+    ib = "IPoIB-QDR(32Gbps)"
+    ge = "10GigE"
+    ib_gain = improvement_pct(grid[("8M-4R", ge, 32.0)],
+                              grid[("8M-4R", ib, 32.0)])
+    scale_ib = improvement_pct(grid[("4M-2R", ib, 32.0)],
+                               grid[("8M-4R", ib, 32.0)])
+    scale_ge = improvement_pct(grid[("4M-2R", ge, 32.0)],
+                               grid[("8M-4R", ge, 32.0)])
+    text += (
+        f"\n  IPoIB vs 10GigE (8M-4R @32GB): {ib_gain:+.1f}% (paper ~13%)"
+        f"\n  4M-2R -> 8M-4R on IPoIB @32GB: {scale_ib:+.1f}% (paper ~32%)"
+        f"\n  4M-2R -> 8M-4R on 10GigE @32GB: {scale_ge:+.1f}% (paper ~24%)"
+    )
+    record("fig5_task_scaling", text)
+
+    # Shape assertions: IPoIB wins everywhere; doubling tasks helps both;
+    # IPoIB gains at least as much from added concurrency.
+    for size in SIZES_GB:
+        for label, _m, _r in TASK_CONFIGS:
+            assert grid[(label, ib, size)] < grid[(label, ge, size)]
+        assert grid[("8M-4R", ib, size)] < grid[("4M-2R", ib, size)]
+        assert grid[("8M-4R", ge, size)] < grid[("4M-2R", ge, size)]
+    assert scale_ib >= scale_ge - 1.0

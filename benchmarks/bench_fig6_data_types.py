@@ -1,0 +1,65 @@
+"""Figure 6: impact of the intermediate data type (MR-RAND).
+
+Paper setup: Cluster A, MRv1, 16 maps / 8 reduces on 4 slaves, fixed
+1 KB pairs, BytesWritable vs Text, shuffle sizes up to 64 GB.
+
+Paper shape: both data types gain similarly from faster interconnects
+(~23-27 % for 10 GigE, up to ~28 % for IPoIB QDR in the paper's runs);
+high-speed networks provide "similar improvement potential to both
+data types".
+"""
+
+from _harness import (
+    CLUSTER_A_NETWORKS,
+    improvement_summary,
+    one_shot,
+    record,
+    suite_cluster_a,
+)
+
+SIZES_GB = (16.0, 32.0, 64.0)
+
+
+def _run_type(data_type, subfig):
+    suite = suite_cluster_a()
+    sweep = suite.sweep("MR-RAND", SIZES_GB, CLUSTER_A_NETWORKS,
+                        num_maps=16, num_reduces=8,
+                        key_size=512, value_size=512, data_type=data_type)
+    text = sweep.to_table(
+        title=f"Fig. 6({subfig}) MR-RAND with {data_type}")
+    text += "\n" + improvement_summary(sweep, "1GigE")
+    record(f"fig6{subfig}_{data_type.lower()}", text)
+    return sweep
+
+
+def bench_fig6a_bytes_writable(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_type("BytesWritable", "a"))
+    assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
+
+
+def bench_fig6b_text(benchmark):
+    sweep = one_shot(benchmark, lambda: _run_type("Text", "b"))
+    assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
+
+
+def bench_fig6_types_gain_similarly(benchmark):
+    """'high-speed interconnects provide similar improvement potential
+    to both data types'."""
+
+    def run():
+        gains = {}
+        for data_type in ("BytesWritable", "Text"):
+            suite = suite_cluster_a()
+            sweep = suite.sweep("MR-RAND", [32.0], CLUSTER_A_NETWORKS,
+                                num_maps=16, num_reduces=8,
+                                key_size=512, value_size=512,
+                                data_type=data_type)
+            gains[data_type] = sweep.improvement(
+                "1GigE", "IPoIB-QDR(32Gbps)")
+        record("fig6_type_similarity",
+               "Fig. 6 IPoIB gain by type @32GB: "
+               + ", ".join(f"{k}={v:.1f}%" for k, v in gains.items()))
+        return gains
+
+    gains = one_shot(benchmark, run)
+    assert abs(gains["BytesWritable"] - gains["Text"]) < 5.0

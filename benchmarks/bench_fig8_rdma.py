@@ -1,0 +1,51 @@
+"""Figure 8: the MRoIB case study — RDMA vs IPoIB on Cluster B (FDR).
+
+Paper setup: TACC Stampede (Cluster B), MR-AVG, BytesWritable, 1 KB
+pairs, 32 maps / 16 reduces; IPoIB FDR (56 Gbps) vs RDMA-enhanced
+MapReduce (MRoIB, RDMA for Apache Hadoop 0.9.9); 8 and 16 slave nodes.
+
+Paper shape: MRoIB improves job time by ~28-30 % on 8 slaves and by
+~20-25 % on 16 slaves vs stock Hadoop over IPoIB FDR.
+"""
+
+from _harness import one_shot, record, suite_cluster_b
+from repro.analysis import format_table, improvement_pct
+
+SIZES_GB = (16.0, 32.0, 64.0)
+PARAMS = dict(num_maps=32, num_reduces=16, key_size=512, value_size=512,
+              data_type="BytesWritable")
+
+
+def _run_slaves(slaves, subfig):
+    suite = suite_cluster_b(slaves)
+    rows = []
+    gains = []
+    for size in SIZES_GB:
+        t_ib = suite.run("MR-AVG", shuffle_gb=size, network="ipoib-fdr",
+                         **PARAMS).execution_time
+        t_rd = suite.run("MR-AVG", shuffle_gb=size, network="rdma",
+                         **PARAMS).execution_time
+        gain = improvement_pct(t_ib, t_rd)
+        gains.append(gain)
+        rows.append([size, round(t_ib, 1), round(t_rd, 1),
+                     f"{gain:+.1f}%"])
+    text = format_table(
+        ["Shuffle (GB)", "IPoIB FDR (s)", "RDMA (s)", "gain"],
+        rows,
+        title=f"Fig. 8({subfig}) MR-AVG on Cluster B, {slaves} slaves")
+    record(f"fig8{subfig}_{slaves}slaves", text)
+    return gains
+
+
+def bench_fig8a_8_slaves(benchmark):
+    gains = one_shot(benchmark, lambda: _run_slaves(8, "a"))
+    # Paper: 28-30 %; our pipeline model recovers most of it (see
+    # EXPERIMENTS.md for the accounting of the residual gap).
+    assert all(g > 15 for g in gains)
+    assert max(gains) < 45
+
+
+def bench_fig8b_16_slaves(benchmark):
+    gains = one_shot(benchmark, lambda: _run_slaves(16, "b"))
+    # Paper: ~20-25 % "even on a larger cluster".
+    assert all(g > 15 for g in gains)

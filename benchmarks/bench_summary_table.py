@@ -1,0 +1,54 @@
+"""The paper's §7 headline numbers as one reproduction summary table.
+
+"the performance of the MapReduce job improves around 17 % if the
+underlying interconnect is changed to 10 GigE from 1 GigE, and up to
+23 % when changed to IPoIB QDR... IPoIB QDR improves performance of
+the MapReduce job by about 12 % over 10 GigE... RDMA-enhanced
+MapReduce design can achieve much better performance than default
+Hadoop MapReduce over IPoIB FDR."
+"""
+
+from _harness import (
+    CLUSTER_A_NETWORKS,
+    CLUSTER_A_PARAMS,
+    one_shot,
+    record,
+    suite_cluster_a,
+    suite_cluster_b,
+)
+from repro.analysis import format_table, improvement_pct
+
+
+def _summary():
+    rows = []
+
+    suite = suite_cluster_a()
+    sweep = suite.sweep("MR-AVG", [8.0, 16.0, 32.0], CLUSTER_A_NETWORKS,
+                        **CLUSTER_A_PARAMS)
+    d10 = sweep.improvement("1GigE", "10GigE")
+    dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
+    dib10 = sweep.improvement("10GigE", "IPoIB-QDR(32Gbps)")
+    rows.append(["1GigE -> 10GigE (MR-AVG)", "~17%", f"{d10:.1f}%"])
+    rows.append(["1GigE -> IPoIB QDR (MR-AVG)", "~23-24%", f"{dib:.1f}%"])
+    rows.append(["10GigE -> IPoIB QDR (MR-AVG)", "~8-12%", f"{dib10:.1f}%"])
+
+    bsuite = suite_cluster_b(8)
+    t_ib = bsuite.run("MR-AVG", shuffle_gb=32, network="ipoib-fdr",
+                      num_maps=32, num_reduces=16).execution_time
+    t_rd = bsuite.run("MR-AVG", shuffle_gb=32, network="rdma",
+                      num_maps=32, num_reduces=16).execution_time
+    rows.append(["IPoIB FDR -> RDMA (8 slaves)", "~28-30%",
+                 f"{improvement_pct(t_ib, t_rd):.1f}%"])
+
+    text = format_table(
+        ["transition", "paper", "reproduced"], rows,
+        title="Reproduction summary: headline improvements (Sect. 7)")
+    record("summary_table", text)
+    return d10, dib, dib10
+
+
+def bench_summary_headline_numbers(benchmark):
+    d10, dib, dib10 = one_shot(benchmark, _summary)
+    assert 10 <= d10 <= 25
+    assert 17 <= dib <= 30
+    assert 3 <= dib10 <= 15

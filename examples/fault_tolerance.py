@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fault tolerance: failure injection and speculative execution.
+
+The simulated framework models Hadoop's fault-tolerance machinery:
+task attempts whose output is lost are re-executed (up to
+``max_task_attempts``), and with speculative execution enabled the
+JobTracker launches backup attempts for stragglers — the winner's
+output counts, the loser is killed.
+
+This example injects a 25 % per-attempt failure rate into a job and
+shows (a) the job still completes with every record accounted for,
+(b) what the failures cost, and (c) how much speculation claws back.
+
+Usage::
+
+    python examples/fault_tolerance.py
+"""
+
+from repro import BenchmarkConfig, JobConf, cluster_a, run_simulated_job
+from repro.analysis import format_table
+from repro.hadoop import JobEventLog
+
+CONFIG = BenchmarkConfig(
+    num_pairs=1_000_000, num_maps=12, num_reduces=4,
+    key_size=512, value_size=512, network="ipoib-qdr",
+)
+
+
+def run(jobconf: JobConf):
+    return run_simulated_job(CONFIG, cluster=cluster_a(2), jobconf=jobconf)
+
+
+def main() -> None:
+    # Two map waves (12 maps, 2 slaves x 2 slots) make stragglers visible.
+    base = JobConf(map_slots_per_node=2)
+    flaky = JobConf(map_slots_per_node=2,
+                    task_failure_probability=0.25, max_task_attempts=8)
+    rescued = JobConf(map_slots_per_node=2,
+                      task_failure_probability=0.25, max_task_attempts=8,
+                      speculative_execution=True)
+
+    rows = []
+    for label, jobconf in (("no failures", base),
+                           ("25% attempt failures", flaky),
+                           ("failures + speculation", rescued)):
+        result = run(jobconf)
+        failures = len(result.events.of_kind(JobEventLog.TASK_FAILED))
+        backups = len(result.events.of_kind(JobEventLog.SPECULATIVE))
+        records = sum(s.records for s in result.reduce_stats)
+        rows.append([label, round(result.execution_time, 1), failures,
+                     backups, f"{records:,}"])
+    print(format_table(
+        ["scenario", "time (s)", "failed attempts", "backups",
+         "records reduced"],
+        rows,
+        title="Fault tolerance on a 1 GB MR-AVG job (12 maps, 2 slaves)",
+    ))
+
+    print("\nEvent log of the flaky run (failures and retries):")
+    result = run(flaky)
+    interesting = (JobEventLog.TASK_FAILED, JobEventLog.SPECULATIVE)
+    shown = 0
+    for event in result.events:
+        if event.kind in interesting and shown < 10:
+            print(f"  {event}")
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

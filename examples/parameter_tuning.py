@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Parameter tuning with the suite — the developer workflow.
+
+The paper pitches the suite as the tool for "tuning different internal
+parameters to obtain optimal performance". This example sweeps three
+Hadoop knobs on a fixed workload and reports which settings matter on
+which network — the kind of study that needs a stand-alone benchmark
+(no HDFS noise).
+
+Usage::
+
+    python examples/parameter_tuning.py
+"""
+
+from repro import JobConf, MicroBenchmarkSuite, cluster_a
+from repro.analysis import format_table
+
+MB = 1e6
+WORKLOAD = dict(shuffle_gb=8, num_maps=16, num_reduces=8,
+                key_size=512, value_size=512)
+
+
+def time_with(jobconf: JobConf, network: str) -> float:
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4), jobconf=jobconf)
+    return suite.run("MR-AVG", network=network, **WORKLOAD).execution_time
+
+
+def main() -> None:
+    networks = ("1GigE", "ipoib-qdr")
+
+    print("Sweep 1: reduce-side parallel copies "
+          "(mapred.reduce.parallel.copies)")
+    rows = []
+    for copies in (1, 2, 5, 10):
+        rows.append([copies] + [
+            round(time_with(JobConf(parallel_copies=copies), net), 1)
+            for net in networks
+        ])
+    print(format_table(["copies"] + list(networks), rows))
+
+    print("\nSweep 2: map-side sort buffer (io.sort.mb)")
+    rows = []
+    for mb in (50, 100, 200):
+        rows.append([mb] + [
+            round(time_with(JobConf(io_sort_mb=mb * MB), net), 1)
+            for net in networks
+        ])
+    print(format_table(["io.sort.mb"] + list(networks), rows))
+
+    print("\nSweep 3: reducer slow start "
+          "(mapred.reduce.slowstart.completed.maps, 2 map waves)")
+    rows = []
+    for slowstart in (0.05, 0.5, 1.0):
+        jc = JobConf(reduce_slowstart=slowstart, map_slots_per_node=2)
+        rows.append([slowstart] + [
+            round(time_with(jc, net), 1) for net in networks
+        ])
+    print(format_table(["slowstart"] + list(networks), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: run one stand-alone MapReduce micro-benchmark.
+
+Runs MR-AVG — the even-distribution micro-benchmark — at 8 GB of
+intermediate shuffle data on the paper's Cluster A (4 Westmere slaves)
+over IPoIB QDR, with resource monitoring enabled, and prints the
+paper-style report: configuration echo, phase breakdown, per-reducer
+statistics, utilization peaks, and the job execution time.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import MicroBenchmarkSuite, cluster_a, render_report
+
+
+def main() -> None:
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4))
+    result = suite.run(
+        "MR-AVG",
+        shuffle_gb=8,
+        network="ipoib-qdr",
+        num_maps=16,
+        num_reduces=8,
+        key_size=512,
+        value_size=512,
+        data_type="BytesWritable",
+        monitor_interval=2.0,
+    )
+    print(render_report(result))
+
+    print("\nEvent log (first 12 milestones):")
+    for event in list(result.events)[:12]:
+        print(f"  {event}")
+
+
+if __name__ == "__main__":
+    main()

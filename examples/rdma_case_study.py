@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Sect. 6 case study: evaluating an RDMA-enhanced MapReduce.
+
+Uses the micro-benchmark suite the way the paper's authors did — to
+evaluate an alternative MapReduce design (MRoIB, "RDMA for Apache
+Hadoop") against stock Hadoop over IPoIB on an FDR InfiniBand cluster,
+then decomposes where the gain comes from (zero-copy transport vs
+SEDA pipeline overlap).
+
+Usage::
+
+    python examples/rdma_case_study.py
+"""
+
+from repro import MicroBenchmarkSuite, cluster_b
+from repro.analysis import format_table, improvement_pct
+from repro.hadoop import overlap_only_transport, zero_copy_only_transport
+from repro.net import IPOIB_FDR, RDMA_FDR
+
+PARAMS = dict(num_maps=32, num_reduces=16, key_size=512, value_size=512)
+SHUFFLE_GB = 32.0
+
+
+def main() -> None:
+    for slaves in (8, 16):
+        suite = MicroBenchmarkSuite(cluster=cluster_b(slaves))
+        stock = suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB,
+                          network="ipoib-fdr", **PARAMS).execution_time
+        mroib = suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB,
+                          network="rdma", **PARAMS).execution_time
+        print(f"Cluster B, {slaves} slaves, {SHUFFLE_GB:.0f} GB MR-AVG: "
+              f"IPoIB FDR {stock:.1f}s -> MRoIB {mroib:.1f}s "
+              f"({improvement_pct(stock, mroib):.1f}% faster)")
+
+    print("\nGain decomposition (8 slaves):")
+    suite = MicroBenchmarkSuite(cluster=cluster_b(8))
+    stock = suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB,
+                      network="ipoib-fdr", **PARAMS).execution_time
+    variants = [
+        ("overlap only (SEDA pipeline over IPoIB)",
+         suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB, network="ipoib-fdr",
+                   transport=overlap_only_transport(IPOIB_FDR),
+                   **PARAMS).execution_time),
+        ("zero-copy only (RDMA reads, stock pipeline)",
+         suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB, network="rdma",
+                   transport=zero_copy_only_transport(RDMA_FDR),
+                   **PARAMS).execution_time),
+        ("full MRoIB",
+         suite.run("MR-AVG", shuffle_gb=SHUFFLE_GB, network="rdma",
+                   **PARAMS).execution_time),
+    ]
+    rows = [["stock over IPoIB FDR", round(stock, 1), "-"]]
+    for name, t in variants:
+        rows.append([name, round(t, 1),
+                     f"{improvement_pct(stock, t):+.1f}%"])
+    print(format_table(["design", "time (s)", "vs stock"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Skew analysis: what an imbalanced intermediate distribution costs.
+
+Compares all three distribution patterns (MR-AVG, MR-RAND, MR-SKEW) at
+the same shuffle volume, shows the per-reducer load imbalance MR-SKEW's
+partitioner produces, and quantifies the straggler effect: the job ends
+when the 50 %-load reducer does. This is the experiment the paper uses
+to argue for load-balancing research ("we can determine if it is
+worthwhile to find alternative techniques that can mitigate load
+imbalances").
+
+Usage::
+
+    python examples/skew_analysis.py
+"""
+
+from repro import MicroBenchmarkSuite, cluster_a
+from repro.analysis import format_table
+from repro.core.partitioners import distribution_stats
+
+SHUFFLE_GB = 8.0
+PARAMS = dict(num_maps=16, num_reduces=8, key_size=512, value_size=512,
+              network="ipoib-qdr")
+
+
+def main() -> None:
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4))
+
+    rows = []
+    results = {}
+    for name in ("MR-AVG", "MR-RAND", "MR-SKEW"):
+        result = suite.run(name, shuffle_gb=SHUFFLE_GB, **PARAMS)
+        results[name] = result
+        stats = distribution_stats(result.matrix.reducer_loads())
+        rows.append([
+            name,
+            round(result.execution_time, 1),
+            f"{stats['top_share'] * 100:.1f}%",
+            f"{stats['imbalance']:.2f}x",
+        ])
+    print(format_table(
+        ["benchmark", "time (s)", "top reducer share", "imbalance"],
+        rows,
+        title=f"Distribution patterns at {SHUFFLE_GB:.0f} GB over IPoIB QDR",
+    ))
+
+    skew = results["MR-SKEW"]
+    avg = results["MR-AVG"]
+    print(f"\nskew/avg job time ratio: "
+          f"{skew.execution_time / avg.execution_time:.2f}x")
+
+    print("\nPer-reducer finish times under MR-SKEW (the straggler):")
+    for s in sorted(skew.reduce_stats, key=lambda s: -s.finished_at):
+        bar = "#" * int(40 * s.finished_at / skew.execution_time)
+        print(f"  reduce{s.reduce_id:<2} {s.finished_at:7.1f}s "
+              f"({s.bytes_fetched / 1e9:4.2f} GB) {bar}")
+
+
+if __name__ == "__main__":
+    main()

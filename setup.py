@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on environments without the ``wheel``
+package (PEP 660 editable installs need it, offline boxes may lack it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""A micro-benchmark suite for evaluating Hadoop MapReduce on
+high-performance networks — full-system Python reproduction.
+
+Reproduces Shankar, Lu, Wasi-ur-Rahman, Islam, Panda, *"A
+Micro-benchmark Suite for Evaluating Hadoop MapReduce on
+High-Performance Networks"* (BPOE 2014): the stand-alone MapReduce
+micro-benchmarks (MR-AVG / MR-RAND / MR-SKEW) plus every substrate they
+run on, simulated — a discrete-event Hadoop MRv1/YARN framework, flow-
+level network models for 1 GigE / 10 GigE / IPoIB QDR / IPoIB FDR /
+RDMA, the Writable type system, and a functional local MapReduce engine
+for semantic validation.
+
+Quickstart::
+
+    from repro import MicroBenchmarkSuite, cluster_a
+
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4))
+    result = suite.run("MR-AVG", shuffle_gb=16, network="ipoib-qdr",
+                       num_maps=16, num_reduces=8)
+    print(f"job executed in {result.execution_time:.1f} simulated seconds")
+
+Subpackages
+-----------
+:mod:`repro.core`
+    The paper's contribution: benchmarks, partitioners, null formats,
+    configuration, suite runner, reports, CLI.
+:mod:`repro.hadoop`
+    Simulated Hadoop MapReduce framework (MRv1 + YARN + MRoIB/RDMA).
+:mod:`repro.net`
+    Interconnect models and the max-min fair network fabric.
+:mod:`repro.datatypes`
+    Hadoop Writable types and IFile serialization.
+:mod:`repro.engine`
+    Functional (really-executing) local MapReduce engine.
+:mod:`repro.sim`
+    Discrete-event simulation kernel.
+:mod:`repro.analysis`
+    Statistics and table rendering.
+"""
+
+from repro.core.benchmarks import (
+    ALL_BENCHMARKS,
+    MR_AVG,
+    MR_RAND,
+    MR_SKEW,
+    MicroBenchmark,
+    get_benchmark,
+)
+from repro.core.config import BenchmarkConfig
+from repro.core.report import render_report
+from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.hadoop.cluster import ClusterSpec, cluster_a, cluster_b
+from repro.hadoop.job import JobConf
+from repro.hadoop.result import SimJobResult
+from repro.hadoop.simulation import run_simulated_job
+from repro.net.interconnect import INTERCONNECTS, get_interconnect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkConfig",
+    "ClusterSpec",
+    "INTERCONNECTS",
+    "JobConf",
+    "MR_AVG",
+    "MR_RAND",
+    "MR_SKEW",
+    "MicroBenchmark",
+    "MicroBenchmarkSuite",
+    "SimJobResult",
+    "SweepResult",
+    "SweepRow",
+    "cluster_a",
+    "cluster_b",
+    "get_benchmark",
+    "get_interconnect",
+    "render_report",
+    "run_simulated_job",
+    "__version__",
+]

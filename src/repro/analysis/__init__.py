@@ -1,0 +1,36 @@
+"""Result analysis: summary statistics and table rendering."""
+
+from repro.analysis.charts import bar_chart, line_chart, sweep_chart
+from repro.analysis.export import (
+    parse_csv_floats,
+    results_to_csv,
+    sweep_to_csv,
+    write_csv,
+)
+from repro.analysis.stats import (
+    geometric_mean,
+    improvement_pct,
+    mean,
+    median,
+    percentile,
+    speedup,
+)
+from repro.analysis.tables import format_cell, format_table
+
+__all__ = [
+    "bar_chart",
+    "format_cell",
+    "line_chart",
+    "sweep_chart",
+    "format_table",
+    "geometric_mean",
+    "improvement_pct",
+    "mean",
+    "median",
+    "parse_csv_floats",
+    "percentile",
+    "results_to_csv",
+    "speedup",
+    "sweep_to_csv",
+    "write_csv",
+]

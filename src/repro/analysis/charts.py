@@ -1,0 +1,97 @@
+"""Terminal charts: render benchmark series without a plotting stack.
+
+The benches print tables; the examples additionally render the paper's
+figures as ASCII line/bar charts so trends are visible straight from a
+shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Glyphs cycled across series in a line chart.
+SERIES_GLYPHS = "ox+*#@"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{str(label).ljust(label_width)} | {bar} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a name to ``(xs, ys)``. Each series is drawn with
+    its own glyph; a legend follows the plot.
+    """
+    if not series:
+        return "(no data)"
+    all_x = [x for xs, _ys in series.values() for x in xs]
+    all_y = [y for _xs, ys in series.values() for y in ys]
+    if not all_x:
+        return "(no data)"
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[idx % len(SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top_axis = f"{y_max:.0f}"
+    bottom_axis = f"{y_min:.0f}"
+    margin = max(len(top_axis), len(bottom_axis))
+    for i, row in enumerate(grid):
+        prefix = top_axis if i == 0 else (
+            bottom_axis if i == height - 1 else ""
+        )
+        lines.append(f"{prefix.rjust(margin)} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_min:g}".ljust(width - 8) + f"{x_max:g}".rjust(8)
+    lines.append(" " * (margin + 2) + x_axis + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def sweep_chart(sweep, width: int = 60, height: int = 14) -> str:
+    """Render a :class:`~repro.core.suite.SweepResult` as a line chart."""
+    series = {net: sweep.series(net) for net in sweep.networks()}
+    return line_chart(series, width=width, height=height,
+                      x_label="shuffle GB", y_label="job time (s)")

@@ -1,0 +1,64 @@
+"""Result export: CSV serialization of runs and sweeps.
+
+The real suite's output is scraped into spreadsheets; this module
+provides the equivalent: flat CSV rows for single results and sweep
+grids, suitable for plotting the paper's figures externally.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence
+
+#: Column order for single-job summary rows.
+RESULT_FIELDS = (
+    "benchmark", "network", "version", "slaves", "maps", "reduces",
+    "data_type", "pair_size", "shuffle_gb", "execution_time_s",
+)
+
+
+def results_to_csv(results: Iterable["SimJobResult"]) -> str:  # noqa: F821
+    """Serialize job results (their ``summary()`` rows) as CSV text."""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=RESULT_FIELDS)
+    writer.writeheader()
+    for result in results:
+        summary = result.summary()
+        writer.writerow({field: summary[field] for field in RESULT_FIELDS})
+    return out.getvalue()
+
+
+def sweep_to_csv(sweep: "SweepResult") -> str:  # noqa: F821
+    """Serialize a sweep as a wide CSV: one row per shuffle size, one
+    column per network (the layout the paper's figures plot)."""
+    networks = sweep.networks()
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["shuffle_gb"] + networks)
+    for size in sorted(sweep.sizes()):
+        writer.writerow(
+            [size] + [round(sweep.time(net, size), 3) for net in networks]
+        )
+    return out.getvalue()
+
+
+def write_csv(path: str, text: str) -> None:
+    """Write CSV text to a file (tiny helper for CLI/--csv)."""
+    with open(path, "w", newline="") as handle:
+        handle.write(text)
+
+
+def parse_csv_floats(text: str) -> List[List[Optional[float]]]:
+    """Parse CSV text back into rows of floats (None for non-numeric);
+    used by tests to round-trip exports."""
+    rows: List[List[Optional[float]]] = []
+    for record in csv.reader(io.StringIO(text)):
+        row: List[Optional[float]] = []
+        for cell in record:
+            try:
+                row.append(float(cell))
+            except ValueError:
+                row.append(None)
+        rows.append(row)
+    return rows

@@ -1,0 +1,95 @@
+"""The paper's contribution: the stand-alone MapReduce micro-benchmark suite.
+
+Modules:
+
+* :mod:`repro.core.config` — :class:`BenchmarkConfig`, all user knobs.
+* :mod:`repro.core.formats` — NullInputFormat / NullOutputFormat.
+* :mod:`repro.core.datagen` — deterministic in-memory pair generation.
+* :mod:`repro.core.partitioners` — MR-AVG / MR-RAND / MR-SKEW patterns.
+* :mod:`repro.core.matrix` — shuffle matrices (who sends what to whom).
+* :mod:`repro.core.benchmarks` — the named micro-benchmarks.
+* :mod:`repro.core.suite` — run benchmarks on a simulated cluster.
+* :mod:`repro.core.report` — paper-style result reports.
+* :mod:`repro.core.cli` — ``mr-microbench`` command-line driver.
+"""
+
+from repro.core.benchmarks import (
+    ALL_BENCHMARKS,
+    MR_AVG,
+    MR_RAND,
+    MR_SKEW,
+    MicroBenchmark,
+    get_benchmark,
+)
+from repro.core.config import (
+    BenchmarkConfig,
+    PATTERN_AVG,
+    PATTERN_RAND,
+    PATTERN_SKEW,
+    PATTERNS,
+)
+from repro.core.datagen import KeyValueGenerator
+from repro.core.formats import (
+    DummyRecordReader,
+    DummySplit,
+    NullInputFormat,
+    NullOutputFormat,
+    NullRecordWriter,
+)
+from repro.core.matrix import ShuffleMatrix, compute_shuffle_matrix
+from repro.core.partitioners import (
+    AveragePartitioner,
+    HashPartitioner,
+    Partitioner,
+    RandomPartitioner,
+    SkewedPartitioner,
+    distribution_stats,
+    make_partitioner,
+)
+from repro.core.report import render_report
+from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.core.validate import (
+    ShapeCheck,
+    ValidationReport,
+    validate_headline_shapes,
+)
+from repro.core.workloads import WORKLOADS, WorkloadProfile, get_workload
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "AveragePartitioner",
+    "BenchmarkConfig",
+    "DummyRecordReader",
+    "DummySplit",
+    "HashPartitioner",
+    "KeyValueGenerator",
+    "MR_AVG",
+    "MR_RAND",
+    "MR_SKEW",
+    "MicroBenchmark",
+    "MicroBenchmarkSuite",
+    "NullInputFormat",
+    "NullOutputFormat",
+    "NullRecordWriter",
+    "PATTERNS",
+    "PATTERN_AVG",
+    "PATTERN_RAND",
+    "PATTERN_SKEW",
+    "Partitioner",
+    "RandomPartitioner",
+    "ShapeCheck",
+    "ShuffleMatrix",
+    "SkewedPartitioner",
+    "SweepResult",
+    "SweepRow",
+    "ValidationReport",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "compute_shuffle_matrix",
+    "distribution_stats",
+    "get_benchmark",
+    "get_workload",
+    "make_partitioner",
+    "render_report",
+    "validate_headline_shapes",
+]

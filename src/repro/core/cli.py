@@ -1,0 +1,184 @@
+"""Command-line driver: ``mr-microbench``.
+
+Mirrors the paper suite's invocation style: pick a micro-benchmark and
+the benchmark/framework parameters, get the configuration echo,
+resource-utilization statistics and the job execution time.
+
+Examples::
+
+    mr-microbench --benchmark MR-AVG --shuffle-gb 16 --network ipoib-qdr
+    mr-microbench --benchmark MR-SKEW --network 1gige --maps 16 --reduces 8
+    mr-microbench --benchmark MR-RAND --data-type Text --monitor 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.benchmarks import EXTENDED_BENCHMARKS
+from repro.core.config import BenchmarkConfig
+from repro.core.report import render_report
+from repro.core.suite import MicroBenchmarkSuite
+from repro.hadoop.cluster import cluster_a, cluster_b
+from repro.hadoop.job import JobConf
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mr-microbench",
+        description=(
+            "Stand-alone Hadoop MapReduce micro-benchmark suite "
+            "(simulated reproduction of Shankar et al., BPOE 2014)"
+        ),
+    )
+    parser.add_argument(
+        "--benchmark", default="MR-AVG",
+        choices=sorted({b.name for b in EXTENDED_BENCHMARKS}),
+        help="distribution pattern micro-benchmark to run",
+    )
+    parser.add_argument(
+        "--workload", default=None,
+        help="run a real-world workload profile instead of a raw "
+             "benchmark (wordcount, terasort, inverted-index, "
+             "session-aggregation, hash-join); overrides --benchmark, "
+             "key/value sizes and data type",
+    )
+    parser.add_argument("--network", default="1GigE",
+                        help="interconnect (1GigE, 10GigE, ipoib-qdr, "
+                             "ipoib-fdr, rdma)")
+    size = parser.add_mutually_exclusive_group()
+    size.add_argument("--shuffle-gb", type=float, default=None,
+                      help="total intermediate shuffle data size in GB")
+    size.add_argument("--num-pairs", type=int, default=None,
+                      help="total key/value pairs to generate")
+    parser.add_argument("--key-size", type=int, default=512,
+                        help="key payload bytes")
+    parser.add_argument("--value-size", type=int, default=512,
+                        help="value payload bytes")
+    parser.add_argument("--data-type", default="BytesWritable",
+                        choices=("BytesWritable", "Text"))
+    parser.add_argument("--maps", type=int, default=16,
+                        help="number of map tasks")
+    parser.add_argument("--reduces", type=int, default=8,
+                        help="number of reduce tasks")
+    parser.add_argument("--seed", type=int, default=20140901)
+    parser.add_argument("--cluster", default="a", choices=("a", "b"),
+                        help="testbed: a=Westmere, b=Stampede")
+    parser.add_argument("--slaves", type=int, default=None,
+                        help="number of slave nodes (default: paper setup)")
+    parser.add_argument("--framework", default="mrv1",
+                        choices=("mrv1", "yarn"),
+                        help="Hadoop generation (1.x slots or 2.x YARN)")
+    parser.add_argument("--monitor", type=float, default=None, metavar="SEC",
+                        help="sample CPU/network utilization every SEC "
+                             "simulated seconds")
+    parser.add_argument("--sweep", default=None, metavar="GB,GB,...",
+                        help="sweep mode: comma-separated shuffle sizes in "
+                             "GB; prints a size x network table instead of "
+                             "a single-run report")
+    parser.add_argument("--networks", default=None, metavar="NET,NET,...",
+                        help="networks for --sweep (default: the single "
+                             "--network)")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="also write the sweep as CSV to PATH")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print an ASCII Gantt chart of all tasks")
+    parser.add_argument("--history-json", default=None, metavar="PATH",
+                        help="write the job history record as JSON to PATH")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    factory = cluster_a if args.cluster == "a" else cluster_b
+    cluster = factory(args.slaves) if args.slaves else factory()
+    jobconf = JobConf(version=args.framework)
+    suite = MicroBenchmarkSuite(cluster=cluster, jobconf=jobconf)
+
+    pattern = args.benchmark.split("-")[1].lower()
+    common = dict(
+        pattern=pattern,
+        key_size=args.key_size,
+        value_size=args.value_size,
+        num_maps=args.maps,
+        num_reduces=args.reduces,
+        data_type=args.data_type,
+        seed=args.seed,
+    )
+    try:
+        if args.workload is not None:
+            from repro.core.workloads import get_workload
+
+            profile = get_workload(args.workload)
+            shuffle_gb = args.shuffle_gb if args.shuffle_gb is not None else 4.0
+            config = profile.configure(
+                shuffle_gb=shuffle_gb,
+                num_maps=args.maps,
+                num_reduces=args.reduces,
+                network=args.network,
+                seed=args.seed,
+            )
+            result = suite.run_config(config, monitor_interval=args.monitor)
+            print(render_report(result))
+            if args.timeline:
+                from repro.hadoop.history import render_timeline
+
+                print("\nTask timeline:")
+                print(render_timeline(result))
+            return 0
+        if args.sweep is not None:
+            return _run_sweep(suite, args, common)
+        if args.num_pairs is not None:
+            config = BenchmarkConfig(num_pairs=args.num_pairs,
+                                     network=args.network, **common)
+        else:
+            shuffle_gb = args.shuffle_gb if args.shuffle_gb is not None else 4.0
+            config = BenchmarkConfig.from_shuffle_size(
+                shuffle_gb * 1e9, network=args.network, **common)
+        result = suite.run_config(config, monitor_interval=args.monitor)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(result))
+    if args.timeline:
+        from repro.hadoop.history import render_timeline
+
+        print("\nTask timeline:")
+        print(render_timeline(result))
+    if args.history_json:
+        from repro.hadoop.history import history_json
+
+        with open(args.history_json, "w") as handle:
+            handle.write(history_json(result))
+        print(f"\njob history written to {args.history_json}")
+    return 0
+
+
+def _run_sweep(suite: MicroBenchmarkSuite, args, common: dict) -> int:
+    from repro.analysis.export import sweep_to_csv, write_csv
+
+    sizes = [float(s) for s in args.sweep.split(",") if s.strip()]
+    if not sizes:
+        print("error: --sweep needs at least one size", file=sys.stderr)
+        return 2
+    networks = (
+        [n.strip() for n in args.networks.split(",") if n.strip()]
+        if args.networks
+        else [args.network]
+    )
+    # The benchmark name determines the pattern; sweep() applies it.
+    sweep_kwargs = {k: v for k, v in common.items() if k != "pattern"}
+    sweep = suite.sweep(args.benchmark, sizes, networks, **sweep_kwargs)
+    print(sweep.to_table(
+        title=f"{args.benchmark} job execution time (s) [{args.framework}]"))
+    if args.csv:
+        write_csv(args.csv, sweep_to_csv(sweep))
+        print(f"\ncsv written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Deterministic in-memory key/value pair generation (Sect. 4.2).
+
+Each map task generates its share of the configured pairs in memory.
+"To avoid any additional overhead, we restrict the number of unique
+pairs generated to the number of reducers specified" — so keys cycle
+through ``num_reduces`` distinct byte patterns, and values are filler
+of the configured size.
+
+Generation is deterministic in ``(seed, map_id, index)``: two runs of
+the same config produce identical streams, which the paper needs for a
+fair comparison across networks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, Tuple, Type
+
+from repro.core.config import BenchmarkConfig
+from repro.datatypes import BytesWritable, Text
+from repro.datatypes.writable import Writable
+
+
+def _deterministic_bytes(tag: bytes, size: int) -> bytes:
+    """``size`` pseudo-random but reproducible bytes derived from ``tag``."""
+    if size == 0:
+        return b""
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out.extend(hashlib.sha256(tag + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:size])
+
+
+def _ascii_armor(raw: bytes) -> bytes:
+    """Map raw bytes into printable ASCII (for valid UTF-8 Text payloads).
+
+    Keeps the payload length identical to the requested size.
+    """
+    alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+    return bytes(alphabet[b & 0x3F] for b in raw)
+
+
+class KeyValueGenerator:
+    """Generates one map task's intermediate key/value pairs.
+
+    Parameters come from a :class:`BenchmarkConfig`; the generator
+    pre-builds the ``num_reduces`` unique key payloads and one value
+    payload, then streams ``(key, value)`` Writables.
+    """
+
+    def __init__(self, config: BenchmarkConfig, map_id: int):
+        if not 0 <= map_id < config.num_maps:
+            raise IndexError(
+                f"map_id {map_id} out of range [0, {config.num_maps})"
+            )
+        self.config = config
+        self.map_id = map_id
+        self.num_pairs = config.pairs_for_map(map_id)
+        self._key_writable: Type[Writable] = config.key_writable
+        self._value_writable: Type[Writable] = config.value_writable
+        seed_tag = f"{config.seed}".encode()
+        self._unique_keys = [
+            self._payload(seed_tag + b":key:" + str(k).encode(),
+                          config.key_size, self._key_writable)
+            for k in range(config.num_reduces)
+        ]
+        self._value_payload = self._payload(
+            seed_tag + b":value:" + str(map_id).encode(), config.value_size,
+            self._value_writable,
+        )
+
+    @staticmethod
+    def _payload(tag: bytes, size: int, writable: Type[Writable]) -> bytes:
+        raw = _deterministic_bytes(tag, size)
+        if writable is Text:
+            return _ascii_armor(raw)
+        return raw
+
+    @staticmethod
+    def _wrap(payload: bytes, writable: Type[Writable]) -> Writable:
+        if writable is Text:
+            return Text(payload)
+        return BytesWritable(payload)
+
+    def key_payload(self, index: int) -> bytes:
+        """The key payload of record ``index`` (cycles unique keys)."""
+        return self._unique_keys[index % len(self._unique_keys)]
+
+    def __iter__(self) -> Iterator[Tuple[Writable, Writable]]:
+        value = self._wrap(self._value_payload, self._value_writable)
+        keys = [self._wrap(p, self._key_writable) for p in self._unique_keys]
+        n_unique = len(keys)
+        for i in range(self.num_pairs):
+            yield keys[i % n_unique], value
+
+    def __len__(self) -> int:
+        return self.num_pairs

@@ -1,0 +1,97 @@
+"""Stand-alone input/output formats (Sect. 4.1).
+
+The defining trick of the suite: the job runs *without HDFS*.
+
+* :class:`NullInputFormat` fabricates one dummy split per requested map
+  task, each holding a single record; the map function ignores it and
+  generates the configured number of key/value pairs in memory.
+* :class:`NullOutputFormat` gives reduce tasks a record writer that
+  counts and discards (``/dev/null``), so no file system participates
+  in the measured path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.datatypes.writable import NullWritable, Writable
+
+
+@dataclass(frozen=True)
+class DummySplit:
+    """An input split that carries no data — only its map task's index."""
+
+    map_id: int
+    #: Dummy length so schedulers that sort splits by size stay happy.
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if self.map_id < 0:
+            raise ValueError(f"map_id must be >= 0, got {self.map_id}")
+
+
+class DummyRecordReader:
+    """Yields exactly one (NullWritable, NullWritable) record."""
+
+    def __init__(self, split: DummySplit):
+        self.split = split
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[Tuple[Writable, Writable]]:
+        return self
+
+    def __next__(self) -> Tuple[Writable, Writable]:
+        if self._consumed:
+            raise StopIteration
+        self._consumed = True
+        return NullWritable(), NullWritable()
+
+    @property
+    def progress(self) -> float:
+        return 1.0 if self._consumed else 0.0
+
+
+class NullInputFormat:
+    """Input format producing dummy splits, one per map task."""
+
+    @staticmethod
+    def get_splits(num_maps: int) -> List[DummySplit]:
+        """One empty split per requested map task."""
+        if num_maps < 1:
+            raise ValueError(f"num_maps must be >= 1, got {num_maps}")
+        return [DummySplit(map_id=i) for i in range(num_maps)]
+
+    @staticmethod
+    def create_record_reader(split: DummySplit) -> DummyRecordReader:
+        return DummyRecordReader(split)
+
+
+class NullRecordWriter:
+    """Counts records and bytes, then forgets them (``/dev/null``)."""
+
+    def __init__(self) -> None:
+        self.records_written = 0
+        self.bytes_discarded = 0
+        self._closed = False
+
+    def write(self, key: Writable, value: Writable) -> None:
+        if self._closed:
+            raise ValueError("write() on a closed NullRecordWriter")
+        self.records_written += 1
+        self.bytes_discarded += key.serialized_size() + value.serialized_size()
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class NullOutputFormat:
+    """Output format whose writers discard everything."""
+
+    @staticmethod
+    def create_record_writer() -> NullRecordWriter:
+        return NullRecordWriter()

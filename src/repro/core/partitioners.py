@@ -1,0 +1,273 @@
+"""Custom partitioners implementing the three distribution patterns.
+
+Sect. 4.2 defines the suite's three micro-benchmarks by their
+partitioner:
+
+* **MR-AVG** — :class:`AveragePartitioner`: strict round-robin, every
+  reducer receives the same number of pairs (±1).
+* **MR-RAND** — :class:`RandomPartitioner`: reducer drawn uniformly per
+  pair from a seeded PRNG ("With this limited range, the micro-benchmark
+  more or less generates the same pattern of reducers" — we fix the seed
+  so every run maps identically).
+* **MR-SKEW** — :class:`SkewedPartitioner`: 50 % of all pairs to reducer
+  0, 25 % of the remainder to reducer 1, 12.5 % of the remaining to
+  reducer 2, and the rest uniformly at random. The pattern is fixed
+  across runs, guaranteeing a fair comparison on homogeneous systems.
+
+Partitioners are *per-map-task* objects (create one per task, or call
+:meth:`Partitioner.reset` between tasks) because MR-AVG's round-robin
+and the PRNG-based patterns carry per-task state.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from repro.datatypes.writable import Writable
+
+
+class Partitioner(abc.ABC):
+    """Assigns each intermediate pair to a reduce partition."""
+
+    def __init__(self, num_reduces: int):
+        if num_reduces < 1:
+            raise ValueError(f"num_reduces must be >= 1, got {num_reduces}")
+        self.num_reduces = num_reduces
+
+    @abc.abstractmethod
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        """Partition index in ``[0, num_reduces)`` for this pair."""
+
+    def reset(self) -> None:
+        """Restore per-task state (call between map tasks)."""
+
+    def expected_distribution(self) -> List[float]:
+        """Long-run fraction of pairs per reducer (sums to 1).
+
+        Used by the simulator to build shuffle matrices without looping
+        over billions of records; cross-validated against real runs of
+        :meth:`get_partition` in the test suite.
+        """
+        n = self.num_reduces
+        return [1.0 / n] * n
+
+
+class AveragePartitioner(Partitioner):
+    """MR-AVG: round-robin, perfectly even (max-min spread <= 1 pair)."""
+
+    def __init__(self, num_reduces: int):
+        super().__init__(num_reduces)
+        self._next = 0
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        partition = self._next
+        self._next = (self._next + 1) % self.num_reduces
+        return partition
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class RandomPartitioner(Partitioner):
+    """MR-RAND: uniform pseudo-random reducer per pair, seeded."""
+
+    def __init__(self, num_reduces: int, seed: int = 20140901):
+        super().__init__(num_reduces)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        return self._rng.randrange(self.num_reduces)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class SkewedPartitioner(Partitioner):
+    """MR-SKEW: geometric head (50 %, 12.5 %, ~4.7 %) + uniform tail.
+
+    Thresholds over a uniform draw ``u``:
+
+    * ``u < 0.5``                    -> reducer 0 (50 % of all pairs)
+    * ``0.5 <= u < 0.625``           -> reducer 1 (25 % of the remainder)
+    * ``0.625 <= u < 0.671875``      -> reducer 2 (12.5 % of the remaining)
+    * otherwise                      -> uniform over all reducers
+
+    With fewer than 3 reducers the head truncates accordingly.
+    """
+
+    #: Cumulative thresholds for reducers 0..2.
+    _HEAD = (0.5, 0.625, 0.671875)
+
+    def __init__(self, num_reduces: int, seed: int = 20140901):
+        super().__init__(num_reduces)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        u = self._rng.random()
+        head = min(len(self._HEAD), self.num_reduces - 1)
+        for reducer in range(head):
+            if u < self._HEAD[reducer]:
+                return reducer
+        return self._rng.randrange(self.num_reduces)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def expected_distribution(self) -> List[float]:
+        n = self.num_reduces
+        head = min(len(self._HEAD), n - 1)
+        probs = [0.0] * n
+        prev = 0.0
+        for reducer in range(head):
+            probs[reducer] = self._HEAD[reducer] - prev
+            prev = self._HEAD[reducer]
+        tail = 1.0 - prev
+        for reducer in range(n):
+            probs[reducer] += tail / n
+        return probs
+
+
+class ZipfPartitioner(Partitioner):
+    """Extension pattern: Zipf-distributed reducer loads.
+
+    The paper's future work calls for features that let "users gain a
+    more concrete understanding of real-world workloads"; real skew
+    (word counts, social graphs, URL hits) is Zipfian rather than the
+    fixed geometric head of MR-SKEW. Reducer ``r`` receives pairs with
+    probability proportional to ``1 / (r + 1) ** exponent``.
+    """
+
+    def __init__(self, num_reduces: int, seed: int = 20140901,
+                 exponent: float = 1.0):
+        super().__init__(num_reduces)
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.seed = seed
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        weights = [1.0 / (r + 1) ** exponent for r in range(num_reduces)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float shortfall
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        u = self._rng.random()
+        # Binary search the CDF.
+        lo, hi = 0, self.num_reduces - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if u <= self._cdf[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def expected_distribution(self) -> List[float]:
+        weights = [1.0 / (r + 1) ** self.exponent
+                   for r in range(self.num_reduces)]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+
+class SplitSkewedPartitioner(SkewedPartitioner):
+    """Extension: MR-SKEW with key-splitting mitigation.
+
+    The paper asks whether "it is worthwhile to find alternative
+    techniques that can mitigate load imbalances". This partitioner
+    applies the classic mitigation — split the hot key's partition
+    across ``split`` reducers (valid whenever the reduce function is
+    associative, as the benchmark's discard-reduce trivially is) —
+    to the exact MR-SKEW draw, so the two are directly comparable.
+    """
+
+    def __init__(self, num_reduces: int, seed: int = 20140901,
+                 split: int = 4):
+        super().__init__(num_reduces, seed=seed)
+        if split < 1:
+            raise ValueError(f"split must be >= 1, got {split}")
+        self.split = min(split, num_reduces)
+        self._spread = 0
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        partition = super().get_partition(key, value)
+        if partition == 0:
+            # Fan the hot partition round-robin over the `split`
+            # least-loaded (tail) reducers.
+            partition = self.num_reduces - self.split + self._spread
+            self._spread = (self._spread + 1) % self.split
+        return partition
+
+    def reset(self) -> None:
+        super().reset()
+        self._spread = 0
+
+    def expected_distribution(self) -> List[float]:
+        base = super().expected_distribution()
+        probs = list(base)
+        hot = probs[0]
+        probs[0] = 0.0
+        for r in range(self.num_reduces - self.split, self.num_reduces):
+            probs[r] += hot / self.split
+        return probs
+
+
+class HashPartitioner(Partitioner):
+    """Hadoop's default partitioner; the suite's sanity baseline.
+
+    With the generator's unique-keys-per-reducer trick, hashing gives a
+    near-even distribution but no guarantees; the paper's MR-AVG exists
+    precisely to make evenness exact.
+    """
+
+    def get_partition(self, key: Writable, value: Writable) -> int:
+        return hash(key) % self.num_reduces
+
+
+#: Partitioner classes keyed by benchmark pattern name ("zipf" is this
+#: reproduction's real-world-skew extension).
+PARTITIONER_BY_PATTERN = {
+    "avg": AveragePartitioner,
+    "rand": RandomPartitioner,
+    "skew": SkewedPartitioner,
+    "zipf": ZipfPartitioner,
+    "skew-split": SplitSkewedPartitioner,
+}
+
+
+def make_partitioner(pattern: str, num_reduces: int, seed: int = 20140901) -> Partitioner:
+    """Instantiate the partitioner for a distribution pattern."""
+    try:
+        cls = PARTITIONER_BY_PATTERN[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; known: {sorted(PARTITIONER_BY_PATTERN)}"
+        ) from None
+    if cls is AveragePartitioner:
+        return cls(num_reduces)
+    return cls(num_reduces, seed=seed)
+
+
+def distribution_stats(counts: Sequence[int]) -> dict:
+    """Imbalance statistics of a per-reducer record count vector."""
+    total = sum(counts)
+    if total == 0:
+        return {"total": 0, "max": 0, "min": 0, "imbalance": 0.0, "top_share": 0.0}
+    mean = total / len(counts)
+    return {
+        "total": total,
+        "max": max(counts),
+        "min": min(counts),
+        "imbalance": max(counts) / mean,
+        "top_share": max(counts) / total,
+    }

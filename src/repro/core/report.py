@@ -1,0 +1,105 @@
+"""Paper-style benchmark reports.
+
+The suite "display[s] the configuration parameters and resource
+utilization statistics for each test, along with the final job
+execution time, as the micro-benchmark output" (Sect. 1).
+:func:`render_report` reproduces that output format from a
+:class:`~repro.hadoop.result.SimJobResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.hadoop.counters import format_counters, job_counters
+from repro.hadoop.result import SimJobResult
+
+
+def _config_section(result: SimJobResult) -> str:
+    desc = result.config.describe()
+    rows = [
+        ("Benchmark", f"MR-{desc['pattern'].upper()}"),
+        ("Framework", result.jobconf.version),
+        ("Cluster", f"{result.cluster.name} ({result.cluster.num_slaves} slaves)"),
+        ("Network", result.interconnect_name),
+        ("Transport", result.transport_name),
+        ("Data type", desc["data_type"]),
+        ("Key size (B)", desc["key_size"]),
+        ("Value size (B)", desc["value_size"]),
+        ("Key/value pairs", f"{desc['num_pairs']:,}"),
+        ("Record size (B)", desc["record_size"]),
+        ("Shuffle data", f"{desc['shuffle_bytes'] / 1e9:.2f} GB"),
+        ("Map tasks", desc["num_maps"]),
+        ("Reduce tasks", desc["num_reduces"]),
+        ("Seed", desc["seed"]),
+    ]
+    width = max(len(str(k)) for k, _v in rows)
+    return "\n".join(f"  {str(k).ljust(width)} : {v}" for k, v in rows)
+
+
+def _phase_section(result: SimJobResult) -> str:
+    b = result.breakdown()
+    rows = [
+        ("Map phase end", f"{b['map_phase']:.2f} s"),
+        ("Slowest shuffle+merge", f"{b['slowest_shuffle']:.2f} s"),
+        ("Slowest reduce fn", f"{b['slowest_reduce_fn']:.2f} s"),
+        ("Reduce phase", f"{result.reduce_phase_time:.2f} s"),
+    ]
+    width = max(len(k) for k, _v in rows)
+    return "\n".join(f"  {k.ljust(width)} : {v}" for k, v in rows)
+
+
+def _task_table(result: SimJobResult) -> str:
+    headers = ["reduce", "node", "shuffle (s)", "reduce (s)",
+               "fetched (MB)", "spilled (MB)"]
+    rows: List[List[object]] = []
+    for s in result.reduce_stats:
+        rows.append([
+            s.reduce_id, s.node, round(s.shuffle_duration, 2),
+            round(s.reduce_duration, 2),
+            round(s.bytes_fetched / 1e6, 1),
+            round(s.bytes_spilled / 1e6, 1),
+        ])
+    return format_table(headers, rows)
+
+
+def _utilization_section(result: SimJobResult) -> str:
+    monitor = result.monitor
+    if monitor is None:
+        return "  (run with monitor_interval to collect CPU/network traces)"
+    lines = []
+    for metric, unit in (("cpu_pct", "%"), ("net_rx_mb_s", "MB/s"),
+                         ("net_tx_mb_s", "MB/s"), ("disk_mb_s", "MB/s")):
+        if metric in monitor.samples:
+            lines.append(
+                f"  {metric:<12} peak {monitor.peak(metric):8.1f} {unit:<4} "
+                f"mean {monitor.mean(metric):8.1f} {unit}"
+            )
+    return "\n".join(lines)
+
+
+def render_report(result: SimJobResult) -> str:
+    """The suite's per-test output: parameters, utilization, job time."""
+    sections = [
+        "=" * 64,
+        "Stand-alone Hadoop MapReduce Micro-benchmark",
+        "=" * 64,
+        "Configuration:",
+        _config_section(result),
+        "",
+        "Phase breakdown:",
+        _phase_section(result),
+        "",
+        "Reduce tasks:",
+        _task_table(result),
+        "",
+        "Resource utilization (slave0):",
+        _utilization_section(result),
+        "",
+        format_counters(job_counters(result)),
+        "",
+        f"JOB EXECUTION TIME: {result.execution_time:.2f} seconds",
+        "=" * 64,
+    ]
+    return "\n".join(sections)

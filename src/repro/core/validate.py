@@ -1,0 +1,115 @@
+"""Programmatic shape validation against the paper's headline claims.
+
+The benchmark harness (``benchmarks/``) regenerates every figure and
+asserts its shape; this module packages the *headline* checks — the
+§7 summary numbers — as a callable API, so CI (or a user who just
+recalibrated the cost model) can verify in one call that the
+reproduction still reproduces.
+
+Each check compares a measured quantity against the paper's band and
+reports pass/fail with the numbers; :func:`validate_headline_shapes`
+bundles them into a :class:`ValidationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.analysis.stats import improvement_pct
+from repro.core.suite import MicroBenchmarkSuite
+from repro.hadoop.cluster import cluster_a, cluster_b
+
+#: Default workload for the Cluster A checks (the Fig. 2 setup).
+_CLUSTER_A = dict(num_maps=16, num_reduces=8, key_size=512, value_size=512)
+
+
+@dataclass
+class ShapeCheck:
+    """One claim: a measured value expected inside [low, high]."""
+
+    name: str
+    paper_claim: str
+    low: float
+    high: float
+    measured: Optional[float] = None
+
+    @property
+    def passed(self) -> bool:
+        if self.measured is None:
+            return False
+        return self.low <= self.measured <= self.high
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        measured = "n/a" if self.measured is None else f"{self.measured:.1f}"
+        return (
+            f"[{status}] {self.name}: measured {measured} "
+            f"(band {self.low:g}..{self.high:g}; paper {self.paper_claim})"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of a validation run."""
+
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[ShapeCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def __str__(self) -> str:
+        lines = [str(c) for c in self.checks]
+        verdict = "ALL SHAPES HOLD" if self.passed else (
+            f"{len(self.failures)} SHAPE(S) BROKEN"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def validate_headline_shapes(shuffle_gb: float = 16.0) -> ValidationReport:
+    """Run the §7 headline checks on the standard setups.
+
+    Takes a few seconds of wall clock (five simulated jobs on Cluster A
+    plus two on Cluster B).
+    """
+    report = ValidationReport()
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4))
+
+    times = {
+        net: suite.run("MR-AVG", shuffle_gb=shuffle_gb, network=net,
+                       **_CLUSTER_A).execution_time
+        for net in ("1GigE", "10GigE", "ipoib-qdr")
+    }
+    d10 = improvement_pct(times["1GigE"], times["10GigE"])
+    dib = improvement_pct(times["1GigE"], times["ipoib-qdr"])
+    dib10 = improvement_pct(times["10GigE"], times["ipoib-qdr"])
+    report.checks.append(ShapeCheck(
+        "MR-AVG 1GigE->10GigE improvement %", "~17%", 10.0, 25.0, d10))
+    report.checks.append(ShapeCheck(
+        "MR-AVG 1GigE->IPoIB QDR improvement %", "up to ~24%", 17.0, 32.0,
+        dib))
+    report.checks.append(ShapeCheck(
+        "MR-AVG 10GigE->IPoIB QDR improvement %", "~8-12%", 3.0, 15.0,
+        dib10))
+
+    skew = suite.run("MR-SKEW", shuffle_gb=shuffle_gb, network="1GigE",
+                     **_CLUSTER_A).execution_time
+    report.checks.append(ShapeCheck(
+        "MR-SKEW/MR-AVG job time ratio", "~2x", 1.6, 2.8,
+        skew / times["1GigE"]))
+
+    bsuite = MicroBenchmarkSuite(cluster=cluster_b(8))
+    t_ib = bsuite.run("MR-AVG", shuffle_gb=32, network="ipoib-fdr",
+                      num_maps=32, num_reduces=16).execution_time
+    t_rd = bsuite.run("MR-AVG", shuffle_gb=32, network="rdma",
+                      num_maps=32, num_reduces=16).execution_time
+    report.checks.append(ShapeCheck(
+        "MRoIB gain over IPoIB FDR (8 slaves) %", "~28-30%", 18.0, 38.0,
+        improvement_pct(t_ib, t_rd)))
+    return report

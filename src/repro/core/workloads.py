@@ -1,0 +1,127 @@
+"""Real-world workload profiles (extension).
+
+The paper closes by planning features "so that users can gain a more
+concrete understanding of real-world workloads". This module maps
+well-known MapReduce applications onto micro-benchmark configurations:
+each profile pins the key/value sizes, data type, and intermediate
+distribution pattern that the application's shuffle actually exhibits,
+so a cluster can be evaluated against "a wordcount-shaped shuffle"
+without running the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.config import BenchmarkConfig
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The shuffle signature of one application class."""
+
+    name: str
+    description: str
+    key_size: int
+    value_size: int
+    pattern: str
+    data_type: str = "BytesWritable"
+    key_type: str = None  # type: ignore[assignment]
+    value_type: str = None  # type: ignore[assignment]
+
+    def configure(
+        self,
+        shuffle_gb: float,
+        num_maps: int,
+        num_reduces: int,
+        network: str = "1GigE",
+        seed: int = 20140901,
+    ) -> BenchmarkConfig:
+        """A benchmark config with this workload's shuffle signature."""
+        return BenchmarkConfig.from_shuffle_size(
+            shuffle_gb * 1e9,
+            pattern=self.pattern,
+            key_size=self.key_size,
+            value_size=self.value_size,
+            data_type=self.data_type,
+            key_type=self.key_type,
+            value_type=self.value_type,
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            network=network,
+            seed=seed,
+        )
+
+
+#: Word count: tiny textual keys, one-byte counts, Zipfian word
+#: frequencies — the canonical skewed shuffle.
+WORDCOUNT = WorkloadProfile(
+    name="wordcount",
+    description="word -> count: tiny Text pairs, Zipf-skewed keys",
+    key_size=9,
+    value_size=1,
+    pattern="zipf",
+    data_type="Text",
+)
+
+#: TeraSort: fixed 10-byte keys + 90-byte rows, uniformly distributed
+#: by the sampled range partitioner.
+TERASORT = WorkloadProfile(
+    name="terasort",
+    description="10B key + 90B row, uniform range partitions",
+    key_size=10,
+    value_size=90,
+    pattern="avg",
+    data_type="BytesWritable",
+)
+
+#: Inverted index: term -> posting-list fragments; textual terms,
+#: medium binary postings, Zipfian term frequencies.
+INVERTED_INDEX = WorkloadProfile(
+    name="inverted-index",
+    description="term -> postings: Text keys, binary values, Zipf terms",
+    key_size=12,
+    value_size=240,
+    pattern="zipf",
+    data_type="BytesWritable",
+    key_type="Text",
+    value_type="BytesWritable",
+)
+
+#: Log/session aggregation: hashed session ids spread evenly; fat
+#: serialized session blobs.
+SESSION_AGGREGATION = WorkloadProfile(
+    name="session-aggregation",
+    description="session id -> event blob: even hash spread, 1KB values",
+    key_size=16,
+    value_size=1000,
+    pattern="rand",
+    data_type="BytesWritable",
+)
+
+#: Join build side: medium keys and rows, pseudo-random key spread.
+HASH_JOIN = WorkloadProfile(
+    name="hash-join",
+    description="join key -> row: 8B keys, 200B rows, hash spread",
+    key_size=8,
+    value_size=200,
+    pattern="rand",
+    data_type="BytesWritable",
+)
+
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (WORDCOUNT, TERASORT, INVERTED_INDEX,
+                    SESSION_AGGREGATION, HASH_JOIN)
+}
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name (case-insensitive)."""
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None

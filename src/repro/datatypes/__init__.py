@@ -1,0 +1,72 @@
+"""Hadoop ``Writable`` data-type substrate.
+
+The paper varies the *data type* of intermediate key/value pairs
+(``BytesWritable`` vs ``Text``) because the serialized on-wire size per
+record — and therefore shuffle volume and per-record CPU — depends on
+it. This subpackage is a faithful Python port of the relevant corner of
+``org.apache.hadoop.io``:
+
+* :mod:`repro.datatypes.varint` — ``WritableUtils.writeVInt`` codec.
+* :mod:`repro.datatypes.writable` — ``Writable`` ABC plus
+  ``NullWritable``, ``IntWritable``, ``LongWritable``.
+* :mod:`repro.datatypes.bytes_writable` — ``BytesWritable``.
+* :mod:`repro.datatypes.text` — ``Text`` (UTF-8, vint-length-prefixed).
+* :mod:`repro.datatypes.serialization` — IFile-style key/value record
+  framing and exact size accounting.
+* :mod:`repro.datatypes.comparator` — raw-byte and deserializing
+  comparators (sort order during spills and merges).
+"""
+
+from repro.datatypes.varint import (
+    vint_size,
+    read_vint,
+    read_vlong,
+    write_vint,
+    write_vlong,
+)
+from repro.datatypes.writable import (
+    IntWritable,
+    LongWritable,
+    NullWritable,
+    Writable,
+    register_writable,
+    writable_class,
+)
+from repro.datatypes.bytes_writable import BytesWritable
+from repro.datatypes.text import Text
+from repro.datatypes.serialization import (
+    IFileReader,
+    IFileWriter,
+    record_wire_size,
+    serialized_size,
+)
+from repro.datatypes.comparator import (
+    RawBytesComparator,
+    WritableComparator,
+    compare_bytes,
+    writable_sort_key,
+)
+
+__all__ = [
+    "BytesWritable",
+    "IFileReader",
+    "IFileWriter",
+    "IntWritable",
+    "LongWritable",
+    "NullWritable",
+    "RawBytesComparator",
+    "Text",
+    "Writable",
+    "WritableComparator",
+    "compare_bytes",
+    "read_vint",
+    "read_vlong",
+    "record_wire_size",
+    "register_writable",
+    "serialized_size",
+    "vint_size",
+    "writable_class",
+    "writable_sort_key",
+    "write_vint",
+    "write_vlong",
+]

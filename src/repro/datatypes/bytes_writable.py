@@ -1,0 +1,74 @@
+"""``BytesWritable``: a length-prefixed byte array.
+
+Wire format: 4-byte big-endian length followed by the raw payload —
+so an N-byte payload costs exactly N + 4 bytes on the wire. This is the
+paper's default data type, chosen because binary blobs have the least
+per-byte framing overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.datatypes.writable import Writable, register_writable
+
+_LEN = struct.Struct(">i")
+
+
+@register_writable
+class BytesWritable(Writable):
+    """Binary payload with a fixed 4-byte length header."""
+
+    __slots__ = ("payload",)
+
+    #: Framing bytes added on top of the payload.
+    HEADER_SIZE = 4
+
+    def __init__(self, payload: bytes = b""):
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError(f"BytesWritable needs bytes, got {type(payload)!r}")
+        self.payload = bytes(payload)
+
+    def write(self, buf: bytearray) -> int:
+        buf.extend(_LEN.pack(len(self.payload)))
+        buf.extend(self.payload)
+        return self.HEADER_SIZE + len(self.payload)
+
+    @classmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["BytesWritable", int]:
+        (length,) = _LEN.unpack_from(data, offset)
+        if length < 0:
+            raise ValueError(f"negative BytesWritable length: {length}")
+        start = offset + cls.HEADER_SIZE
+        end = start + length
+        if end > len(data):
+            raise EOFError("truncated BytesWritable")
+        return cls(data[start:end]), cls.HEADER_SIZE + length
+
+    def serialized_size(self) -> int:
+        return self.HEADER_SIZE + len(self.payload)
+
+    @classmethod
+    def wire_size(cls, payload_size: int) -> int:
+        """Serialized size for a payload of ``payload_size`` bytes."""
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size}")
+        return cls.HEADER_SIZE + payload_size
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        preview = self.payload[:8]
+        suffix = "..." if len(self.payload) > 8 else ""
+        return f"BytesWritable({preview!r}{suffix}, len={len(self.payload)})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BytesWritable) and self.payload == other.payload
+
+    def __lt__(self, other: "BytesWritable") -> bool:
+        return self.payload < other.payload
+
+    def __hash__(self) -> int:
+        return hash((BytesWritable, self.payload))

@@ -1,0 +1,139 @@
+"""IFile-style key/value record framing and exact size accounting.
+
+Hadoop stores sorted map-output runs in the IFile format: every record
+is ``<vint key-length><vint value-length><key bytes><value bytes>``,
+and the stream ends with the EOF marker ``(-1, -1)``. The shuffle moves
+IFile segments, so *this* framing — not the bare payload size — is what
+determines shuffle volume. The simulator uses :func:`record_wire_size`
+for byte-exact accounting; the functional engine uses the reader/writer
+for real data movement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Type
+
+from repro.datatypes.bytes_writable import BytesWritable
+from repro.datatypes.text import Text
+from repro.datatypes.varint import read_vint, vint_size, write_vint
+from repro.datatypes.writable import Writable
+
+#: IFile end-of-stream marker value.
+_EOF = -1
+
+
+def serialized_size(writable: Writable) -> int:
+    """Exact serialized size of one Writable (no record framing)."""
+    return writable.serialized_size()
+
+
+def _payload_wire_size(datatype: Type[Writable], payload: int) -> int:
+    if datatype is BytesWritable:
+        return BytesWritable.wire_size(payload)
+    if datatype is Text:
+        return Text.wire_size(payload)
+    raise TypeError(
+        f"wire-size accounting supports BytesWritable and Text, got {datatype!r}"
+    )
+
+
+def record_wire_size(
+    datatype: Type[Writable],
+    key_payload: int,
+    value_payload: int,
+    value_datatype: Type[Writable] = None,
+) -> int:
+    """Exact IFile record size for a key/value pair.
+
+    ``key_payload`` / ``value_payload`` are the user-visible payload
+    sizes (the paper's "key size" / "value size" parameters). The
+    returned size includes each type's own framing (Text vint prefix or
+    BytesWritable length header) plus the IFile record header. The key
+    uses ``datatype``; the value uses ``value_datatype`` when given
+    (mixed-type jobs), else the key's type.
+    """
+    value_datatype = value_datatype if value_datatype is not None else datatype
+    key_size = _payload_wire_size(datatype, key_payload)
+    value_size = _payload_wire_size(value_datatype, value_payload)
+    return vint_size(key_size) + vint_size(value_size) + key_size + value_size
+
+
+class IFileWriter:
+    """Appends framed key/value records to an in-memory buffer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._closed = False
+        self.records_written = 0
+
+    def append(self, key: Writable, value: Writable) -> int:
+        """Write one record; returns bytes appended."""
+        if self._closed:
+            raise ValueError("append() on a closed IFileWriter")
+        key_bytes = key.to_bytes()
+        value_bytes = value.to_bytes()
+        n = write_vint(self._buf, len(key_bytes))
+        n += write_vint(self._buf, len(value_bytes))
+        self._buf.extend(key_bytes)
+        self._buf.extend(value_bytes)
+        self.records_written += 1
+        return n + len(key_bytes) + len(value_bytes)
+
+    def close(self) -> bytes:
+        """Write the EOF marker and return the completed segment."""
+        if not self._closed:
+            write_vint(self._buf, _EOF)
+            write_vint(self._buf, _EOF)
+            self._closed = True
+        return bytes(self._buf)
+
+    @property
+    def size(self) -> int:
+        """Bytes buffered so far (without the EOF marker until close)."""
+        return len(self._buf)
+
+
+class IFileReader:
+    """Iterates framed key/value records from a segment."""
+
+    def __init__(
+        self,
+        data: bytes,
+        key_class: Type[Writable],
+        value_class: Type[Writable],
+    ):
+        self._data = data
+        self._offset = 0
+        self._key_class = key_class
+        self._value_class = value_class
+        self.records_read = 0
+
+    def __iter__(self) -> Iterator[Tuple[Writable, Writable]]:
+        return self
+
+    def __next__(self) -> Tuple[Writable, Writable]:
+        key_len, consumed = read_vint(self._data, self._offset)
+        if key_len == _EOF:
+            value_len, consumed2 = read_vint(self._data, self._offset + consumed)
+            if value_len != _EOF:
+                raise ValueError("corrupt IFile EOF marker")
+            self._offset += consumed + consumed2
+            raise StopIteration
+        self._offset += consumed
+        value_len, consumed = read_vint(self._data, self._offset)
+        self._offset += consumed
+        key, key_used = self._key_class.read(self._data, self._offset)
+        if key_used != key_len:
+            raise ValueError(
+                f"key length mismatch: header says {key_len}, codec read {key_used}"
+            )
+        self._offset += key_len
+        value, value_used = self._value_class.read(self._data, self._offset)
+        if value_used != value_len:
+            raise ValueError(
+                f"value length mismatch: header says {value_len}, "
+                f"codec read {value_used}"
+            )
+        self._offset += value_len
+        self.records_read += 1
+        return key, value

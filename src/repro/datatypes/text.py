@@ -1,0 +1,84 @@
+"""``Text``: UTF-8 string with a vint length prefix.
+
+Wire format: Hadoop vint of the UTF-8 byte length, then the bytes. For
+the payload sizes the paper sweeps (100 B – 10 KB), the prefix is 1–2
+bytes — cheaper framing than ``BytesWritable``'s fixed 4, but textual
+payloads themselves are typically larger than equivalent binary ones,
+which is the effect Sect. 5.2's data-type experiment probes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.datatypes.varint import read_vint, vint_size, write_vint
+from repro.datatypes.writable import Writable, register_writable
+
+
+@register_writable
+class Text(Writable):
+    """UTF-8 encoded string with variable-length framing."""
+
+    __slots__ = ("_encoded",)
+
+    def __init__(self, value: Union[str, bytes] = ""):
+        if isinstance(value, str):
+            self._encoded = value.encode("utf-8")
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            encoded = bytes(value)
+            encoded.decode("utf-8")  # validate; raises UnicodeDecodeError
+            self._encoded = encoded
+        else:
+            raise TypeError(f"Text needs str or bytes, got {type(value)!r}")
+
+    @property
+    def encoded(self) -> bytes:
+        """The UTF-8 payload (without the length prefix)."""
+        return self._encoded
+
+    def __str__(self) -> str:
+        return self._encoded.decode("utf-8")
+
+    def write(self, buf: bytearray) -> int:
+        n = write_vint(buf, len(self._encoded))
+        buf.extend(self._encoded)
+        return n + len(self._encoded)
+
+    @classmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["Text", int]:
+        length, consumed = read_vint(data, offset)
+        if length < 0:
+            raise ValueError(f"negative Text length: {length}")
+        start = offset + consumed
+        end = start + length
+        if end > len(data):
+            raise EOFError("truncated Text")
+        return cls(data[start:end]), consumed + length
+
+    def serialized_size(self) -> int:
+        return vint_size(len(self._encoded)) + len(self._encoded)
+
+    @classmethod
+    def wire_size(cls, payload_size: int) -> int:
+        """Serialized size for a ``payload_size``-byte UTF-8 payload."""
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size}")
+        return vint_size(payload_size) + payload_size
+
+    def __len__(self) -> int:
+        return len(self._encoded)
+
+    def __repr__(self) -> str:
+        preview = self._encoded[:16].decode("utf-8", errors="replace")
+        suffix = "..." if len(self._encoded) > 16 else ""
+        return f"Text({preview!r}{suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and self._encoded == other._encoded
+
+    def __lt__(self, other: "Text") -> bool:
+        # Hadoop Text sorts by raw UTF-8 bytes.
+        return self._encoded < other._encoded
+
+    def __hash__(self) -> int:
+        return hash((Text, self._encoded))

@@ -1,0 +1,88 @@
+"""Hadoop's variable-length integer codec (``WritableUtils``).
+
+Values in [-112, 127] occupy one byte. Larger magnitudes are written as
+a one-byte tag encoding sign and byte count, followed by the magnitude
+big-endian. This is the framing ``Text`` uses for its length prefix, so
+exact size accounting here feeds directly into the shuffle-volume math.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def write_vlong(buf: bytearray, value: int) -> int:
+    """Append ``value`` in Hadoop vlong encoding; return bytes written."""
+    if -112 <= value <= 127:
+        buf.append(value & 0xFF)
+        return 1
+    tag = -112
+    magnitude = value
+    if value < 0:
+        magnitude = ~value  # i ^= -1 in the Java source
+        tag = -120
+    tmp = magnitude
+    nbytes = 0
+    while tmp != 0:
+        tmp >>= 8
+        nbytes += 1
+    tag -= nbytes
+    buf.append(tag & 0xFF)
+    for idx in range(nbytes, 0, -1):
+        shift = (idx - 1) * 8
+        buf.append((magnitude >> shift) & 0xFF)
+    return 1 + nbytes
+
+
+def write_vint(buf: bytearray, value: int) -> int:
+    """Append ``value`` in Hadoop vint encoding (same wire format)."""
+    if not -(2**31) <= value < 2**31:
+        raise OverflowError(f"vint out of 32-bit range: {value}")
+    return write_vlong(buf, value)
+
+
+def _decode_tag(tag: int) -> Tuple[bool, int]:
+    """Return (negative, trailing byte count) for a leading tag byte."""
+    if tag >= -112:
+        return False, 0
+    if tag < -120:
+        return True, -(tag + 120)
+    return False, -(tag + 112)
+
+
+def read_vlong(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a vlong at ``offset``; return (value, bytes consumed)."""
+    if offset >= len(data):
+        raise EOFError("vlong read past end of buffer")
+    tag = data[offset]
+    if tag > 127:
+        tag -= 256  # interpret as signed byte
+    negative, nbytes = _decode_tag(tag)
+    if nbytes == 0:
+        return tag, 1
+    if offset + 1 + nbytes > len(data):
+        raise EOFError("truncated vlong")
+    magnitude = 0
+    for i in range(nbytes):
+        magnitude = (magnitude << 8) | data[offset + 1 + i]
+    return (~magnitude if negative else magnitude), 1 + nbytes
+
+
+def read_vint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a vint at ``offset``; return (value, bytes consumed)."""
+    value, consumed = read_vlong(data, offset)
+    if not -(2**31) <= value < 2**31:
+        raise OverflowError(f"decoded vint out of 32-bit range: {value}")
+    return value, consumed
+
+
+def vint_size(value: int) -> int:
+    """Serialized size of ``value`` in bytes, without encoding it."""
+    if -112 <= value <= 127:
+        return 1
+    magnitude = ~value if value < 0 else value
+    nbytes = 0
+    while magnitude != 0:
+        magnitude >>= 8
+        nbytes += 1
+    return 1 + nbytes

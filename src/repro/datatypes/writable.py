@@ -1,0 +1,163 @@
+"""The ``Writable`` contract and the fixed-width scalar types.
+
+A ``Writable`` serializes itself to a byte buffer and can be
+reconstructed from one. The micro-benchmark suite selects the key/value
+type by name (``--data-type BytesWritable|Text``), so this module also
+keeps a small registry mapping type names to classes.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from typing import Dict, Tuple, Type
+
+
+class Writable(abc.ABC):
+    """Abstract Hadoop serializable value."""
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def write(self, buf: bytearray) -> int:
+        """Append the serialized form to ``buf``; return bytes written."""
+
+    @classmethod
+    @abc.abstractmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["Writable", int]:
+        """Deserialize from ``data`` at ``offset``; return (value, consumed)."""
+
+    @abc.abstractmethod
+    def serialized_size(self) -> int:
+        """Exact number of bytes :meth:`write` would produce."""
+
+    def to_bytes(self) -> bytes:
+        """Serialize into a fresh byte string."""
+        buf = bytearray()
+        self.write(buf)
+        return bytes(buf)
+
+
+_REGISTRY: Dict[str, Type[Writable]] = {}
+
+
+def register_writable(cls: Type[Writable]) -> Type[Writable]:
+    """Class decorator: make the type selectable by name."""
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def writable_class(name: str) -> Type[Writable]:
+    """Look up a registered Writable type by its class name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Writable type {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+@register_writable
+class NullWritable(Writable):
+    """Singleton placeholder that serializes to zero bytes."""
+
+    __slots__ = ()
+    _instance: "NullWritable" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "NullWritable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def write(self, buf: bytearray) -> int:
+        return 0
+
+    @classmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["NullWritable", int]:
+        return cls(), 0
+
+    def serialized_size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullWritable()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullWritable)
+
+    def __hash__(self) -> int:
+        return hash(NullWritable)
+
+
+@register_writable
+class IntWritable(Writable):
+    """32-bit big-endian signed integer."""
+
+    __slots__ = ("value",)
+    _STRUCT = struct.Struct(">i")
+
+    def __init__(self, value: int = 0):
+        if not -(2**31) <= value < 2**31:
+            raise OverflowError(f"IntWritable out of range: {value}")
+        self.value = int(value)
+
+    def write(self, buf: bytearray) -> int:
+        buf.extend(self._STRUCT.pack(self.value))
+        return 4
+
+    @classmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["IntWritable", int]:
+        (value,) = cls._STRUCT.unpack_from(data, offset)
+        return cls(value), 4
+
+    def serialized_size(self) -> int:
+        return 4
+
+    def __repr__(self) -> str:
+        return f"IntWritable({self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntWritable) and self.value == other.value
+
+    def __lt__(self, other: "IntWritable") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash((IntWritable, self.value))
+
+
+@register_writable
+class LongWritable(Writable):
+    """64-bit big-endian signed integer."""
+
+    __slots__ = ("value",)
+    _STRUCT = struct.Struct(">q")
+
+    def __init__(self, value: int = 0):
+        if not -(2**63) <= value < 2**63:
+            raise OverflowError(f"LongWritable out of range: {value}")
+        self.value = int(value)
+
+    def write(self, buf: bytearray) -> int:
+        buf.extend(self._STRUCT.pack(self.value))
+        return 8
+
+    @classmethod
+    def read(cls, data: bytes, offset: int = 0) -> Tuple["LongWritable", int]:
+        (value,) = cls._STRUCT.unpack_from(data, offset)
+        return cls(value), 8
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def __repr__(self) -> str:
+        return f"LongWritable({self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LongWritable) and self.value == other.value
+
+    def __lt__(self, other: "LongWritable") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash((LongWritable, self.value))

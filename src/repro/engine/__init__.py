@@ -1,0 +1,33 @@
+"""Functional (really-executing) local MapReduce engine.
+
+The performance of the paper's jobs is *simulated* (see
+:mod:`repro.hadoop`), but the semantics of the suite — what the
+partitioners do to real records, that no byte is lost between map and
+reduce, that reducers see sorted, grouped input — are validated by this
+substrate, which executes the whole map → partition → sort → shuffle →
+merge → reduce pipeline on real in-memory bytes.
+
+It also cross-validates the simulator: the per-(map, reduce) byte
+matrix observed here must equal :func:`repro.core.compute_shuffle_matrix`
+for the same configuration (asserted in the integration tests).
+"""
+
+from repro.engine.context import Counters, MapContext, ReduceContext
+from repro.engine.records import (
+    MapOutputBuffer,
+    group_by_key,
+    merge_sorted_segments,
+)
+from repro.engine.localrunner import JobResult, LocalJobRunner, benchmark_mapper
+
+__all__ = [
+    "Counters",
+    "JobResult",
+    "LocalJobRunner",
+    "MapContext",
+    "MapOutputBuffer",
+    "ReduceContext",
+    "benchmark_mapper",
+    "group_by_key",
+    "merge_sorted_segments",
+]

@@ -1,0 +1,98 @@
+"""Task contexts and counters for the functional engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.partitioners import Partitioner
+from repro.datatypes.writable import Writable
+from repro.engine.records import MapOutputBuffer
+
+
+class Counters:
+    """A Hadoop-style named counter group."""
+
+    #: Counter names matching the framework's familiar ones.
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+    REDUCE_SHUFFLE_BYTES = "REDUCE_SHUFFLE_BYTES"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    SPILLED_RECORDS = "SPILLED_RECORDS"
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another task's counters into this (job-level) one."""
+        for name, amount in other._values.items():
+            self.increment(name, amount)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+
+class MapContext:
+    """What a mapper sees: ``emit`` plus its task identity and counters.
+
+    ``emit`` partitions the pair with the configured partitioner and
+    collects it into the map-output buffer, updating counters exactly
+    as ``MapTask`` does.
+    """
+
+    def __init__(
+        self,
+        map_id: int,
+        partitioner: Partitioner,
+        buffer: MapOutputBuffer,
+        counters: Optional[Counters] = None,
+    ):
+        self.map_id = map_id
+        self.partitioner = partitioner
+        self.buffer = buffer
+        self.counters = counters if counters is not None else Counters()
+
+    def emit(self, key: Writable, value: Writable) -> int:
+        """Emit one intermediate pair; returns the chosen partition."""
+        partition = self.partitioner.get_partition(key, value)
+        self.buffer.collect(key, value, partition)
+        self.counters.increment(Counters.MAP_OUTPUT_RECORDS)
+        self.counters.increment(
+            Counters.MAP_OUTPUT_BYTES,
+            key.serialized_size() + value.serialized_size(),
+        )
+        return partition
+
+
+class ReduceContext:
+    """What a reducer sees: its partition id, output writer, counters."""
+
+    def __init__(self, reduce_id: int, writer, counters: Optional[Counters] = None):
+        self.reduce_id = reduce_id
+        self.writer = writer
+        self.counters = counters if counters is not None else Counters()
+
+    def write(self, key: Writable, value: Writable) -> None:
+        self.writer.write(key, value)
+        self.counters.increment(Counters.REDUCE_OUTPUT_RECORDS)
+
+    def consume(self, key: Writable, values: Iterable[Writable]) -> List[Writable]:
+        """Iterate a value group (counting), returning it as a list."""
+        out = []
+        for value in values:
+            self.counters.increment(Counters.REDUCE_INPUT_RECORDS)
+            out.append(value)
+        self.counters.increment(Counters.REDUCE_INPUT_GROUPS)
+        return out

@@ -1,0 +1,144 @@
+"""The local job runner: really executes a micro-benchmark job.
+
+Pipeline (all on real bytes, single process):
+
+1. ``NullInputFormat`` fabricates one dummy split per map task.
+2. Each map task runs the *benchmark mapper*: ignore the dummy record,
+   generate the configured key/value pairs, ``emit`` each through the
+   configured partitioner into a :class:`MapOutputBuffer`.
+3. The buffer yields sorted IFile segments per partition ("spills").
+4. Each reduce task merges its segments from all maps (k-way by raw key
+   bytes), groups by key, and feeds groups to the *discarding reducer*
+   backed by ``NullOutputFormat``.
+
+The runner records the per-(map, reduce) byte matrix it actually moved,
+which the integration tests compare against the analytic
+:func:`repro.core.compute_shuffle_matrix` used by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import BenchmarkConfig
+from repro.core.datagen import KeyValueGenerator
+from repro.core.formats import NullInputFormat, NullOutputFormat
+from repro.core.partitioners import make_partitioner
+from repro.engine.context import Counters, MapContext, ReduceContext
+from repro.engine.records import MapOutputBuffer, group_by_key, merge_sorted_segments
+
+#: A mapper: (config, map_id, context) -> None, emitting via the context.
+MapperFn = Callable[[BenchmarkConfig, int, MapContext], None]
+#: A reducer: (key, values, context) -> None.
+ReducerFn = Callable[[object, List[object], ReduceContext], None]
+
+
+def benchmark_mapper(config: BenchmarkConfig, map_id: int, ctx: MapContext) -> None:
+    """The suite's mapper: generate the configured pairs in memory."""
+    for key, value in KeyValueGenerator(config, map_id):
+        ctx.emit(key, value)
+
+
+def discarding_reducer(key, values, ctx: ReduceContext) -> None:
+    """The suite's reducer: iterate the group and discard (/dev/null)."""
+    ctx.consume(key, values)
+
+
+@dataclass
+class JobResult:
+    """Everything a finished functional job reports."""
+
+    config: BenchmarkConfig
+    counters: Counters
+    #: records moved, per (map, reduce) cell — the *observed* shuffle matrix.
+    shuffle_records: np.ndarray
+    #: serialized bytes moved, per (map, reduce) cell.
+    shuffle_bytes: np.ndarray
+    reduce_input_records: List[int] = field(default_factory=list)
+
+    @property
+    def total_shuffled_bytes(self) -> int:
+        return int(self.shuffle_bytes.sum())
+
+    def reducer_loads(self) -> List[int]:
+        return [int(self.shuffle_records[:, r].sum())
+                for r in range(self.config.num_reduces)]
+
+
+class LocalJobRunner:
+    """Executes one stand-alone MapReduce job in-process."""
+
+    def __init__(
+        self,
+        config: BenchmarkConfig,
+        mapper: MapperFn = benchmark_mapper,
+        reducer: ReducerFn = discarding_reducer,
+    ):
+        self.config = config
+        self.mapper = mapper
+        self.reducer = reducer
+
+    def run(self) -> JobResult:
+        config = self.config
+        job_counters = Counters()
+        num_maps, num_reduces = config.num_maps, config.num_reduces
+        shuffle_records = np.zeros((num_maps, num_reduces), dtype=np.int64)
+        shuffle_bytes = np.zeros((num_maps, num_reduces), dtype=np.int64)
+
+        # --- Map phase -------------------------------------------------
+        # segment_store[(map_id, reduce_id)] -> sorted IFile segment
+        segment_store: Dict[Tuple[int, int], bytes] = {}
+        for split in NullInputFormat.get_splits(num_maps):
+            reader = NullInputFormat.create_record_reader(split)
+            task_counters = Counters()
+            for _dummy_key, _dummy_value in reader:
+                task_counters.increment(Counters.MAP_INPUT_RECORDS)
+            partitioner = make_partitioner(
+                config.pattern, num_reduces, seed=config.seed + split.map_id
+            )
+            buffer = MapOutputBuffer(num_reduces)
+            ctx = MapContext(split.map_id, partitioner, buffer, task_counters)
+            self.mapper(config, split.map_id, ctx)
+            task_counters.increment(
+                Counters.SPILLED_RECORDS, buffer.records_collected
+            )
+            for reduce_id, segment in buffer.segments().items():
+                segment_store[(split.map_id, reduce_id)] = segment
+                count = buffer.records_per_partition()[reduce_id]
+                shuffle_records[split.map_id, reduce_id] = count
+                shuffle_bytes[split.map_id, reduce_id] = len(segment)
+            job_counters.merge(task_counters)
+
+        # --- Shuffle + Reduce phase --------------------------------------
+        key_writable = config.key_writable
+        value_writable = config.value_writable
+        reduce_inputs: List[int] = []
+        for reduce_id in range(num_reduces):
+            task_counters = Counters()
+            segments = [
+                segment_store[(m, reduce_id)]
+                for m in range(num_maps)
+                if (m, reduce_id) in segment_store
+            ]
+            task_counters.increment(
+                Counters.REDUCE_SHUFFLE_BYTES, sum(len(s) for s in segments)
+            )
+            writer = NullOutputFormat.create_record_writer()
+            ctx = ReduceContext(reduce_id, writer, task_counters)
+            merged = merge_sorted_segments(segments, key_writable, value_writable)
+            for key, values in group_by_key(merged):
+                self.reducer(key, values, ctx)
+            writer.close()
+            reduce_inputs.append(task_counters.value(Counters.REDUCE_INPUT_RECORDS))
+            job_counters.merge(task_counters)
+
+        return JobResult(
+            config=config,
+            counters=job_counters,
+            shuffle_records=shuffle_records,
+            shuffle_bytes=shuffle_bytes,
+            reduce_input_records=reduce_inputs,
+        )

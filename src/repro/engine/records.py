@@ -1,0 +1,124 @@
+"""In-memory map-output buffers and merge machinery.
+
+A :class:`MapOutputBuffer` plays the role of Hadoop's ``MapOutputBuffer``
+(the ``io.sort.mb`` circular buffer): it collects serialized records per
+partition and produces *sorted* IFile segments. Reducers merge segments
+from all maps with :func:`merge_sorted_segments` — a k-way merge over
+raw key bytes, exactly the comparator the real framework uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Tuple, Type
+
+from repro.datatypes.comparator import writable_sort_key
+from repro.datatypes.serialization import IFileReader, IFileWriter
+from repro.datatypes.varint import write_vint
+from repro.datatypes.writable import Writable
+
+
+class MapOutputBuffer:
+    """Collects one map task's output, partitioned and sorted.
+
+    Records are stored serialized (key bytes, value bytes) per
+    partition; :meth:`segments` sorts each partition by raw key bytes
+    and emits IFile segments, mirroring the sort-on-spill behaviour.
+    """
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+        self._partitions: List[List[Tuple[bytes, bytes]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        self.records_collected = 0
+        self.bytes_collected = 0
+
+    def collect(self, key: Writable, value: Writable, partition: int) -> None:
+        """Add one record to a partition."""
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(
+                f"partition {partition} out of range [0, {self.num_partitions})"
+            )
+        key_bytes = key.to_bytes()
+        value_bytes = value.to_bytes()
+        sort_key = writable_sort_key(key)
+        self._partitions[partition].append((sort_key, key_bytes, value_bytes))
+        self.records_collected += 1
+        self.bytes_collected += len(key_bytes) + len(value_bytes)
+
+    def records_per_partition(self) -> List[int]:
+        return [len(p) for p in self._partitions]
+
+    def segments(self) -> Dict[int, bytes]:
+        """Sorted IFile segment per non-empty partition."""
+        out: Dict[int, bytes] = {}
+        for partition, records in enumerate(self._partitions):
+            writer = IFileWriter()
+            for _sort_key, key_bytes, value_bytes in sorted(
+                records, key=lambda kv: kv[0]
+            ):
+                # Records are already serialized; re-frame them directly.
+                write_vint(writer._buf, len(key_bytes))
+                write_vint(writer._buf, len(value_bytes))
+                writer._buf.extend(key_bytes)
+                writer._buf.extend(value_bytes)
+                writer.records_written += 1
+            out[partition] = writer.close()
+        return out
+
+
+def _iter_segment(
+    segment: bytes, key_class: Type[Writable], value_class: Type[Writable]
+) -> Iterator[Tuple[bytes, Writable, Writable]]:
+    """Yield (comparator sort key, key, value) triples from a segment."""
+    for key, value in IFileReader(segment, key_class, value_class):
+        yield writable_sort_key(key), key, value
+
+
+def merge_sorted_segments(
+    segments: Iterable[bytes],
+    key_class: Type[Writable],
+    value_class: Type[Writable],
+) -> Iterator[Tuple[Writable, Writable]]:
+    """K-way merge of sorted IFile segments by raw key bytes.
+
+    Mirrors the reduce-side ``Merger``: the output is globally sorted,
+    so the grouping iterator can detect key boundaries with a single
+    comparison per record.
+    """
+    iterators = [_iter_segment(seg, key_class, value_class) for seg in segments]
+    # heapq needs a tiebreaker before the (unorderable) Writables.
+    merged = heapq.merge(
+        *(
+            ((raw, idx, key, value) for raw, key, value in it)
+            for idx, it in enumerate(iterators)
+        ),
+        key=lambda item: (item[0], item[1]),
+    )
+    for _raw, _idx, key, value in merged:
+        yield key, value
+
+
+def group_by_key(
+    sorted_records: Iterable[Tuple[Writable, Writable]],
+) -> Iterator[Tuple[Writable, List[Writable]]]:
+    """Group a sorted record stream into (key, [values...]) runs."""
+    current_key = None
+    current_raw = None
+    values: List[Writable] = []
+    for key, value in sorted_records:
+        raw = key.to_bytes()
+        if current_raw is None:
+            current_key, current_raw = key, raw
+            values = [value]
+        elif raw == current_raw:
+            values.append(value)
+        else:
+            yield current_key, values
+            current_key, current_raw = key, raw
+            values = [value]
+    if current_raw is not None:
+        yield current_key, values

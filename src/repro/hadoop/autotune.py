@@ -1,0 +1,108 @@
+"""Parameter auto-tuning: the suite's raison d'être, automated.
+
+The paper motivates the suite with "to get optimal performance, it is
+necessary to tune and optimize these factors, based on cluster and
+workload characteristics". With a simulator under the suite, the tuning
+loop itself becomes cheap: :func:`grid_search` sweeps JobConf knobs for
+a given workload/cluster/network and returns the best configuration
+with the full trial table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BenchmarkConfig
+from repro.hadoop.cluster import ClusterSpec, cluster_a
+from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf
+from repro.hadoop.simulation import run_simulated_job
+
+MB = 1e6
+
+#: The default tuning space: the three knobs the paper's §5 sweeps
+#: cross-cut (buffer sizing, fetch parallelism, phase overlap).
+DEFAULT_SPACE: Dict[str, Sequence[object]] = {
+    "io_sort_mb": (50 * MB, 100 * MB, 200 * MB),
+    "parallel_copies": (2, 5, 10),
+    "reduce_slowstart": (0.05, 0.5, 1.0),
+}
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    params: Dict[str, object]
+    execution_time: float
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                          for k, v in self.params.items())
+        return f"{self.execution_time:8.2f}s  {inner}"
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a grid search."""
+
+    trials: List[Trial] = field(default_factory=list)
+    base_jobconf: JobConf = DEFAULT_JOB_CONF
+
+    @property
+    def best(self) -> Trial:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        return min(self.trials, key=lambda t: t.execution_time)
+
+    @property
+    def worst(self) -> Trial:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        return max(self.trials, key=lambda t: t.execution_time)
+
+    @property
+    def spread_pct(self) -> float:
+        """How much tuning matters: (worst - best) / worst * 100."""
+        worst = self.worst.execution_time
+        return 100.0 * (worst - self.best.execution_time) / worst
+
+    def best_jobconf(self) -> JobConf:
+        """The winning JobConf (base conf + best parameters)."""
+        return replace(self.base_jobconf, **self.best.params)
+
+    def table(self, top: Optional[int] = None) -> str:
+        ordered = sorted(self.trials, key=lambda t: t.execution_time)
+        if top is not None:
+            ordered = ordered[:top]
+        return "\n".join(str(t) for t in ordered)
+
+
+def grid_search(
+    config: BenchmarkConfig,
+    space: Optional[Dict[str, Sequence[object]]] = None,
+    cluster: Optional[ClusterSpec] = None,
+    base_jobconf: Optional[JobConf] = None,
+) -> TuningResult:
+    """Exhaustively evaluate a JobConf parameter grid for one workload.
+
+    ``space`` maps JobConf field names to candidate values; every
+    combination is simulated (deterministically) and ranked by job
+    execution time.
+    """
+    space = space if space is not None else DEFAULT_SPACE
+    cluster = cluster if cluster is not None else cluster_a()
+    base = base_jobconf if base_jobconf is not None else DEFAULT_JOB_CONF
+    for name in space:
+        if not hasattr(base, name):
+            raise ValueError(f"unknown JobConf field {name!r}")
+    result = TuningResult(base_jobconf=base)
+    names = list(space)
+    for values in itertools.product(*(space[n] for n in names)):
+        params = dict(zip(names, values))
+        jobconf = replace(base, **params)
+        job = run_simulated_job(config, cluster=cluster, jobconf=jobconf)
+        result.trials.append(Trial(params=params,
+                                   execution_time=job.execution_time))
+    return result

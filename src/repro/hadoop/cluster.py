@@ -1,0 +1,144 @@
+"""Cluster hardware specifications.
+
+The paper's two testbeds (Sect. 5.1):
+
+* **Cluster A** — nine Intel Westmere nodes: dual quad-core Xeon at
+  2.67 GHz (8 cores), 24 GB RAM, two 1 TB HDDs, 1 GigE + NetEffect
+  NE020 10 GigE + Mellanox QDR IB. Experiments use 4 or 8 slave nodes.
+* **Cluster B** — TACC Stampede: dual octa-core Sandy Bridge E5-2680 at
+  2.7 GHz (16 cores), 32 GB RAM, a single 80 GB HDD, Mellanox FDR IB.
+  Experiments use 8 or 16 slave nodes.
+
+Only the capacity *ratios* matter for reproducing the paper's shapes;
+the specs below use vendor-typical numbers for the 2012-14 parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+GB = 1e9
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware of one slave node."""
+
+    cores: int
+    clock_ghz: float
+    ram_bytes: float
+    #: Number of local data disks and per-disk sequential bandwidth.
+    disks: int
+    disk_bandwidth: float
+    #: Fraction of RAM the OS page cache effectively lends to shuffle
+    #: I/O (dirty-page buffering + read cache of just-written files).
+    page_cache_fraction: float = 0.5
+    #: Service bandwidth for cache-absorbed I/O (memcpy speed).
+    cache_bandwidth: float = 2.5e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.disks < 1:
+            raise ValueError("cores and disks must be >= 1")
+        if self.clock_ghz <= 0 or self.ram_bytes <= 0 or self.disk_bandwidth <= 0:
+            raise ValueError("clock, RAM and disk bandwidth must be positive")
+        if not 0.0 <= self.page_cache_fraction <= 1.0:
+            raise ValueError("page_cache_fraction must be in [0, 1]")
+
+    @property
+    def aggregate_disk_bandwidth(self) -> float:
+        """Combined sequential bandwidth of the node's data disks."""
+        return self.disks * self.disk_bandwidth
+
+    @property
+    def page_cache_bytes(self) -> float:
+        """I/O bytes the page cache can absorb before hitting platters."""
+        return self.ram_bytes * self.page_cache_fraction
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of slave nodes (plus an implicit master).
+
+    Both paper testbeds hang off a single non-blocking switch
+    (``racks=1``). The multi-rack extension places slaves round-robin
+    into ``racks`` racks whose uplinks carry
+    ``nodes_per_rack * NIC / rack_oversubscription`` — the classic
+    datacenter oversubscription knob the paper's "expanding the
+    cluster" discussion alludes to.
+    """
+
+    name: str
+    node: NodeSpec
+    num_slaves: int
+    racks: int = 1
+    rack_oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_slaves < 1:
+            raise ValueError(f"num_slaves must be >= 1, got {self.num_slaves}")
+        if self.racks < 1:
+            raise ValueError(f"racks must be >= 1, got {self.racks}")
+        if self.rack_oversubscription < 1.0:
+            raise ValueError(
+                "rack_oversubscription must be >= 1 "
+                f"(1 = non-blocking), got {self.rack_oversubscription}"
+            )
+
+    def slave_names(self) -> List[str]:
+        return [f"slave{i}" for i in range(self.num_slaves)]
+
+    def rack_of(self, slave_index: int) -> int:
+        """Round-robin rack placement of a slave."""
+        return slave_index % self.racks
+
+    @property
+    def nodes_per_rack(self) -> int:
+        """Slaves in the fullest rack."""
+        return -(-self.num_slaves // self.racks)
+
+    def rack_uplink_bandwidth(self, nic_bandwidth: float) -> float:
+        """Uplink capacity per rack for a given per-NIC bandwidth."""
+        return self.nodes_per_rack * nic_bandwidth / self.rack_oversubscription
+
+    def with_slaves(self, num_slaves: int) -> "ClusterSpec":
+        """Same hardware, different slave count."""
+        return replace(self, num_slaves=num_slaves)
+
+    def with_racks(self, racks: int,
+                   oversubscription: float = 1.0) -> "ClusterSpec":
+        """Same hardware, multi-rack topology."""
+        return replace(self, racks=racks,
+                       rack_oversubscription=oversubscription)
+
+
+#: Cluster A node: Intel Westmere (Xeon dual quad-core @ 2.67 GHz).
+WESTMERE_NODE = NodeSpec(
+    cores=8,
+    clock_ghz=2.67,
+    ram_bytes=24 * GB,
+    disks=2,
+    disk_bandwidth=120 * MB,
+)
+
+#: Cluster B node: TACC Stampede (dual octa-core E5-2680 @ 2.7 GHz).
+STAMPEDE_NODE = NodeSpec(
+    cores=16,
+    clock_ghz=2.7,
+    ram_bytes=32 * GB,
+    disks=1,
+    disk_bandwidth=110 * MB,
+)
+
+
+def cluster_a(num_slaves: int = 4) -> ClusterSpec:
+    """The paper's Intel Westmere cluster (Sect. 5.1, Cluster A)."""
+    return ClusterSpec(name="ClusterA-Westmere", node=WESTMERE_NODE,
+                       num_slaves=num_slaves)
+
+
+def cluster_b(num_slaves: int = 8) -> ClusterSpec:
+    """The paper's TACC Stampede cluster (Sect. 5.1, Cluster B)."""
+    return ClusterSpec(name="ClusterB-Stampede", node=STAMPEDE_NODE,
+                       num_slaves=num_slaves)

@@ -1,0 +1,150 @@
+"""The framework cost model: where CPU time goes, per record and byte.
+
+Every constant here is a *calibration input* to the simulation — kept in
+one place, documented, and exercised by the ablation benchmarks. The
+values are derived from well-known Hadoop 1.x per-record overheads on
+~2.6 GHz Westmere cores (task JVM startup of a second-plus, a few
+microseconds of framework path per record through collect/spill/merge/
+reduce). Costs scale inversely with node clock speed relative to
+:attr:`base_clock_ghz`.
+
+Nothing in this file is fit to the paper's *outputs*; the shapes in
+Figs. 2-8 must emerge from the interaction of these inputs with the
+network, disk, and scheduling models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation CPU costs (seconds on a ``base_clock_ghz`` core)."""
+
+    #: Clock speed the constants are expressed for.
+    base_clock_ghz: float = 2.67
+
+    #: Task launch overhead: JVM spawn + localization + report (MRv1).
+    map_task_start: float = 2.5
+    reduce_task_start: float = 1.5
+    #: YARN adds container allocation/launch round trips.
+    yarn_container_start_extra: float = 0.8
+
+    #: Map side: generate one key/value pair, run the partitioner, and
+    #: collect it into the sort buffer (object churn + copies).
+    cpu_per_record_generate: float = 16.0e-6
+    #: Map side: per output byte (payload fill + serialize copy).
+    cpu_per_byte_generate: float = 8.0e-9
+
+    #: Sort: per record per comparison level (multiplied by log2 of the
+    #: spill's record count).
+    cpu_per_record_sort: float = 1.0e-6
+
+    #: Map-side merge of spill files: per record through the heap.
+    cpu_per_record_map_merge: float = 1.2e-6
+
+    #: Reduce side: incremental (in-memory) merge per record / per byte,
+    #: runs behind the fetchers to the extent the transport overlaps.
+    cpu_per_record_shuffle_merge: float = 1.2e-6
+    cpu_per_byte_shuffle_merge: float = 0.5e-9
+
+    #: Reduce side: the *final* merge of accumulated runs. It needs all
+    #: segments, so in stock Hadoop it serializes between the last fetch
+    #: and the reduce function; MRoIB's SEDA pipeline streams it.
+    cpu_per_record_final_merge: float = 4.5e-6
+    cpu_per_byte_final_merge: float = 4.0e-9
+
+    #: Per-byte merge cost surviving under zero-copy (RDMA): buffers are
+    #: pre-registered and merged in place, leaving only pointer churn.
+    zero_copy_byte_factor: float = 0.2
+
+    #: Reduce function: iterate + discard (NullOutputFormat).
+    cpu_per_record_reduce: float = 5.0e-6
+    cpu_per_byte_reduce: float = 1.5e-9
+
+    #: Hadoop Streaming: per record piped to/from the external process
+    #: (text (de)serialization + pipe syscalls), charged on whichever
+    #: side runs the streaming executable.
+    cpu_per_record_streaming: float = 6.0e-6
+
+    #: Combiner: per map-output record fed through the combine function.
+    cpu_per_record_combine: float = 1.5e-6
+    #: Map-output compression / reduce-side decompression, per logical
+    #: (uncompressed) byte. Snappy-class codec costs.
+    cpu_per_byte_compress: float = 9.0e-9
+    cpu_per_byte_decompress: float = 3.0e-9
+
+    #: Per-fetch client-side handling (issue request, stream copy
+    #: loop setup) — on top of the transport's own setup cost.
+    fetch_client_overhead: float = 0.4e-3
+
+    #: Heartbeat-driven task assignment latency (MRv1 JobTracker).
+    heartbeat_interval: float = 0.6
+
+    def scaled(self, clock_ghz: float) -> "CostModel":
+        """Rescale CPU costs for a node of a different clock speed."""
+        if clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_ghz}")
+        factor = self.base_clock_ghz / clock_ghz
+        return replace(
+            self,
+            base_clock_ghz=clock_ghz,
+            cpu_per_record_generate=self.cpu_per_record_generate * factor,
+            cpu_per_byte_generate=self.cpu_per_byte_generate * factor,
+            cpu_per_record_sort=self.cpu_per_record_sort * factor,
+            cpu_per_record_map_merge=self.cpu_per_record_map_merge * factor,
+            cpu_per_record_shuffle_merge=self.cpu_per_record_shuffle_merge * factor,
+            cpu_per_byte_shuffle_merge=self.cpu_per_byte_shuffle_merge * factor,
+            cpu_per_record_final_merge=self.cpu_per_record_final_merge * factor,
+            cpu_per_byte_final_merge=self.cpu_per_byte_final_merge * factor,
+            cpu_per_record_reduce=self.cpu_per_record_reduce * factor,
+            cpu_per_byte_reduce=self.cpu_per_byte_reduce * factor,
+            cpu_per_record_streaming=self.cpu_per_record_streaming * factor,
+            cpu_per_record_combine=self.cpu_per_record_combine * factor,
+            cpu_per_byte_compress=self.cpu_per_byte_compress * factor,
+            cpu_per_byte_decompress=self.cpu_per_byte_decompress * factor,
+        )
+
+    # -- composite costs ---------------------------------------------------
+
+    def map_generate_time(self, records: int, nbytes: float) -> float:
+        """CPU seconds to generate/partition/collect a map's output."""
+        return records * self.cpu_per_record_generate + nbytes * self.cpu_per_byte_generate
+
+    def sort_time(self, records: int) -> float:
+        """CPU seconds to quicksort ``records`` serialized records."""
+        if records <= 1:
+            return 0.0
+        return records * self.cpu_per_record_sort * math.log2(records)
+
+    def map_merge_time(self, records: int) -> float:
+        """CPU seconds for the map-side merge of spill files."""
+        return records * self.cpu_per_record_map_merge
+
+    def shuffle_merge_time(
+        self, records: int, nbytes: float, zero_copy: bool = False
+    ) -> float:
+        """CPU seconds for the reduce-side merge of fetched segments."""
+        byte_cost = nbytes * self.cpu_per_byte_shuffle_merge
+        if zero_copy:
+            byte_cost *= self.zero_copy_byte_factor
+        return records * self.cpu_per_record_shuffle_merge + byte_cost
+
+    def final_merge_time(
+        self, records: int, nbytes: float, zero_copy: bool = False
+    ) -> float:
+        """CPU seconds for the reduce-side final merge of all runs."""
+        byte_cost = nbytes * self.cpu_per_byte_final_merge
+        if zero_copy:
+            byte_cost *= self.zero_copy_byte_factor
+        return records * self.cpu_per_record_final_merge + byte_cost
+
+    def reduce_time(self, records: int, nbytes: float) -> float:
+        """CPU seconds for the reduce function (iterate + discard)."""
+        return records * self.cpu_per_record_reduce + nbytes * self.cpu_per_byte_reduce
+
+
+#: The default calibration.
+DEFAULT_COST_MODEL = CostModel()

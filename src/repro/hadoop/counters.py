@@ -1,0 +1,70 @@
+"""Hadoop-style job counters derived from a simulated run.
+
+Real Hadoop prints a counter block at job completion; this module
+produces the equivalent from a :class:`~repro.hadoop.result.SimJobResult`
+so reports and tests can assert on the familiar names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.context import Counters
+from repro.hadoop.result import SimJobResult
+
+#: Extra counter names beyond the engine's task-level set.
+SHUFFLE_WIRE_BYTES = "SHUFFLE_WIRE_BYTES"
+SHUFFLE_LOCAL_FETCHES = "SHUFFLE_LOCAL_FETCHES"
+SHUFFLE_REMOTE_FETCHES = "SHUFFLE_REMOTE_FETCHES"
+REDUCE_SPILLED_BYTES = "REDUCE_SPILLED_BYTES"
+MAP_SPILLS = "MAP_SPILLS"
+MILLIS_MAPS = "MILLIS_MAPS"
+MILLIS_REDUCES = "MILLIS_REDUCES"
+
+
+def job_counters(result: SimJobResult) -> Counters:
+    """Assemble the job-level counter block."""
+    counters = Counters()
+    config = result.config
+
+    counters.increment(Counters.MAP_INPUT_RECORDS, config.num_maps)
+    counters.increment(Counters.MAP_OUTPUT_RECORDS, config.num_pairs)
+    counters.increment(Counters.MAP_OUTPUT_BYTES, int(config.shuffle_bytes))
+    counters.increment(MAP_SPILLS, sum(s.spills for s in result.map_stats))
+    counters.increment(
+        MILLIS_MAPS,
+        int(sum(s.duration for s in result.map_stats) * 1000),
+    )
+
+    records = sum(s.records for s in result.reduce_stats)
+    counters.increment(Counters.REDUCE_INPUT_RECORDS, records)
+    counters.increment(
+        Counters.REDUCE_SHUFFLE_BYTES,
+        int(sum(s.bytes_fetched for s in result.reduce_stats)),
+    )
+    counters.increment(SHUFFLE_WIRE_BYTES, int(
+        sum(s.bytes_fetched for s in result.reduce_stats)
+    ))
+    counters.increment(REDUCE_SPILLED_BYTES, int(
+        sum(s.bytes_spilled for s in result.reduce_stats)
+    ))
+    counters.increment(
+        MILLIS_REDUCES,
+        int(sum(s.duration for s in result.reduce_stats) * 1000),
+    )
+    # NullOutputFormat: nothing leaves the reducers.
+    counters.increment(Counters.REDUCE_OUTPUT_RECORDS, 0)
+    return counters
+
+
+def format_counters(counters: Counters) -> str:
+    """Hadoop's familiar indented counter block."""
+    lines = ["Counters:"]
+    for name, value in sorted(counters.as_dict().items()):
+        lines.append(f"    {name}={value:,}")
+    return "\n".join(lines)
+
+
+def counters_dict(result: SimJobResult) -> Dict[str, int]:
+    """Convenience: the counter block as a plain dict."""
+    return job_counters(result).as_dict()

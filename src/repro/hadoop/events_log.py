@@ -1,0 +1,65 @@
+"""Structured job event log.
+
+The real suite prints task transitions alongside the final job time;
+tests and the report module consume this log to check phase ordering
+(maps before slowstart firing, reducers after, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    time: float
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.3f}s] {self.kind:<16} {self.detail}"
+
+
+class JobEventLog:
+    """Append-only, time-ordered record of job milestones."""
+
+    MAP_START = "MAP_START"
+    MAP_FINISH = "MAP_FINISH"
+    SLOWSTART = "SLOWSTART"
+    REDUCE_START = "REDUCE_START"
+    SHUFFLE_DONE = "SHUFFLE_DONE"
+    REDUCE_FINISH = "REDUCE_FINISH"
+    TASK_FAILED = "TASK_FAILED"
+    SPECULATIVE = "SPECULATIVE"
+    JOB_FINISH = "JOB_FINISH"
+
+    def __init__(self) -> None:
+        self._events: List[JobEvent] = []
+
+    def record(self, time: float, kind: str, detail: str = "") -> None:
+        if self._events and time < self._events[-1].time - 1e-9:
+            raise ValueError(
+                f"event at t={time} is earlier than the last logged event"
+            )
+        self._events.append(JobEvent(time, kind, detail))
+
+    def __iter__(self) -> Iterator[JobEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_kind(self, kind: str) -> List[JobEvent]:
+        return [ev for ev in self._events if ev.kind == kind]
+
+    def first(self, kind: str) -> Optional[JobEvent]:
+        events = self.of_kind(kind)
+        return events[0] if events else None
+
+    def last(self, kind: str) -> Optional[JobEvent]:
+        events = self.of_kind(kind)
+        return events[-1] if events else None
+
+    def dump(self) -> str:
+        return "\n".join(str(ev) for ev in self._events)

@@ -1,0 +1,109 @@
+"""Job history: structured run records and task timelines.
+
+Real Hadoop writes a JobHistory file per job (task attempts, phase
+times, counters) that tools like the history server visualize. This
+module produces the equivalent from a simulated run:
+
+* :func:`job_history` — a JSON-serializable dict with the job's
+  configuration, per-task phases, counters, and milestones;
+* :func:`render_timeline` — an ASCII Gantt chart of map and reduce
+  tasks (launch → phases → finish), which makes wave scheduling,
+  slowstart, stragglers and speculative rescues visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.hadoop.counters import counters_dict
+from repro.hadoop.result import SimJobResult
+
+
+def job_history(result: SimJobResult) -> Dict:
+    """The job's history record (plain dict; ``json.dumps``-able)."""
+    return {
+        "job": {
+            "benchmark": f"MR-{result.config.pattern.upper()}",
+            "framework": result.jobconf.version,
+            "cluster": result.cluster.name,
+            "slaves": result.cluster.num_slaves,
+            "racks": result.cluster.racks,
+            "network": result.interconnect_name,
+            "transport": result.transport_name,
+            "execution_time_s": round(result.execution_time, 3),
+        },
+        "config": result.config.describe(),
+        "counters": counters_dict(result),
+        "maps": [
+            {
+                "task": f"map{s.map_id}",
+                "node": s.node,
+                "start_s": round(s.started_at, 3),
+                "finish_s": round(s.finished_at, 3),
+                "spills": s.spills,
+                "merge_passes": s.merge_passes,
+            }
+            for s in result.map_stats
+        ],
+        "reduces": [
+            {
+                "task": f"reduce{s.reduce_id}",
+                "node": s.node,
+                "start_s": round(s.started_at, 3),
+                "shuffle_end_s": round(s.shuffle_finished_at, 3),
+                "finish_s": round(s.finished_at, 3),
+                "bytes_fetched": int(s.bytes_fetched),
+                "bytes_spilled": int(s.bytes_spilled),
+            }
+            for s in result.reduce_stats
+        ],
+        "events": [
+            {"t": round(ev.time, 3), "kind": ev.kind, "detail": ev.detail}
+            for ev in result.events
+        ],
+    }
+
+
+def history_json(result: SimJobResult, indent: int = 2) -> str:
+    """The history record serialized as JSON text."""
+    return json.dumps(job_history(result), indent=indent)
+
+
+def _bar(start: float, end: float, span: float, width: int,
+         fill: str) -> str:
+    begin = int(round(width * start / span))
+    finish = max(begin + 1, int(round(width * end / span)))
+    return " " * begin + fill * (finish - begin)
+
+
+def render_timeline(result: SimJobResult, width: int = 64) -> str:
+    """ASCII Gantt chart of all tasks.
+
+    Map tasks render as ``m``; reduce tasks show their shuffle phase as
+    ``s`` and the merge+reduce tail as ``r``.
+    """
+    span = max(result.execution_time, 1e-9)
+    label_width = max(
+        [len(f"map{s.map_id}@{s.node}") for s in result.map_stats]
+        + [len(f"reduce{s.reduce_id}@{s.node}") for s in result.reduce_stats]
+    )
+    lines: List[str] = [
+        f"0s {' ' * (label_width + width - 10)}{result.execution_time:.1f}s"
+    ]
+    for s in result.map_stats:
+        label = f"map{s.map_id}@{s.node}".ljust(label_width)
+        lines.append(
+            f"{label} |{_bar(s.started_at, s.finished_at, span, width, 'm')}"
+        )
+    for s in result.reduce_stats:
+        label = f"reduce{s.reduce_id}@{s.node}".ljust(label_width)
+        shuffle = _bar(s.started_at, s.shuffle_finished_at, span, width, "s")
+        tail_width = max(
+            0,
+            int(round(width * s.finished_at / span))
+            - int(round(width * s.shuffle_finished_at / span)),
+        )
+        lines.append(f"{label} |{shuffle}{'r' * tail_width}")
+    lines.append(" " * label_width + "  m=map  s=shuffle  r=merge+reduce")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Job configuration: the Hadoop parameters the suite can set.
+
+The paper notes the suite "can also dynamically set the Hadoop
+MapReduce configuration parameters"; :class:`JobConf` carries the ones
+the simulated framework honours, with Hadoop 1.2.1 defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+MB = 1e6
+
+#: Framework generations.
+MRV1 = "mrv1"
+YARN = "yarn"
+VERSIONS = (MRV1, YARN)
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Framework-level knobs (names follow the Hadoop properties)."""
+
+    #: ``io.sort.mb`` — map-side sort buffer, bytes.
+    io_sort_mb: float = 100 * MB
+    #: ``io.sort.spill.percent`` — buffer fill fraction that triggers a spill.
+    sort_spill_percent: float = 0.80
+    #: ``io.sort.factor`` — streams merged at once.
+    sort_factor: int = 10
+    #: ``mapred.reduce.parallel.copies`` — concurrent fetchers per reducer.
+    parallel_copies: int = 5
+    #: ``mapred.reduce.slowstart.completed.maps`` — fraction of maps that
+    #: must finish before reducers launch.
+    reduce_slowstart: float = 0.05
+    #: Reduce-side in-memory shuffle budget (heap * input buffer pct).
+    #: Hadoop 1.x: 200 MB child heap x 0.70.
+    shuffle_memory_bytes: float = 140 * MB
+    #: MRv1 slots per TaskTracker; ``None`` derives from the node size
+    #: (cores/2 map slots, cores/4 reduce slots — common 2012 practice).
+    map_slots_per_node: Optional[int] = None
+    reduce_slots_per_node: Optional[int] = None
+    #: YARN containers per NodeManager; ``None`` derives cores-1.
+    containers_per_node: Optional[int] = None
+    #: Framework generation running the job.
+    version: str = MRV1
+    #: ``mapred.compress.map.output`` — compress intermediate data.
+    compress_map_output: bool = False
+    #: Compressed-size fraction when compression is on (snappy-like
+    #: ratios on binary benchmark payloads).
+    compression_ratio: float = 0.45
+    #: Fraction of map-output records surviving the combiner, or
+    #: ``None`` for no combiner (the paper's benchmarks run without
+    #: one; the suite supports it as a tunable).
+    combiner_reduction: Optional[float] = None
+    #: ``mapred.map.tasks.speculative.execution`` (and reduce): launch
+    #: backup attempts for stragglers.
+    speculative_execution: bool = False
+    #: Per-task failure probability (failure-injection test hook; a
+    #: failed task is re-attempted from scratch).
+    task_failure_probability: float = 0.0
+    #: Maximum attempts per task before the job fails
+    #: (``mapred.map.max.attempts``).
+    max_task_attempts: int = 4
+    #: Hadoop Streaming: run map/reduce functions as external processes
+    #: connected over pipes. Adds per-record serialization/pipe costs on
+    #: both sides — how much slower a streaming-based benchmark suite
+    #: would measure the same job.
+    streaming: bool = False
+
+    def __post_init__(self) -> None:
+        if self.version not in VERSIONS:
+            raise ValueError(f"version must be one of {VERSIONS}, got {self.version!r}")
+        if self.io_sort_mb <= 0:
+            raise ValueError("io_sort_mb must be positive")
+        if not 0.0 < self.sort_spill_percent <= 1.0:
+            raise ValueError("sort_spill_percent must be in (0, 1]")
+        if self.sort_factor < 2:
+            raise ValueError("sort_factor must be >= 2")
+        if self.parallel_copies < 1:
+            raise ValueError("parallel_copies must be >= 1")
+        if not 0.0 <= self.reduce_slowstart <= 1.0:
+            raise ValueError("reduce_slowstart must be in [0, 1]")
+        if self.shuffle_memory_bytes <= 0:
+            raise ValueError("shuffle_memory_bytes must be positive")
+        for field_name in ("map_slots_per_node", "reduce_slots_per_node",
+                           "containers_per_node"):
+            value = getattr(self, field_name)
+            if value is not None and value < 1:
+                raise ValueError(f"{field_name} must be >= 1 when set")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if self.combiner_reduction is not None and not (
+            0.0 < self.combiner_reduction <= 1.0
+        ):
+            raise ValueError("combiner_reduction must be in (0, 1] or None")
+        if not 0.0 <= self.task_failure_probability < 1.0:
+            raise ValueError("task_failure_probability must be in [0, 1)")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def spill_threshold_bytes(self) -> float:
+        """Map output bytes that trigger one spill."""
+        return self.io_sort_mb * self.sort_spill_percent
+
+    @property
+    def wire_fraction(self) -> float:
+        """Bytes-on-wire per map-output byte (compression effect)."""
+        return self.compression_ratio if self.compress_map_output else 1.0
+
+    @property
+    def combine_fraction(self) -> float:
+        """Records surviving the combiner (1.0 when disabled)."""
+        return 1.0 if self.combiner_reduction is None else self.combiner_reduction
+
+    def map_slots(self, cores: int) -> int:
+        if self.map_slots_per_node is not None:
+            return self.map_slots_per_node
+        return max(2, cores // 2)
+
+    def reduce_slots(self, cores: int) -> int:
+        if self.reduce_slots_per_node is not None:
+            return self.reduce_slots_per_node
+        return max(1, cores // 4)
+
+    def containers(self, cores: int) -> int:
+        if self.containers_per_node is not None:
+            return self.containers_per_node
+        return max(2, cores - 1)
+
+    def for_yarn(self) -> "JobConf":
+        return replace(self, version=YARN)
+
+    def for_mrv1(self) -> "JobConf":
+        return replace(self, version=MRV1)
+
+
+DEFAULT_JOB_CONF = JobConf()

@@ -1,0 +1,201 @@
+"""Concurrent jobs: multi-tenant interference on one simulated cluster.
+
+The paper measures one job at a time; production clusters run many.
+This extension submits several micro-benchmark jobs to a *shared*
+simulated world — same TaskTracker slots (or YARN containers), same
+NICs, same disks — and reports each job's latency, so the suite can
+quantify shuffle interference ("how much slower is my job when a
+skewed neighbour is shuffling?").
+
+Kept deliberately simpler than the single-job driver: no failure
+injection or speculation here; the paper-grade fidelity lives in
+:func:`repro.hadoop.simulation.run_simulated_job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.core.matrix import compute_shuffle_matrix
+from repro.hadoop.cluster import ClusterSpec, cluster_a
+from repro.hadoop.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf, MRV1
+from repro.hadoop.jobtracker import JobTrackerScheduler
+from repro.hadoop.maptask import MapTask
+from repro.hadoop.node import SimNode
+from repro.hadoop.reducetask import ReduceTask
+from repro.hadoop.shuffle import MapOutputRegistry
+from repro.hadoop.simulation import JOB_OVERHEAD
+from repro.hadoop.yarn import YarnScheduler
+from repro.net.fabric import NetworkFabric
+from repro.net.interconnect import get_interconnect
+from repro.net.transport import transport_for
+from repro.sim.events import AllOf
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submission: a config plus its arrival time."""
+
+    config: BenchmarkConfig
+    submit_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.submit_at < 0:
+            raise ValueError(f"submit_at must be >= 0, got {self.submit_at}")
+
+
+@dataclass
+class ConcurrentJobResult:
+    """What one job of a concurrent batch measured."""
+
+    config: BenchmarkConfig
+    submit_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def execution_time(self) -> float:
+        """Wall time from submission to completion (incl. overhead)."""
+        return self.finished_at - self.submit_at + JOB_OVERHEAD
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.started_at - self.submit_at
+
+
+def run_concurrent_jobs(
+    requests: List[JobRequest],
+    cluster: Optional[ClusterSpec] = None,
+    jobconf: Optional[JobConf] = None,
+    cost_model: Optional[CostModel] = None,
+) -> List[ConcurrentJobResult]:
+    """Run several jobs on one shared cluster; returns per-job results.
+
+    All jobs must name the same network (they share one fabric). Jobs
+    contend for slots/containers, NIC bandwidth, and disks; nothing is
+    partitioned between them — pure FIFO free-for-all, like a default
+    Hadoop scheduler.
+    """
+    if not requests:
+        raise ValueError("run_concurrent_jobs needs at least one request")
+    cluster = cluster if cluster is not None else cluster_a()
+    jobconf = jobconf if jobconf is not None else DEFAULT_JOB_CONF
+    base_costs = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    costs = base_costs.scaled(cluster.node.clock_ghz)
+
+    networks = {req.config.network for req in requests}
+    interconnects = {get_interconnect(n).name for n in networks}
+    if len(interconnects) > 1:
+        raise ValueError(
+            f"concurrent jobs must share one network, got {sorted(interconnects)}"
+        )
+    interconnect = get_interconnect(requests[0].config.network)
+    transport = transport_for(interconnect)
+
+    sim = Simulator()
+    uplink = None
+    if cluster.racks > 1:
+        uplink = cluster.rack_uplink_bandwidth(interconnect.sustained_bandwidth)
+    fabric = NetworkFabric(sim, interconnect, rack_uplink_bandwidth=uplink)
+    nodes: List[SimNode] = [
+        SimNode(sim, name, cluster.node, fabric, rack=cluster.rack_of(i))
+        for i, name in enumerate(cluster.slave_names())
+    ]
+    if jobconf.version == MRV1:
+        scheduler = JobTrackerScheduler(sim, nodes, jobconf, costs)
+    else:
+        scheduler = YarnScheduler(sim, nodes, jobconf, costs)
+
+    results: List[ConcurrentJobResult] = []
+    job_procs = []
+
+    for job_index, request in enumerate(requests):
+        result = ConcurrentJobResult(
+            config=request.config,
+            submit_at=request.submit_at,
+            started_at=0.0,
+            finished_at=0.0,
+        )
+        results.append(result)
+        job_procs.append(
+            sim.process(
+                _run_one_job(sim, scheduler, fabric, transport, jobconf,
+                             costs, request, result, job_index),
+                name=f"job{job_index}",
+            )
+        )
+
+    sim.run_until_event(AllOf(sim, job_procs))
+    return results
+
+
+def _run_one_job(sim, scheduler, fabric, transport, jobconf, costs,
+                 request: JobRequest, result: ConcurrentJobResult,
+                 job_index: int):
+    """One job's orchestration inside the shared world."""
+    config = request.config
+    if request.submit_at > 0:
+        yield sim.timeout(request.submit_at)
+    result.started_at = sim.now
+
+    matrix = compute_shuffle_matrix(config)
+    registry = MapOutputRegistry(sim, config.num_maps)
+    slowstart_target = max(
+        0, int(round(jobconf.reduce_slowstart * config.num_maps))
+    )
+    slowstart = sim.event(name=f"job{job_index}:slowstart")
+    if slowstart_target == 0:
+        slowstart.succeed()
+    done = {"maps": 0}
+
+    def run_map(map_id: int):
+        node = scheduler.map_node(map_id + job_index)  # offset placement
+        grant = scheduler.acquire_map(node)
+        yield grant
+        yield sim.timeout(costs.heartbeat_interval * 0.5)
+        task = MapTask(
+            map_id=map_id,
+            node=node,
+            segment_bytes=matrix.bytes[map_id],
+            segment_records=matrix.records[map_id],
+            jobconf=jobconf,
+            costs=costs,
+            start_extra=scheduler.task_start_extra,
+        )
+        try:
+            output = yield sim.process(task.run())
+        finally:
+            scheduler.release_map(node)
+        registry.register(output)
+        done["maps"] += 1
+        if done["maps"] == slowstart_target and not slowstart.triggered:
+            slowstart.succeed()
+
+    def run_reduce(reduce_id: int):
+        yield slowstart
+        node = scheduler.reduce_node(reduce_id + job_index)
+        grant = scheduler.acquire_reduce(node)
+        yield grant
+        task = ReduceTask(
+            reduce_id=reduce_id,
+            node=node,
+            registry=registry,
+            fabric=fabric,
+            transport=transport,
+            jobconf=jobconf,
+            costs=costs,
+            start_extra=scheduler.task_start_extra,
+        )
+        try:
+            yield sim.process(task.run())
+        finally:
+            scheduler.release_reduce(node)
+
+    procs = [sim.process(run_map(m)) for m in range(config.num_maps)]
+    procs += [sim.process(run_reduce(r)) for r in range(config.num_reduces)]
+    yield AllOf(sim, procs)
+    result.finished_at = sim.now

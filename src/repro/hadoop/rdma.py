@@ -1,0 +1,82 @@
+"""MRoIB: the RDMA-enhanced MapReduce design (Sect. 6 case study).
+
+The paper uses the micro-benchmark suite to evaluate MRoIB — the
+OSU "RDMA for Apache Hadoop" MapReduce — against stock Hadoop over
+IPoIB FDR on Cluster B. MRoIB changes the shuffle in two ways the
+simulation captures:
+
+1. **Zero-copy, kernel-bypass transfers** — map output segments move
+   via RDMA reads posted by the reducer: near-zero per-byte CPU,
+   microsecond setup, and no servlet disk read on the hot path
+   (segments are registered and served from cache).
+2. **SEDA-style pipelining (HOMR)** — fetch, merge, and reduce stages
+   overlap fully, hiding the reduce-side merge behind the transfers.
+
+Selecting ``network="RDMA-FDR(56Gbps)"`` (alias ``rdma``) in a
+benchmark config picks both up automatically via
+:func:`repro.net.transport.transport_for`. The ablation helpers below
+separate the two effects, for the A2 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.net.interconnect import IPOIB_FDR, RDMA_FDR, InterconnectSpec
+from repro.net.transport import (
+    HTTP_SHUFFLE_OVERLAP,
+    RDMA_SHUFFLE_OVERLAP,
+    TransportModel,
+    transport_for,
+)
+
+
+def mroib_transport(interconnect: InterconnectSpec = RDMA_FDR) -> TransportModel:
+    """The full MRoIB shuffle engine (zero-copy + full overlap)."""
+    if not interconnect.rdma:
+        raise ValueError(
+            f"MRoIB requires an RDMA-capable interconnect, got {interconnect.name}"
+        )
+    return transport_for(interconnect)
+
+
+def overlap_only_transport(
+    interconnect: InterconnectSpec = IPOIB_FDR,
+) -> TransportModel:
+    """Ablation: HOMR-style full pipelining *without* zero-copy.
+
+    Runs over the sockets transport (IPoIB bandwidth, HTTP-style
+    per-fetch costs, server disk reads) but with a fully-overlapped
+    merge — isolates the scheduling contribution of MRoIB.
+    """
+    base = transport_for(interconnect)
+    return replace(
+        base,
+        name=f"overlap-only/{interconnect.name}",
+        merge_overlap=RDMA_SHUFFLE_OVERLAP,
+        pipelined_final_merge=True,
+        zero_copy=False,
+    )
+
+
+def zero_copy_only_transport(
+    interconnect: InterconnectSpec = RDMA_FDR,
+) -> TransportModel:
+    """Ablation: RDMA transfers with the *stock* merge pipeline.
+
+    Zero-copy segments and cached serving, but the merge overlaps only
+    as much as the stock MergeManager manages — isolates the transport
+    contribution of MRoIB.
+    """
+    if not interconnect.rdma:
+        raise ValueError(
+            f"zero-copy ablation requires RDMA, got {interconnect.name}"
+        )
+    base = transport_for(interconnect)
+    return replace(
+        base,
+        name=f"zero-copy-only/{interconnect.name}",
+        merge_overlap=HTTP_SHUFFLE_OVERLAP,
+        pipelined_final_merge=False,
+        zero_copy=True,
+    )

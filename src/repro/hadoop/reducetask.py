@@ -1,0 +1,129 @@
+"""The simulated reduce task: shuffle, final merge, reduce, discard.
+
+The reduce function of the micro-benchmark "aggregates intermediate
+data from the map phase, iterates over them and discards it to
+/dev/null" (Sect. 4.1) — there is no output I/O, by construction of
+``NullOutputFormat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hadoop.costmodel import CostModel
+from repro.hadoop.job import JobConf
+from repro.hadoop.node import SimNode
+from repro.hadoop.shuffle import MapOutputRegistry, ReducerShuffle, ShuffleStats
+from repro.net.fabric import NetworkFabric
+from repro.net.transport import TransportModel
+
+
+@dataclass
+class ReduceTaskStats:
+    """Phase timings of one reduce task."""
+
+    reduce_id: int
+    node: str
+    started_at: float = 0.0
+    shuffle_finished_at: float = 0.0
+    finished_at: float = 0.0
+    bytes_fetched: float = 0.0
+    records: int = 0
+    bytes_spilled: float = 0.0
+    merge_work_exposed: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def shuffle_duration(self) -> float:
+        return self.shuffle_finished_at - self.started_at
+
+    @property
+    def reduce_duration(self) -> float:
+        return self.finished_at - self.shuffle_finished_at
+
+
+class ReduceTask:
+    """One simulated reduce task; drive with ``sim.process(task.run())``."""
+
+    def __init__(
+        self,
+        reduce_id: int,
+        node: SimNode,
+        registry: MapOutputRegistry,
+        fabric: NetworkFabric,
+        transport: TransportModel,
+        jobconf: JobConf,
+        costs: CostModel,
+        start_extra: float = 0.0,
+    ):
+        self.reduce_id = reduce_id
+        self.node = node
+        self.registry = registry
+        self.fabric = fabric
+        self.transport = transport
+        self.jobconf = jobconf
+        self.costs = costs
+        self.start_extra = start_extra
+        self.stats = ReduceTaskStats(reduce_id=reduce_id, node=node.name)
+
+    def run(self):
+        """The reduce task process (generator for the sim kernel)."""
+        sim = self.node.sim
+        self.stats.started_at = sim.now
+
+        yield from self.node.cpu_burst(
+            self.costs.reduce_task_start + self.start_extra
+        )
+
+        shuffle = ReducerShuffle(
+            reduce_id=self.reduce_id,
+            node=self.node,
+            registry=self.registry,
+            fabric=self.fabric,
+            transport=self.transport,
+            jobconf=self.jobconf,
+            costs=self.costs,
+        )
+        shuffle_stats: ShuffleStats = yield sim.process(
+            shuffle.run(), name=f"shuffle-r{self.reduce_id}"
+        )
+        self.stats.shuffle_finished_at = sim.now
+        self.stats.bytes_fetched = shuffle_stats.bytes_fetched
+        self.stats.records = shuffle_stats.records_fetched
+        self.stats.bytes_spilled = shuffle_stats.bytes_spilled
+        self.stats.merge_work_exposed = shuffle_stats.merge_work_exposed
+
+        # The reduce function: iterate the merged stream and discard.
+        reduce_work = self.costs.reduce_time(
+            shuffle_stats.records_fetched, shuffle_stats.logical_bytes_fetched
+        )
+        if self.jobconf.streaming:
+            # Records cross the pipe to the external reducer.
+            reduce_work += (
+                shuffle_stats.records_fetched
+                * self.costs.cpu_per_record_streaming
+            )
+        if self.transport.pipelined_final_merge:
+            # A fully pipelined engine (MRoIB/HOMR) runs fetch, merge
+            # and reduce as concurrent stages: completion is governed by
+            # the slowest stage, not their sum. The fetch window has
+            # already elapsed; what remains is the slack of the slower
+            # of the merge/reduce stages beyond that window.
+            merge_work = shuffle_stats.merge_work_total + (
+                self.costs.final_merge_time(
+                    shuffle_stats.records_fetched,
+                    shuffle_stats.logical_bytes_fetched,
+                    zero_copy=self.transport.zero_copy,
+                )
+            )
+            window = (
+                shuffle_stats.fetch_finished_at
+                - shuffle_stats.shuffle_started_at
+            )
+            reduce_work = max(0.0, max(merge_work, reduce_work) - window)
+        yield from self.node.cpu_burst(reduce_work)
+        self.stats.finished_at = sim.now
+        return self.stats

@@ -1,0 +1,81 @@
+"""The result of one simulated job."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.core.matrix import ShuffleMatrix
+from repro.hadoop.cluster import ClusterSpec
+from repro.hadoop.events_log import JobEventLog
+from repro.hadoop.job import JobConf
+from repro.hadoop.maptask import MapTaskStats
+from repro.hadoop.reducetask import ReduceTaskStats
+from repro.sim.monitor import ResourceMonitor
+
+
+@dataclass
+class SimJobResult:
+    """Everything a finished simulated job reports.
+
+    ``execution_time`` is the paper's headline metric — wall-clock job
+    time, including the fixed job setup/cleanup overhead.
+    """
+
+    config: BenchmarkConfig
+    cluster: ClusterSpec
+    jobconf: JobConf
+    interconnect_name: str
+    transport_name: str
+    execution_time: float
+    map_phase_end: float
+    first_reduce_start: float
+    map_stats: List[MapTaskStats]
+    reduce_stats: List[ReduceTaskStats]
+    matrix: ShuffleMatrix
+    events: JobEventLog
+    monitor: Optional[ResourceMonitor] = None
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return self.matrix.total_bytes
+
+    @property
+    def slowest_reduce(self) -> ReduceTaskStats:
+        return max(self.reduce_stats, key=lambda s: s.finished_at)
+
+    @property
+    def reduce_phase_time(self) -> float:
+        """Time from the first reducer launch to the last reducer finish."""
+        return self.slowest_reduce.finished_at - self.first_reduce_start
+
+    def breakdown(self) -> Dict[str, float]:
+        """Coarse phase decomposition of the job time."""
+        shuffle_time = max(
+            (s.shuffle_duration for s in self.reduce_stats), default=0.0
+        )
+        reduce_time = max(
+            (s.reduce_duration for s in self.reduce_stats), default=0.0
+        )
+        return {
+            "execution_time": self.execution_time,
+            "map_phase": self.map_phase_end,
+            "slowest_shuffle": shuffle_time,
+            "slowest_reduce_fn": reduce_time,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary row (benchmark harness / CSV output)."""
+        return {
+            "benchmark": f"MR-{self.config.pattern.upper()}",
+            "network": self.interconnect_name,
+            "version": self.jobconf.version,
+            "slaves": self.cluster.num_slaves,
+            "maps": self.config.num_maps,
+            "reduces": self.config.num_reduces,
+            "data_type": self.config.data_type,
+            "pair_size": self.config.pair_size,
+            "shuffle_gb": self.total_shuffle_bytes / 1e9,
+            "execution_time_s": round(self.execution_time, 2),
+        }

@@ -1,0 +1,234 @@
+"""The shuffle service: fetchers, flows, and the reduce-side merge.
+
+This is the paper's subject — "the heart of MapReduce". Per reducer:
+
+* ``mapred.reduce.parallel.copies`` fetcher threads pull segments from
+  map hosts as map outputs are published;
+* each fetch is a network flow on the max-min-fair fabric, preceded by
+  the transport's per-fetch setup and (for the HTTP servlet) a
+  server-side read of the map-output file;
+* arriving segments accumulate merge work; segments beyond the
+  in-memory budget spill to local disk (asynchronously) and are read
+  back during the sort phase;
+* the merge thread runs concurrently with fetching — the transport's
+  ``merge_overlap`` says how much of the merge the pipeline can hide
+  (the stock HTTP shuffle hides some; MRoIB's SEDA pipeline hides all).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hadoop.costmodel import CostModel
+from repro.hadoop.job import JobConf
+from repro.hadoop.maptask import MapOutput
+from repro.hadoop.node import SimNode
+from repro.net.fabric import NetworkFabric
+from repro.net.transport import TransportModel
+from repro.sim.events import AllOf, Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import SlotResource
+
+
+class MapOutputRegistry:
+    """Publishes finished map outputs to waiting reducers."""
+
+    def __init__(self, sim: Simulator, num_maps: int):
+        self.sim = sim
+        self.num_maps = num_maps
+        self.outputs: List[MapOutput] = []
+        self._waiters: List[Event] = []
+
+    def register(self, output: MapOutput) -> None:
+        if len(self.outputs) >= self.num_maps:
+            raise RuntimeError("more map outputs than map tasks")
+        self.outputs.append(output)
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def wait_for_more(self) -> Event:
+        """Event fired when the next map output is registered."""
+        ev = self.sim.event(name="map-output-available")
+        self._waiters.append(ev)
+        return ev
+
+    @property
+    def complete(self) -> bool:
+        return len(self.outputs) >= self.num_maps
+
+
+@dataclass
+class ShuffleStats:
+    """What one reducer's shuffle measured."""
+
+    reduce_id: int
+    bytes_fetched: float = 0.0
+    #: uncompressed volume (== bytes_fetched without compression).
+    logical_bytes_fetched: float = 0.0
+    records_fetched: int = 0
+    local_fetches: int = 0
+    remote_fetches: int = 0
+    bytes_spilled: float = 0.0
+    shuffle_started_at: float = 0.0
+    fetch_finished_at: float = 0.0
+    merge_finished_at: float = 0.0
+    #: merge CPU-seconds hidden behind fetching vs exposed after it.
+    merge_work_total: float = 0.0
+    merge_work_exposed: float = 0.0
+
+
+class ReducerShuffle:
+    """Runs the shuffle (and trailing merge) for one reduce task."""
+
+    def __init__(
+        self,
+        reduce_id: int,
+        node: SimNode,
+        registry: MapOutputRegistry,
+        fabric: NetworkFabric,
+        transport: TransportModel,
+        jobconf: JobConf,
+        costs: CostModel,
+    ):
+        self.reduce_id = reduce_id
+        self.node = node
+        self.registry = registry
+        self.fabric = fabric
+        self.transport = transport
+        self.jobconf = jobconf
+        self.costs = costs
+        self.stats = ShuffleStats(reduce_id=reduce_id)
+        self._fetch_slots = SlotResource(
+            node.sim, jobconf.parallel_copies, name=f"r{reduce_id}:fetchers"
+        )
+        self._in_memory_bytes = 0.0
+        self._pending_spills: List[Event] = []
+        self._merge_work = 0.0
+
+    # -- fetching ----------------------------------------------------------
+
+    def _fetch(self, output: MapOutput):
+        """Fetch one map's segment for this reducer (fetcher process)."""
+        seg_bytes = output.bytes_for(self.reduce_id)
+        seg_logical = output.logical_bytes_for(self.reduce_id)
+        seg_records = output.records_for(self.reduce_id)
+        grant = self._fetch_slots.request()
+        yield grant
+        try:
+            if seg_bytes <= 0:
+                return
+            server = output.node
+            if self.transport.reads_map_output_from_disk:
+                yield server.storage.read(seg_bytes)
+            flow = self.fabric.start_flow(
+                server.name,
+                self.node.name,
+                seg_bytes,
+                delay=self.transport.fetch_setup + self.costs.fetch_client_overhead,
+            )
+            yield flow.done
+            if server is self.node:
+                self.stats.local_fetches += 1
+            else:
+                self.stats.remote_fetches += 1
+            self.stats.bytes_fetched += seg_bytes
+            self.stats.logical_bytes_fetched += seg_logical
+            self.stats.records_fetched += seg_records
+            self._merge_work += self.costs.shuffle_merge_time(
+                seg_records, seg_logical, zero_copy=self.transport.zero_copy
+            )
+            if seg_logical > seg_bytes:  # compressed on the wire
+                self._merge_work += (
+                    seg_logical * self.costs.cpu_per_byte_decompress
+                )
+            self._account_memory(seg_logical)
+        finally:
+            self._fetch_slots.release()
+
+    def _account_memory(self, seg_bytes: float) -> None:
+        """Track the in-memory budget; overflow spills to disk (async)."""
+        budget = self.jobconf.shuffle_memory_bytes
+        room = max(0.0, budget - self._in_memory_bytes)
+        in_mem = min(seg_bytes, room)
+        overflow = seg_bytes - in_mem
+        self._in_memory_bytes += in_mem
+        if overflow > 0:
+            # Merge-to-disk frees memory: write the overflow out. The
+            # runs are deleted by the final merge — transient I/O.
+            self.stats.bytes_spilled += overflow
+            self._pending_spills.append(
+                self.node.storage.write(overflow, transient=True)
+            )
+
+    # -- the shuffle phase ---------------------------------------------------
+
+    def run(self):
+        """Shuffle + merge process; returns ShuffleStats."""
+        sim = self.node.sim
+        self.stats.shuffle_started_at = sim.now
+        fetch_procs = []
+        next_idx = 0
+        # Hadoop's fetcher shuffles its host list so the reducers do not
+        # all hammer the same servers in lock step; dispatch available
+        # outputs in a per-reducer pseudo-random order.
+        rng = random.Random(0x5EED ^ (self.reduce_id * 7919))
+        pending: List[MapOutput] = []
+        while next_idx < self.registry.num_maps or pending:
+            while next_idx < len(self.registry.outputs):
+                pending.append(self.registry.outputs[next_idx])
+                next_idx += 1
+            while pending:
+                output = pending.pop(rng.randrange(len(pending)))
+                fetch_procs.append(sim.process(self._fetch(output)))
+            if next_idx < self.registry.num_maps:
+                yield self.registry.wait_for_more()
+        if fetch_procs:
+            yield AllOf(sim, fetch_procs)
+        self.stats.fetch_finished_at = sim.now
+
+        # Merge work that fetching could not hide runs now. The merge
+        # thread had one core for the whole fetch window; the transport
+        # says how efficiently the pipeline used it. Fully pipelined
+        # engines (MRoIB) defer this accounting to the reduce task,
+        # which models the whole reduce side as a bottleneck pipeline.
+        fetch_window = self.stats.fetch_finished_at - self.stats.shuffle_started_at
+        self.stats.merge_work_total = self._merge_work
+        if self.transport.pipelined_final_merge:
+            exposed = 0.0
+        else:
+            absorbed = min(
+                self._merge_work, self.transport.merge_overlap * fetch_window
+            )
+            exposed = self._merge_work - absorbed
+        self.stats.merge_work_exposed = exposed
+        if exposed > 0:
+            yield from self.node.cpu_burst(exposed)
+
+        if self.transport.pipelined_final_merge:
+            # Spill runs stream within the SEDA pipeline; their cost is
+            # cache-bandwidth load already charged at write time, not a
+            # serial barrier.
+            pass
+        else:
+            if self._pending_spills:
+                yield AllOf(sim, self._pending_spills)
+            if self.stats.bytes_spilled > 0:
+                # Sort phase: read the just-written runs back for the
+                # final merge (still cache-resident).
+                yield self.node.storage.read(
+                    self.stats.bytes_spilled, transient=True
+                )
+            # The final merge needs every run, so in the stock framework
+            # it serializes between the last fetch and the reduce
+            # function. A pipelined engine streams it instead (the
+            # reduce task models that pipeline).
+            final_merge = self.costs.final_merge_time(
+                self.stats.records_fetched, self.stats.logical_bytes_fetched
+            )
+            if final_merge > 0:
+                yield from self.node.cpu_burst(final_merge)
+        self.stats.merge_finished_at = sim.now
+        return self.stats

@@ -1,0 +1,334 @@
+"""Flow-level network fabric with max-min fair bandwidth sharing.
+
+The MapReduce shuffle creates an all-to-all traffic pattern: every
+reduce task fetches a segment from every map task's host. On a cluster
+with a non-blocking switch (both testbeds in the paper use one), the
+contended resources are the per-node NIC ingress and egress capacities.
+TCP's AIMD converges to an allocation close to *max-min fairness* over
+those capacities, so the fabric computes exact max-min rates by
+progressive filling whenever the set of active flows changes, and
+integrates transferred bytes between change points.
+
+Node-local transfers (a reducer fetching from a mapper on the same
+host) do not touch the NIC; they ride a per-node loopback link with its
+own (memory-speed) capacity, which is why local fetches are equally
+fast on every interconnect — as in real Hadoop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.net.interconnect import InterconnectSpec
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import ByteCounter, UtilizationTracker
+
+_EPS = 1e-6
+
+#: Default loopback (same-host) transfer bandwidth, bytes/s. Memory-copy
+#: speed through the local socket stack; identical for all interconnects.
+DEFAULT_LOOPBACK_BANDWIDTH = 3.0e9
+
+
+def compute_max_min(
+    flows: Iterable["Flow"],
+    link_caps: Dict[Hashable, float],
+    links_of: Callable[["Flow"], Tuple[Hashable, ...]],
+) -> Dict["Flow", float]:
+    """Water-filling max-min fair allocation.
+
+    Every flow traverses the links ``links_of(flow)``; each link has
+    capacity ``link_caps[link]``. Repeatedly: find the most-contended
+    link (smallest remaining-capacity / active-flow-count), freeze all
+    its active flows at that fair share, subtract, repeat.
+
+    Returns a dict flow -> rate. The allocation is work-conserving and
+    never exceeds any link capacity (asserted by property tests).
+    """
+    flows = list(flows)
+    rates: Dict[Flow, float] = {}
+    remaining = dict(link_caps)
+    link_flows: Dict[Hashable, List[Flow]] = {}
+    for flow in flows:
+        for link in links_of(flow):
+            link_flows.setdefault(link, []).append(flow)
+    active = set(flows)
+    while active:
+        bottleneck = None
+        bottleneck_fair = None
+        for link, members in link_flows.items():
+            n = sum(1 for f in members if f in active)
+            if n == 0:
+                continue
+            fair = max(0.0, remaining[link]) / n
+            if bottleneck_fair is None or fair < bottleneck_fair:
+                bottleneck_fair = fair
+                bottleneck = link
+        if bottleneck is None:  # pragma: no cover - active implies a link
+            break
+        for flow in link_flows[bottleneck]:
+            if flow not in active:
+                continue
+            rates[flow] = bottleneck_fair
+            active.remove(flow)
+            for link in links_of(flow):
+                remaining[link] -= bottleneck_fair
+    return rates
+
+
+class Flow:
+    """One in-flight transfer between two fabric nodes.
+
+    ``done`` succeeds (with the flow as value) when the last byte has
+    been delivered. ``rate`` is the current max-min share in bytes/s.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, fabric: "NetworkFabric", src: str, dst: str, nbytes: float):
+        self.id = next(Flow._ids)
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.done: Event = fabric.sim.event(name=f"flow#{self.id}:{src}->{dst}")
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow#{self.id} {self.src}->{self.dst} "
+            f"{self.remaining:.0f}/{self.nbytes:.0f}B @ {self.rate:.0f}B/s>"
+        )
+
+
+class _LiveDirectionalCounter(ByteCounter):
+    """Byte counter including in-flight progress since the last change point."""
+
+    def __init__(self, node: "FabricNode", direction: str):
+        super().__init__()
+        self._node = node
+        self._direction = direction
+
+    @property
+    def total(self) -> float:
+        fabric = self._node.fabric
+        dt = fabric.sim.now - fabric._last
+        rate = (
+            self._node.in_rate if self._direction == "rx" else self._node.out_rate
+        )
+        return self._total + rate * dt
+
+
+class FabricNode:
+    """A host attached to the fabric.
+
+    Exposes live receive/send byte counters (``rx``/``tx``) for
+    throughput monitoring (Fig. 7(b)) and a ``protocol_cpu`` tracker
+    whose level is the cores currently burned by protocol processing
+    (``(in_rate + out_rate) * cpu_per_byte``) — part of the CPU trace in
+    Fig. 7(a). ``rack`` places the host in a multi-rack topology; hosts
+    in different racks contend for the rack uplinks when those are
+    capacity-limited.
+    """
+
+    def __init__(self, fabric: "NetworkFabric", name: str, cores: int = 8,
+                 rack: int = 0):
+        self.fabric = fabric
+        self.name = name
+        self.cores = cores
+        self.rack = rack
+        self.in_rate = 0.0
+        self.out_rate = 0.0
+        self.rx: ByteCounter = _LiveDirectionalCounter(self, "rx")
+        self.tx: ByteCounter = _LiveDirectionalCounter(self, "tx")
+        self.protocol_cpu = UtilizationTracker(fabric.sim, capacity=cores)
+
+    def __repr__(self) -> str:
+        return f"<FabricNode {self.name} rack={self.rack}>"
+
+
+class NetworkFabric:
+    """The cluster network: nodes, NIC capacities, max-min flow rates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interconnect: InterconnectSpec,
+        loopback_bandwidth: float = DEFAULT_LOOPBACK_BANDWIDTH,
+        rack_uplink_bandwidth: Optional[float] = None,
+    ):
+        """``rack_uplink_bandwidth`` caps each rack's aggregate traffic
+        to/from the core switch (bytes/s, each direction). ``None``
+        models the paper's single non-blocking switch."""
+        self.sim = sim
+        self.interconnect = interconnect
+        self.loopback_bandwidth = loopback_bandwidth
+        self.rack_uplink_bandwidth = rack_uplink_bandwidth
+        self.nodes: Dict[str, FabricNode] = {}
+        self._active: List[Flow] = []
+        self._last = sim.now
+        self._timer_id = 0
+
+    # -- topology --------------------------------------------------------
+
+    def add_node(self, name: str, cores: int = 8, rack: int = 0) -> FabricNode:
+        """Attach a host to the fabric (optionally in a rack)."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate fabric node {name!r}")
+        node = FabricNode(self, name, cores=cores, rack=rack)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> FabricNode:
+        return self.nodes[name]
+
+    # -- flows -------------------------------------------------------------
+
+    def start_flow(
+        self, src: str, dst: str, nbytes: float, delay: float = 0.0
+    ) -> Flow:
+        """Begin transferring ``nbytes`` from ``src`` to ``dst``.
+
+        The flow starts consuming bandwidth after ``delay`` plus the
+        interconnect's one-way latency (callers add transport-level
+        setup costs through ``delay``). A zero-byte flow completes as
+        soon as its latency elapses.
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown fabric node in {src!r}->{dst!r}")
+        if nbytes < 0:
+            raise ValueError(f"negative flow size: {nbytes}")
+        flow = Flow(self, src, dst, nbytes)
+        start_after = delay + self.interconnect.latency
+
+        def activate() -> None:
+            flow.started_at = self.sim.now
+            if flow.remaining <= _EPS:
+                flow.finished_at = self.sim.now
+                flow.done.succeed(flow)
+                return
+            self._advance()
+            self._active.append(flow)
+            self._recompute()
+
+        if start_after > 0:
+            self.sim.call_at(self.sim.now + start_after, activate)
+        else:
+            activate()
+        return flow
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._active)
+
+    # -- rate bookkeeping ---------------------------------------------------
+
+    def _links_of(self, flow: Flow) -> Tuple[Hashable, ...]:
+        if flow.is_local:
+            return (("loop", flow.src),)
+        links: Tuple[Hashable, ...] = (("out", flow.src), ("in", flow.dst))
+        if self.rack_uplink_bandwidth is not None:
+            src_rack = self.nodes[flow.src].rack
+            dst_rack = self.nodes[flow.dst].rack
+            if src_rack != dst_rack:
+                links = links + (
+                    ("rack-up", src_rack), ("rack-down", dst_rack)
+                )
+        return links
+
+    def _link_caps(self) -> Dict[Hashable, float]:
+        caps: Dict[Hashable, float] = {}
+        bw = self.interconnect.sustained_bandwidth
+        for flow in self._active:
+            for link in self._links_of(flow):
+                kind = link[0]
+                if kind == "loop":
+                    caps[link] = self.loopback_bandwidth
+                elif kind in ("rack-up", "rack-down"):
+                    caps[link] = self.rack_uplink_bandwidth
+                else:
+                    caps[link] = bw
+        return caps
+
+    def _advance(self) -> None:
+        """Integrate transfers since the last change point."""
+        now = self.sim.now
+        dt = now - self._last
+        if dt <= 0:
+            self._last = now
+            return
+        for flow in self._active:
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            if not flow.is_local:
+                # rx/tx counters model NIC statistics; loopback traffic
+                # never crosses the wire.
+                self.nodes[flow.src].tx._total += moved
+                self.nodes[flow.dst].rx._total += moved
+        self._last = now
+
+    def _recompute(self) -> None:
+        """Finish completed flows, re-run max-min, arm the next timer."""
+        while True:
+            finished = [f for f in self._active if f.remaining <= _EPS]
+            if finished:
+                self._active = [f for f in self._active if f.remaining > _EPS]
+                for flow in finished:
+                    flow.remaining = 0.0
+                    flow.finished_at = self.sim.now
+                    flow.done.succeed(flow)
+            if not self._active:
+                break
+            # Guard against sub-float-resolution remainders freezing the
+            # clock on zero-delay timers (see FairShareResource).
+            min_remaining = min(f.remaining for f in self._active)
+            probe_rate = max(
+                self.interconnect.effective_bandwidth, self.loopback_bandwidth
+            )
+            if self.sim.now + min_remaining / probe_rate > self.sim.now:
+                break
+            threshold = min_remaining + _EPS
+            for flow in self._active:
+                if flow.remaining <= threshold:
+                    flow.remaining = 0.0
+
+        rates = compute_max_min(self._active, self._link_caps(), self._links_of)
+        in_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
+        out_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
+        for flow in self._active:
+            flow.rate = rates.get(flow, 0.0)
+            if not flow.is_local:
+                out_rate[flow.src] += flow.rate
+                in_rate[flow.dst] += flow.rate
+        cpu_per_byte = self.interconnect.cpu_per_byte
+        for name, node in self.nodes.items():
+            node.in_rate = in_rate[name]
+            node.out_rate = out_rate[name]
+            level = (in_rate[name] + out_rate[name]) * cpu_per_byte
+            node.protocol_cpu.set_level(min(float(node.cores), level))
+
+        self._timer_id += 1
+        if not self._active:
+            return
+        positive = [f for f in self._active if f.rate > 0]
+        if not positive:  # pragma: no cover - capacities are positive
+            return
+        next_done = min(f.remaining / f.rate for f in positive)
+        timer_id = self._timer_id
+
+        def on_timer() -> None:
+            if timer_id != self._timer_id:
+                return  # superseded by a later arrival/departure
+            self._advance()
+            self._recompute()
+
+        self.sim.call_at(self.sim.now + next_done, on_timer)

@@ -1,0 +1,82 @@
+"""Shuffle transport models.
+
+Stock Hadoop shuffles map output over HTTP: the reduce-side fetcher
+opens a connection to the map host's shuffle servlet, which reads the
+requested partition from the map-output file and streams it back over
+TCP. MRoIB (the Sect. 6 case study) replaces this with RDMA verbs:
+the reducer posts a work request, the server registers the region, the
+HCA moves the bytes with no per-byte CPU, and the SEDA-style pipeline
+overlaps fetching with merging.
+
+The :class:`TransportModel` captures the differences the job time is
+sensitive to; the shuffle engine (:mod:`repro.hadoop.shuffle`) consults
+it per fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.interconnect import InterconnectSpec
+
+
+@dataclass(frozen=True)
+class TransportModel:
+    """Per-fetch behaviour of a shuffle transport."""
+
+    name: str
+    #: Fixed per-fetch service time (request parse/dispatch), seconds.
+    fetch_setup: float
+    #: Server-side disk read required before streaming (True for the
+    #: HTTP servlet, which reads the map-output file; MRoIB keeps hot
+    #: segments cached and pre-registered).
+    reads_map_output_from_disk: bool
+    #: Fraction of fetched bytes whose *incremental* merge work can
+    #: overlap with subsequent fetches. The stock MergeManager partially
+    #: overlaps (in-memory merges run behind fetchers); MRoIB's SEDA
+    #: pipeline overlaps fully.
+    merge_overlap: float
+    #: Whether the reduce-side *final* merge streams inside the pipeline
+    #: (MRoIB/HOMR) instead of serializing after the last fetch (stock).
+    pipelined_final_merge: bool = False
+    #: Whether segments land in pre-registered buffers and are merged
+    #: without intermediate copies (RDMA). Cuts the per-byte CPU of the
+    #: reduce-side merges.
+    zero_copy: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.merge_overlap <= 1.0:
+            raise ValueError(f"{self.name}: merge_overlap must be in [0, 1]")
+        if self.fetch_setup < 0:
+            raise ValueError(f"{self.name}: fetch_setup must be >= 0")
+
+
+#: The stock Hadoop HTTP shuffle (MRv1 servlet / MRv2 ShuffleHandler).
+HTTP_SHUFFLE_OVERLAP = 0.55
+
+#: MRoIB: fully pipelined, zero-copy.
+RDMA_SHUFFLE_OVERLAP = 1.0
+
+
+def transport_for(interconnect: InterconnectSpec) -> TransportModel:
+    """Pick the shuffle transport a given interconnect implies.
+
+    TCP-reachable interconnects (1/10 GigE, IPoIB) use the HTTP
+    shuffle; RDMA-capable ones use the MRoIB engine.
+    """
+    if interconnect.rdma:
+        return TransportModel(
+            name=f"rdma-shuffle/{interconnect.name}",
+            fetch_setup=interconnect.fetch_setup,
+            reads_map_output_from_disk=False,
+            merge_overlap=RDMA_SHUFFLE_OVERLAP,
+            pipelined_final_merge=True,
+            zero_copy=True,
+        )
+    return TransportModel(
+        name=f"http-shuffle/{interconnect.name}",
+        fetch_setup=interconnect.fetch_setup,
+        reads_map_output_from_disk=True,
+        merge_overlap=HTTP_SHUFFLE_OVERLAP,
+        pipelined_final_merge=False,
+    )

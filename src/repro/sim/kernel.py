@@ -1,0 +1,140 @@
+"""The discrete-event simulator core: virtual clock + event heap.
+
+The kernel is deterministic: ties in time are broken by a monotonically
+increasing sequence number, so two runs of the same model with the same
+seeds produce identical traces — a property the test suite asserts and
+the benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+#: Priority levels: URGENT events (resource bookkeeping) are processed
+#: before NORMAL events scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Usage::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 3.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events the kernel has processed (diagnostics)."""
+        return self._event_count
+
+    # -- event factories -------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create an untriggered :class:`Event` owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new simulated :class:`Process` from a generator."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (kernel internal, used by Event) ----------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    # -- running -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if event._ok is False and not getattr(event, "_defused", True):
+            # A failure nobody waited for must not pass silently.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if no event falls on it (convenient for monitors).
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                break
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue drains first.
+        """
+        done = {"flag": False}
+        event.add_callback(lambda _ev: done.__setitem__("flag", True))
+        while not done["flag"]:
+            if not self._heap:
+                raise SimulationError(f"queue drained before {event!r} fired")
+            self.step()
+        if not event.ok:
+            if hasattr(event, "_defused"):
+                event._defused = True  # type: ignore[attr-defined]
+            raise event.value
+        return event.value

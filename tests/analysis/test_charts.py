@@ -1,0 +1,60 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, line_chart, sweep_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart(["1GigE", "IPoIB"], [100.0, 76.0], unit="s")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "100.0s" in lines[0]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.0" in text
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        chart = line_chart({
+            "alpha": ([1, 2, 3], [10, 20, 30]),
+            "beta": ([1, 2, 3], [30, 20, 10]),
+        })
+        assert "o alpha" in chart
+        assert "x beta" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"flat": ([1, 2], [5, 5])})
+        assert "flat" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart({"s": ([0, 10], [0, 1])}, x_label="GB",
+                           y_label="seconds")
+        assert "GB" in chart
+        assert "seconds" in chart
+
+
+def test_sweep_chart_end_to_end():
+    from repro import MicroBenchmarkSuite, cluster_a
+
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    sweep = suite.sweep("MR-AVG", [0.25, 0.5], ["1GigE", "ipoib-qdr"],
+                        num_maps=4, num_reduces=2)
+    chart = sweep_chart(sweep)
+    assert "1GigE" in chart
+    assert "job time (s)" in chart

@@ -1,0 +1,76 @@
+"""Tests for CSV export."""
+
+import pytest
+
+from repro import MicroBenchmarkSuite, cluster_a
+from repro.analysis import parse_csv_floats, results_to_csv, sweep_to_csv, write_csv
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    return suite.sweep("MR-AVG", [0.25, 0.5], ["1GigE", "ipoib-qdr"],
+                       num_maps=4, num_reduces=2)
+
+
+def test_sweep_to_csv_layout(sweep):
+    text = sweep_to_csv(sweep)
+    rows = parse_csv_floats(text)
+    assert rows[0] == [None, None, None]  # header is non-numeric
+    assert len(rows) == 3  # header + 2 sizes
+    assert rows[1][0] == 0.25 and rows[2][0] == 0.5
+
+
+def test_sweep_csv_values_match_sweep(sweep):
+    rows = parse_csv_floats(sweep_to_csv(sweep))
+    networks = sweep.networks()
+    for row in rows[1:]:
+        size = row[0]
+        for i, net in enumerate(networks):
+            assert row[1 + i] == pytest.approx(sweep.time(net, size), abs=0.01)
+
+
+def test_results_to_csv(sweep):
+    results = [row.result for row in sweep.rows]
+    text = results_to_csv(results)
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("benchmark,network")
+    assert len(lines) == 1 + len(results)
+    assert "MR-AVG" in lines[1]
+
+
+def test_write_csv(tmp_path, sweep):
+    path = tmp_path / "out.csv"
+    write_csv(str(path), sweep_to_csv(sweep))
+    assert path.read_text().startswith("shuffle_gb")
+
+
+def test_cli_sweep_mode(capsys, tmp_path):
+    from repro.core.cli import main
+
+    csv_path = tmp_path / "sweep.csv"
+    rc = main([
+        "--benchmark", "MR-AVG", "--sweep", "0.25,0.5",
+        "--networks", "1GigE,ipoib-qdr", "--maps", "4", "--reduces", "2",
+        "--slaves", "2", "--csv", str(csv_path),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Shuffle (GB)" in out
+    assert csv_path.exists()
+
+
+def test_cli_sweep_empty_sizes_fails(capsys):
+    from repro.core.cli import main
+
+    rc = main(["--sweep", ",", "--slaves", "2"])
+    assert rc == 2
+
+
+def test_cli_zipf_benchmark(capsys):
+    from repro.core.cli import main
+
+    rc = main(["--benchmark", "MR-ZIPF", "--num-pairs", "20000",
+               "--maps", "4", "--reduces", "4", "--slaves", "2"])
+    assert rc == 0
+    assert "MR-ZIPF" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    geometric_mean,
+    improvement_pct,
+    mean,
+    median,
+    percentile,
+    speedup,
+)
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_median_odd_even():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 2, 3]) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_percentile():
+    values = list(range(1, 101))
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 100
+    assert percentile(values, 50) == pytest.approx(50.5)
+    assert percentile([42], 75) == 42
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([10]) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_improvement_pct_matches_paper_convention():
+    """100s -> 83s is 'decreases around 17%'."""
+    assert improvement_pct(100.0, 83.0) == pytest.approx(17.0)
+    assert improvement_pct(100.0, 120.0) == pytest.approx(-20.0)
+    with pytest.raises(ValueError):
+        improvement_pct(0.0, 1.0)
+
+
+def test_speedup():
+    assert speedup(100.0, 50.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)

@@ -1,0 +1,42 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis import format_cell, format_table
+
+
+def test_format_cell_floats():
+    assert format_cell(0.0) == "0"
+    assert format_cell(1234.5) == "1234"
+    assert format_cell(12.34) == "12.3"
+    assert format_cell(0.1234) == "0.123"
+
+
+def test_format_cell_other():
+    assert format_cell("abc") == "abc"
+    assert format_cell(7) == "7"
+
+
+def test_format_table_basic():
+    table = format_table(["net", "time"], [["1GigE", 100.0], ["IPoIB", 76.0]])
+    lines = table.splitlines()
+    assert lines[0].startswith("net")
+    assert set(lines[1]) <= {"-", " "}
+    assert "1GigE" in lines[2]
+
+
+def test_format_table_title():
+    table = format_table(["a"], [[1]], title="My Title")
+    assert table.splitlines()[0] == "My Title"
+
+
+def test_format_table_aligns_numbers_right():
+    table = format_table(["x"], [[1.0], [100.0]])
+    rows = table.splitlines()[-2:]
+    assert rows[0].endswith("1.0")
+    assert rows[1].endswith("100")
+
+
+def test_ragged_rows_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])

@@ -1,0 +1,70 @@
+"""Tests for the named micro-benchmark definitions."""
+
+import pytest
+
+from repro.core import (
+    ALL_BENCHMARKS,
+    BenchmarkConfig,
+    MR_AVG,
+    MR_RAND,
+    MR_SKEW,
+    get_benchmark,
+)
+
+
+def test_three_benchmarks_defined():
+    assert len(ALL_BENCHMARKS) == 3
+    assert {b.name for b in ALL_BENCHMARKS} == {"MR-AVG", "MR-RAND", "MR-SKEW"}
+
+
+def test_patterns_bound_correctly():
+    assert MR_AVG.pattern == "avg"
+    assert MR_RAND.pattern == "rand"
+    assert MR_SKEW.pattern == "skew"
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("MR-AVG", MR_AVG),
+    ("mr-avg", MR_AVG),
+    ("avg", MR_AVG),
+    ("MR-RAND", MR_RAND),
+    ("rand", MR_RAND),
+    ("MR-SKEW", MR_SKEW),
+    ("skew", MR_SKEW),
+])
+def test_lookup(name, expected):
+    assert get_benchmark(name) is expected
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        get_benchmark("MR-GAUSSIAN")
+
+
+def test_zipf_extension_registered():
+    from repro.core.benchmarks import EXTENDED_BENCHMARKS, MR_ZIPF
+
+    assert get_benchmark("MR-ZIPF") is MR_ZIPF
+    assert get_benchmark("zipf") is MR_ZIPF
+    assert MR_ZIPF in EXTENDED_BENCHMARKS
+    assert MR_ZIPF not in ALL_BENCHMARKS  # paper trio stays pristine
+
+
+def test_configure_fresh():
+    cfg = MR_SKEW.configure(num_maps=4, num_reduces=2)
+    assert cfg.pattern == "skew"
+    assert cfg.num_maps == 4
+
+
+def test_configure_from_base():
+    base = BenchmarkConfig(num_pairs=500, network="10GigE")
+    cfg = MR_RAND.configure(base)
+    assert cfg.pattern == "rand"
+    assert cfg.num_pairs == 500
+    assert cfg.network == "10GigE"
+
+
+def test_descriptions_mention_distribution():
+    assert "round-robin" in MR_AVG.description
+    assert "pseudo-randomly" in MR_RAND.description or "random" in MR_RAND.description
+    assert "50%" in MR_SKEW.description

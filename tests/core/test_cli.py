@@ -1,0 +1,69 @@
+"""Tests for the mr-microbench CLI."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+def test_defaults_parse():
+    args = build_parser().parse_args([])
+    assert args.benchmark == "MR-AVG"
+    assert args.network == "1GigE"
+
+
+def test_full_run(capsys):
+    rc = main([
+        "--benchmark", "MR-AVG", "--network", "ipoib-qdr",
+        "--num-pairs", "20000", "--maps", "4", "--reduces", "2",
+        "--slaves", "2",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "JOB EXECUTION TIME" in out
+    assert "IPoIB-QDR(32Gbps)" in out
+
+
+def test_skew_benchmark(capsys):
+    rc = main(["--benchmark", "MR-SKEW", "--num-pairs", "20000",
+               "--maps", "4", "--reduces", "2", "--slaves", "2"])
+    assert rc == 0
+    assert "MR-SKEW" in capsys.readouterr().out
+
+
+def test_yarn_framework(capsys):
+    rc = main(["--framework", "yarn", "--num-pairs", "10000",
+               "--maps", "4", "--reduces", "2", "--slaves", "2"])
+    assert rc == 0
+    assert "yarn" in capsys.readouterr().out
+
+
+def test_cluster_b(capsys):
+    rc = main(["--cluster", "b", "--num-pairs", "10000",
+               "--maps", "4", "--reduces", "2", "--slaves", "2"])
+    assert rc == 0
+    assert "Stampede" in capsys.readouterr().out
+
+
+def test_monitor_flag(capsys):
+    rc = main(["--num-pairs", "100000", "--maps", "4", "--reduces", "2",
+               "--slaves", "2", "--monitor", "1"])
+    assert rc == 0
+    assert "cpu_pct" in capsys.readouterr().out
+
+
+def test_unknown_network_fails_cleanly(capsys):
+    rc = main(["--network", "smoke-signals", "--num-pairs", "1000"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_mutually_exclusive_size_options():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--shuffle-gb", "1", "--num-pairs", "10"])
+
+
+def test_text_data_type(capsys):
+    rc = main(["--data-type", "Text", "--num-pairs", "10000",
+               "--maps", "4", "--reduces", "2", "--slaves", "2"])
+    assert rc == 0
+    assert "Text" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Tests for the CLI's timeline and history-export flags."""
+
+import json
+
+from repro.core.cli import main
+
+BASE = ["--num-pairs", "20000", "--maps", "4", "--reduces", "2",
+        "--slaves", "2"]
+
+
+def test_timeline_flag(capsys):
+    rc = main(BASE + ["--timeline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Task timeline:" in out
+    assert "m=map" in out
+
+
+def test_history_json_flag(tmp_path, capsys):
+    path = tmp_path / "history.json"
+    rc = main(BASE + ["--history-json", str(path)])
+    assert rc == 0
+    record = json.loads(path.read_text())
+    assert record["job"]["benchmark"] == "MR-AVG"
+    assert len(record["maps"]) == 4
+
+
+def test_report_includes_counters(capsys):
+    rc = main(BASE)
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Counters:" in out
+    assert "MAP_OUTPUT_RECORDS=20,000" in out
+
+
+def test_workload_flag(capsys):
+    rc = main(["--workload", "terasort", "--shuffle-gb", "0.5",
+               "--maps", "4", "--reduces", "2", "--slaves", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Key size" in out
+    assert "JOB EXECUTION TIME" in out
+
+
+def test_workload_unknown_fails(capsys):
+    rc = main(["--workload", "montecarlo", "--slaves", "2"])
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_workload_with_timeline(capsys):
+    rc = main(["--workload", "hash-join", "--shuffle-gb", "0.25",
+               "--maps", "4", "--reduces", "2", "--slaves", "2",
+               "--timeline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "m=map" in out

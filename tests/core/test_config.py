@@ -1,0 +1,94 @@
+"""Tests for BenchmarkConfig."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.datatypes import BytesWritable, Text
+
+
+def test_defaults_match_paper_setup():
+    """Default: MR-AVG, 1KB pairs, 16 maps / 8 reduces, BytesWritable."""
+    cfg = BenchmarkConfig()
+    assert cfg.pattern == "avg"
+    assert cfg.pair_size == 1024
+    assert cfg.num_maps == 16
+    assert cfg.num_reduces == 8
+    assert cfg.data_type == "BytesWritable"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"pattern": "uniform"},
+        {"key_size": 0},
+        {"value_size": -1},
+        {"num_pairs": 0},
+        {"num_maps": 0},
+        {"num_reduces": 0},
+        {"data_type": "IntWritable"},
+        {"data_type": "NoSuchWritable"},
+    ],
+)
+def test_validation_rejects(kwargs):
+    with pytest.raises((ValueError, KeyError)):
+        BenchmarkConfig(**kwargs)
+
+
+def test_writable_resolution():
+    assert BenchmarkConfig().writable is BytesWritable
+    assert BenchmarkConfig(data_type="Text").writable is Text
+
+
+def test_record_size_bytes_writable():
+    """512B key + 512B value as BytesWritable:
+    payloads 516 each, IFile headers vint(516)=3 each."""
+    cfg = BenchmarkConfig(key_size=512, value_size=512)
+    assert cfg.record_size == 3 + 3 + 516 + 516
+
+
+def test_shuffle_bytes():
+    cfg = BenchmarkConfig(num_pairs=1000)
+    assert cfg.shuffle_bytes == 1000 * cfg.record_size
+
+
+def test_pairs_for_map_even_split():
+    cfg = BenchmarkConfig(num_pairs=160, num_maps=16)
+    assert all(cfg.pairs_for_map(i) == 10 for i in range(16))
+
+
+def test_pairs_for_map_remainder():
+    cfg = BenchmarkConfig(num_pairs=10, num_maps=4)
+    shares = [cfg.pairs_for_map(i) for i in range(4)]
+    assert shares == [3, 3, 2, 2]
+    assert sum(shares) == 10
+
+
+def test_pairs_for_map_out_of_range():
+    cfg = BenchmarkConfig()
+    with pytest.raises(IndexError):
+        cfg.pairs_for_map(16)
+
+
+def test_from_shuffle_size_hits_target():
+    cfg = BenchmarkConfig.from_shuffle_size(16e9, key_size=512, value_size=512)
+    assert cfg.shuffle_bytes == pytest.approx(16e9, rel=0.001)
+
+
+def test_from_shuffle_size_minimum_one_pair():
+    cfg = BenchmarkConfig.from_shuffle_size(1.0)
+    assert cfg.num_pairs == 1
+
+
+def test_describe_contains_all_parameters():
+    desc = BenchmarkConfig().describe()
+    for key in ("pattern", "key_size", "value_size", "num_pairs",
+                "num_maps", "num_reduces", "data_type", "network",
+                "record_size", "shuffle_bytes"):
+        assert key in desc
+
+
+def test_config_is_hashable_and_frozen():
+    cfg = BenchmarkConfig()
+    with pytest.raises(AttributeError):
+        cfg.num_maps = 4  # type: ignore[misc]
+    assert hash(cfg) == hash(BenchmarkConfig())

@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for the benchmark core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BenchmarkConfig, compute_shuffle_matrix, make_partitioner
+from repro.datatypes import BytesWritable
+
+KEY = BytesWritable(b"k")
+VALUE = BytesWritable(b"v")
+
+patterns = st.sampled_from(["avg", "rand", "skew", "zipf"])
+
+
+@given(patterns, st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=500))
+def test_partitions_always_in_range(pattern, num_reduces, n_records):
+    p = make_partitioner(pattern, num_reduces, seed=7)
+    for _ in range(n_records):
+        assert 0 <= p.get_partition(KEY, VALUE) < num_reduces
+
+
+@given(patterns, st.integers(min_value=1, max_value=64))
+def test_expected_distribution_is_a_distribution(pattern, num_reduces):
+    p = make_partitioner(pattern, num_reduces, seed=7)
+    probs = p.expected_distribution()
+    assert len(probs) == num_reduces
+    assert abs(sum(probs) - 1.0) < 1e-9
+    assert all(prob >= 0 for prob in probs)
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=2000))
+def test_avg_partitioner_perfectly_balanced(num_reduces, n_records):
+    p = make_partitioner("avg", num_reduces)
+    counts = [0] * num_reduces
+    for _ in range(n_records):
+        counts[p.get_partition(KEY, VALUE)] += 1
+    assert max(counts) - min(counts) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    patterns,
+    st.integers(min_value=1, max_value=20_000),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=16),
+)
+def test_shuffle_matrix_conserves_records(pattern, pairs, maps, reduces):
+    config = BenchmarkConfig(pattern=pattern, num_pairs=pairs,
+                             num_maps=maps, num_reduces=reduces,
+                             key_size=8, value_size=8)
+    matrix = compute_shuffle_matrix(config)
+    assert matrix.total_records == pairs
+    assert (matrix.records >= 0).all()
+
+
+@settings(max_examples=40)
+@given(
+    st.floats(min_value=1e3, max_value=1e12),
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["BytesWritable", "Text"]),
+)
+def test_from_shuffle_size_accuracy(target, key_size, value_size, dtype):
+    config = BenchmarkConfig.from_shuffle_size(
+        target, key_size=key_size, value_size=value_size, data_type=dtype)
+    # Within half a record of the target (or the 1-pair minimum).
+    if config.num_pairs > 1:
+        assert abs(config.shuffle_bytes - target) <= config.record_size
+
+
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=1, max_value=64))
+def test_pairs_for_map_partition_of_total(pairs, maps):
+    config = BenchmarkConfig(num_pairs=pairs, num_maps=maps)
+    shares = [config.pairs_for_map(m) for m in range(maps)]
+    assert sum(shares) == pairs
+    assert max(shares) - min(shares) <= 1

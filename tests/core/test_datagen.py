@@ -1,0 +1,91 @@
+"""Tests for the deterministic key/value generator."""
+
+import pytest
+
+from repro.core import BenchmarkConfig, KeyValueGenerator
+from repro.datatypes import BytesWritable, Text
+
+
+def small_config(**kw):
+    defaults = dict(num_pairs=100, num_maps=4, num_reduces=8,
+                    key_size=16, value_size=32)
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def test_generates_configured_count():
+    cfg = small_config()
+    gen = KeyValueGenerator(cfg, map_id=0)
+    assert len(gen) == cfg.pairs_for_map(0)
+    assert len(list(gen)) == cfg.pairs_for_map(0)
+
+
+def test_map_id_range_check():
+    cfg = small_config()
+    with pytest.raises(IndexError):
+        KeyValueGenerator(cfg, map_id=4)
+
+
+def test_payload_sizes_match_config():
+    cfg = small_config(key_size=10, value_size=77)
+    for key, value in KeyValueGenerator(cfg, 0):
+        assert len(key.payload) == 10
+        assert len(value.payload) == 77
+        break
+
+
+def test_unique_keys_bounded_by_reducers():
+    """Sect 4.2: unique pairs restricted to the number of reducers."""
+    cfg = small_config(num_reduces=5)
+    keys = {bytes(k.payload) for k, _v in KeyValueGenerator(cfg, 0)}
+    assert len(keys) == 5
+
+
+def test_keys_cycle_round_robin():
+    cfg = small_config(num_reduces=3)
+    gen = KeyValueGenerator(cfg, 0)
+    pairs = list(gen)
+    assert pairs[0][0] == pairs[3][0] == pairs[6][0]
+    assert pairs[0][0] != pairs[1][0]
+
+
+def test_deterministic_across_instances():
+    cfg = small_config()
+    a = [(k.payload, v.payload) for k, v in KeyValueGenerator(cfg, 1)]
+    b = [(k.payload, v.payload) for k, v in KeyValueGenerator(cfg, 1)]
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = KeyValueGenerator(small_config(seed=1), 0)
+    b = KeyValueGenerator(small_config(seed=2), 0)
+    ka = next(iter(a))[0].payload
+    kb = next(iter(b))[0].payload
+    assert ka != kb
+
+
+def test_bytes_writable_type():
+    cfg = small_config(data_type="BytesWritable")
+    key, value = next(iter(KeyValueGenerator(cfg, 0)))
+    assert isinstance(key, BytesWritable) and isinstance(value, BytesWritable)
+
+
+def test_text_type_is_valid_utf8():
+    cfg = small_config(data_type="Text")
+    key, value = next(iter(KeyValueGenerator(cfg, 0)))
+    assert isinstance(key, Text) and isinstance(value, Text)
+    str(key)  # decodes without error
+    assert len(key.encoded) == cfg.key_size
+
+
+def test_text_payload_size_exact():
+    cfg = small_config(data_type="Text", key_size=100, value_size=900)
+    key, value = next(iter(KeyValueGenerator(cfg, 0)))
+    assert len(key) == 100 and len(value) == 900
+
+
+def test_key_payload_accessor():
+    cfg = small_config(num_reduces=4)
+    gen = KeyValueGenerator(cfg, 0)
+    assert gen.key_payload(0) == gen.key_payload(4)
+    assert gen.key_payload(1) != gen.key_payload(0)

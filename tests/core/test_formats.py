@@ -1,0 +1,53 @@
+"""Tests for NullInputFormat / NullOutputFormat."""
+
+import pytest
+
+from repro.core import DummySplit, NullInputFormat, NullOutputFormat
+from repro.datatypes import NullWritable, Text
+
+
+class TestNullInputFormat:
+    def test_one_split_per_map(self):
+        splits = NullInputFormat.get_splits(16)
+        assert len(splits) == 16
+        assert [s.map_id for s in splits] == list(range(16))
+
+    def test_zero_maps_rejected(self):
+        with pytest.raises(ValueError):
+            NullInputFormat.get_splits(0)
+
+    def test_splits_carry_no_data(self):
+        for split in NullInputFormat.get_splits(4):
+            assert split.length == 0
+
+    def test_negative_map_id_rejected(self):
+        with pytest.raises(ValueError):
+            DummySplit(map_id=-1)
+
+    def test_reader_yields_exactly_one_record(self):
+        reader = NullInputFormat.create_record_reader(DummySplit(0))
+        records = list(reader)
+        assert records == [(NullWritable(), NullWritable())]
+
+    def test_reader_progress(self):
+        reader = NullInputFormat.create_record_reader(DummySplit(0))
+        assert reader.progress == 0.0
+        next(reader)
+        assert reader.progress == 1.0
+
+
+class TestNullOutputFormat:
+    def test_writer_counts_and_discards(self):
+        writer = NullOutputFormat.create_record_writer()
+        writer.write(Text("k"), Text("v" * 100))
+        writer.write(Text("k2"), Text("v" * 50))
+        assert writer.records_written == 2
+        # Text wire sizes: (1+1) + (1+100) + (1+2) + (1+50)
+        assert writer.bytes_discarded == (2 + 101) + (3 + 51)
+
+    def test_write_after_close_raises(self):
+        writer = NullOutputFormat.create_record_writer()
+        writer.close()
+        assert writer.closed
+        with pytest.raises(ValueError):
+            writer.write(Text("k"), Text("v"))

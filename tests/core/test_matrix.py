@@ -1,0 +1,100 @@
+"""Tests for shuffle-matrix computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkConfig, compute_shuffle_matrix
+from repro.core.matrix import ShuffleMatrix, _exact_counts, _sampled_counts
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=8000, num_maps=4, num_reduces=8,
+                    key_size=16, value_size=48)
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def test_record_conservation_all_patterns():
+    for pattern in ("avg", "rand", "skew"):
+        config = cfg(pattern=pattern)
+        matrix = compute_shuffle_matrix(config)
+        assert matrix.total_records == config.num_pairs
+
+
+def test_shape_validation():
+    config = cfg()
+    with pytest.raises(ValueError):
+        ShuffleMatrix(config, np.zeros((2, 2)))
+
+
+def test_avg_matrix_is_exactly_even():
+    config = cfg(pattern="avg", num_pairs=6400)
+    matrix = compute_shuffle_matrix(config)
+    loads = matrix.reducer_loads()
+    assert max(loads) - min(loads) <= config.num_maps  # +-1 per map
+
+
+def test_avg_closed_form_matches_real_partitioner():
+    """The analytic round-robin split equals actually running
+    AveragePartitioner over the stream."""
+    config = cfg(pattern="avg", num_pairs=1003, num_maps=3, num_reduces=7)
+    matrix = compute_shuffle_matrix(config)
+    for map_id in range(config.num_maps):
+        exact = _exact_counts(config, map_id)
+        assert np.array_equal(matrix.records[map_id], exact)
+
+
+def test_skew_matrix_reducer0_dominates():
+    config = cfg(pattern="skew", num_pairs=80_000)
+    matrix = compute_shuffle_matrix(config)
+    loads = matrix.reducer_loads()
+    assert loads[0] > 0.5 * sum(loads)
+    assert loads[0] > 3 * max(loads[3:])
+
+
+def test_bytes_accounting():
+    config = cfg()
+    matrix = compute_shuffle_matrix(config)
+    assert matrix.total_bytes == config.num_pairs * config.record_size
+    assert matrix.bytes_for_reducer(0) == (
+        matrix.records_for_reducer(0) * config.record_size
+    )
+    assert matrix.bytes_for_map(0) == matrix.records_for_map(0) * config.record_size
+    assert matrix.bytes.sum() == matrix.total_bytes
+
+
+def test_map_row_totals():
+    config = cfg()
+    matrix = compute_shuffle_matrix(config)
+    for map_id in range(config.num_maps):
+        assert matrix.records_for_map(map_id) == config.pairs_for_map(map_id)
+
+
+def test_sampled_path_used_for_large_counts():
+    """Above the exact limit the multinomial path still conserves records."""
+    config = cfg(pattern="rand", num_pairs=4_000_000)
+    matrix = compute_shuffle_matrix(config, exact_limit=1000)
+    assert matrix.total_records == config.num_pairs
+
+
+def test_sampled_matches_exact_in_distribution():
+    """Exact and sampled paths agree on reducer shares within noise."""
+    config = cfg(pattern="skew", num_pairs=200_000, num_maps=1)
+    exact = _exact_counts(config, 0).astype(float)
+    sampled = _sampled_counts(config, 0).astype(float)
+    exact /= exact.sum()
+    sampled /= sampled.sum()
+    np.testing.assert_allclose(exact, sampled, atol=0.01)
+
+
+def test_deterministic():
+    config = cfg(pattern="rand")
+    a = compute_shuffle_matrix(config)
+    b = compute_shuffle_matrix(config)
+    assert np.array_equal(a.records, b.records)
+
+
+def test_matrix_is_nonnegative():
+    for pattern in ("avg", "rand", "skew"):
+        matrix = compute_shuffle_matrix(cfg(pattern=pattern))
+        assert (matrix.records >= 0).all()

@@ -1,0 +1,165 @@
+"""Tests for the MR-AVG / MR-RAND / MR-SKEW partitioners."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    AveragePartitioner,
+    HashPartitioner,
+    RandomPartitioner,
+    SkewedPartitioner,
+    distribution_stats,
+    make_partitioner,
+)
+from repro.datatypes import BytesWritable
+
+KEY = BytesWritable(b"key")
+VALUE = BytesWritable(b"value")
+
+
+def partition_counts(partitioner, n_records):
+    counts = Counter()
+    for _ in range(n_records):
+        p = partitioner.get_partition(KEY, VALUE)
+        assert 0 <= p < partitioner.num_reduces
+        counts[p] += 1
+    return [counts.get(r, 0) for r in range(partitioner.num_reduces)]
+
+
+class TestAveragePartitioner:
+    def test_perfectly_even(self):
+        counts = partition_counts(AveragePartitioner(8), 8000)
+        assert all(c == 1000 for c in counts)
+
+    def test_spread_at_most_one(self):
+        counts = partition_counts(AveragePartitioner(7), 1000)
+        assert max(counts) - min(counts) <= 1
+
+    def test_round_robin_order(self):
+        p = AveragePartitioner(3)
+        assert [p.get_partition(KEY, VALUE) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_reset(self):
+        p = AveragePartitioner(4)
+        p.get_partition(KEY, VALUE)
+        p.reset()
+        assert p.get_partition(KEY, VALUE) == 0
+
+    def test_expected_distribution_uniform(self):
+        assert AveragePartitioner(4).expected_distribution() == [0.25] * 4
+
+
+class TestRandomPartitioner:
+    def test_deterministic_with_seed(self):
+        a = partition_counts(RandomPartitioner(8, seed=5), 1000)
+        b = partition_counts(RandomPartitioner(8, seed=5), 1000)
+        assert a == b
+
+    def test_reset_replays_sequence(self):
+        p = RandomPartitioner(8, seed=5)
+        first = [p.get_partition(KEY, VALUE) for _ in range(20)]
+        p.reset()
+        second = [p.get_partition(KEY, VALUE) for _ in range(20)]
+        assert first == second
+
+    def test_near_even_distribution(self):
+        """MR-RAND is 'relatively close to an even distribution'."""
+        counts = partition_counts(RandomPartitioner(8, seed=1), 80_000)
+        stats = distribution_stats(counts)
+        assert stats["imbalance"] < 1.05
+
+    def test_different_seeds_differ(self):
+        a = partition_counts(RandomPartitioner(8, seed=1), 100)
+        b = partition_counts(RandomPartitioner(8, seed=2), 100)
+        assert a != b
+
+
+class TestSkewedPartitioner:
+    def test_reducer0_gets_half_plus_tail_share(self):
+        """Reducer 0: 50% direct + uniform share of the random tail."""
+        n = 8
+        counts = partition_counts(SkewedPartitioner(n, seed=3), 100_000)
+        share0 = counts[0] / sum(counts)
+        expected = 0.5 + (1 - 0.671875) / n
+        assert share0 == pytest.approx(expected, rel=0.03)
+
+    def test_head_ordering(self):
+        """Reducer 0 > reducer 1 > reducer 2 > tail reducers."""
+        counts = partition_counts(SkewedPartitioner(8, seed=3), 100_000)
+        assert counts[0] > counts[1] > counts[2] > max(counts[3:])
+
+    def test_fixed_pattern_across_runs(self):
+        """'this skewed distribution pattern is fixed for all runs'."""
+        a = partition_counts(SkewedPartitioner(8, seed=9), 5000)
+        b = partition_counts(SkewedPartitioner(8, seed=9), 5000)
+        assert a == b
+
+    def test_expected_distribution_sums_to_one(self):
+        for n in (1, 2, 3, 4, 8, 16, 64):
+            probs = SkewedPartitioner(n).expected_distribution()
+            assert sum(probs) == pytest.approx(1.0)
+            assert all(p >= 0 for p in probs)
+
+    def test_expected_matches_empirical(self):
+        n = 16
+        p = SkewedPartitioner(n, seed=11)
+        counts = partition_counts(p, 200_000)
+        expected = p.expected_distribution()
+        for r in range(n):
+            assert counts[r] / 200_000 == pytest.approx(expected[r], abs=0.01)
+
+    def test_two_reducers_head_truncates(self):
+        counts = partition_counts(SkewedPartitioner(2, seed=3), 50_000)
+        share0 = counts[0] / sum(counts)
+        # 50% direct + half of the 50% tail = 75%
+        assert share0 == pytest.approx(0.75, abs=0.02)
+
+    def test_single_reducer_all_pairs(self):
+        counts = partition_counts(SkewedPartitioner(1, seed=3), 100)
+        assert counts == [100]
+
+    def test_skew_much_heavier_than_avg(self):
+        """The property Figs. 2(c)/3(c) rest on: max reducer load under
+        skew is several times the average load."""
+        skew = partition_counts(SkewedPartitioner(8, seed=1), 80_000)
+        stats = distribution_stats(skew)
+        assert stats["imbalance"] > 3.5  # ~0.54 * 8
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner(8)
+        for i in range(100):
+            key = BytesWritable(bytes([i]))
+            assert 0 <= p.get_partition(key, VALUE) < 8
+
+    def test_same_key_same_partition(self):
+        p = HashPartitioner(8)
+        assert p.get_partition(KEY, VALUE) == p.get_partition(KEY, VALUE)
+
+
+class TestFactoryAndStats:
+    def test_make_partitioner(self):
+        assert isinstance(make_partitioner("avg", 4), AveragePartitioner)
+        assert isinstance(make_partitioner("rand", 4), RandomPartitioner)
+        assert isinstance(make_partitioner("skew", 4), SkewedPartitioner)
+
+    def test_make_partitioner_unknown(self):
+        with pytest.raises(ValueError):
+            make_partitioner("gaussian", 4)
+
+    def test_zero_reduces_rejected(self):
+        with pytest.raises(ValueError):
+            AveragePartitioner(0)
+
+    def test_distribution_stats_empty(self):
+        stats = distribution_stats([0, 0])
+        assert stats["total"] == 0 and stats["imbalance"] == 0.0
+
+    def test_distribution_stats_values(self):
+        stats = distribution_stats([10, 20, 30])
+        assert stats["total"] == 60
+        assert stats["max"] == 30 and stats["min"] == 10
+        assert stats["imbalance"] == pytest.approx(1.5)
+        assert stats["top_share"] == pytest.approx(0.5)

@@ -1,0 +1,44 @@
+"""Tests for the paper-style report renderer."""
+
+import pytest
+
+from repro import MicroBenchmarkSuite, cluster_a, render_report
+
+
+@pytest.fixture(scope="module")
+def result():
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    return suite.run("MR-AVG", shuffle_gb=0.5, num_maps=4, num_reduces=2,
+                     monitor_interval=1.0)
+
+
+def test_report_contains_configuration(result):
+    text = render_report(result)
+    assert "MR-AVG" in text
+    assert "Key size" in text
+    assert "Shuffle data" in text
+    assert "Map tasks" in text
+
+
+def test_report_contains_job_time(result):
+    text = render_report(result)
+    assert "JOB EXECUTION TIME" in text
+    assert f"{result.execution_time:.2f}" in text
+
+
+def test_report_contains_utilization(result):
+    text = render_report(result)
+    assert "cpu_pct" in text
+    assert "net_rx_mb_s" in text
+
+
+def test_report_contains_reduce_task_table(result):
+    text = render_report(result)
+    assert "fetched (MB)" in text
+
+
+def test_report_without_monitor():
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    result = suite.run("MR-AVG", shuffle_gb=0.25, num_maps=4, num_reduces=2)
+    text = render_report(result)
+    assert "monitor_interval" in text  # the hint line

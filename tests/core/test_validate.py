@@ -1,0 +1,50 @@
+"""Tests for the programmatic shape validator."""
+
+import pytest
+
+from repro.core.validate import (
+    ShapeCheck,
+    ValidationReport,
+    validate_headline_shapes,
+)
+
+
+class TestShapeCheck:
+    def test_pass_inside_band(self):
+        check = ShapeCheck("x", "~17%", 10, 25, measured=17.0)
+        assert check.passed
+        assert "PASS" in str(check)
+
+    def test_fail_outside_band(self):
+        check = ShapeCheck("x", "~17%", 10, 25, measured=30.0)
+        assert not check.passed
+        assert "FAIL" in str(check)
+
+    def test_unmeasured_fails(self):
+        assert not ShapeCheck("x", "~17%", 10, 25).passed
+
+
+class TestValidationReport:
+    def test_aggregates(self):
+        report = ValidationReport(checks=[
+            ShapeCheck("a", "", 0, 1, measured=0.5),
+            ShapeCheck("b", "", 0, 1, measured=2.0),
+        ])
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "1 SHAPE(S) BROKEN" in str(report)
+
+    def test_all_pass(self):
+        report = ValidationReport(checks=[
+            ShapeCheck("a", "", 0, 1, measured=0.5),
+        ])
+        assert report.passed
+        assert "ALL SHAPES HOLD" in str(report)
+
+
+def test_headline_validation_passes():
+    """The repository's own calibration must satisfy its own bands —
+    this is the one-call CI guard for the whole reproduction."""
+    report = validate_headline_shapes(shuffle_gb=16.0)
+    assert len(report.checks) == 5
+    assert report.passed, f"\n{report}"

@@ -1,0 +1,67 @@
+"""Tests for real-world workload profiles."""
+
+import pytest
+
+from repro.core.workloads import (
+    HASH_JOIN,
+    INVERTED_INDEX,
+    SESSION_AGGREGATION,
+    TERASORT,
+    WORDCOUNT,
+    WORKLOADS,
+    get_workload,
+)
+from repro.hadoop import cluster_a, run_simulated_job
+
+
+def test_catalog():
+    assert len(WORKLOADS) == 5
+    assert get_workload("wordcount") is WORDCOUNT
+    assert get_workload("TeraSort") is TERASORT
+
+
+def test_unknown_workload():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("montecarlo")
+
+
+def test_wordcount_is_tiny_and_skewed():
+    assert WORDCOUNT.key_size + WORDCOUNT.value_size <= 16
+    assert WORDCOUNT.pattern == "zipf"
+    assert WORDCOUNT.data_type == "Text"
+
+
+def test_terasort_is_uniform_100b():
+    assert TERASORT.key_size + TERASORT.value_size == 100
+    assert TERASORT.pattern == "avg"
+
+
+def test_configure_hits_target_volume():
+    config = TERASORT.configure(shuffle_gb=1.0, num_maps=4, num_reduces=4)
+    assert config.shuffle_bytes == pytest.approx(1e9, rel=0.01)
+    assert config.pattern == "avg"
+
+
+def test_mixed_type_profile():
+    config = INVERTED_INDEX.configure(shuffle_gb=0.5, num_maps=4,
+                                      num_reduces=4)
+    assert config.key_writable.__name__ == "Text"
+    assert config.value_writable.__name__ == "BytesWritable"
+
+
+def test_profiles_run_end_to_end():
+    for profile in (TERASORT, SESSION_AGGREGATION, HASH_JOIN):
+        config = profile.configure(shuffle_gb=0.25, num_maps=4,
+                                   num_reduces=4, network="ipoib-qdr")
+        result = run_simulated_job(config, cluster=cluster_a(2))
+        assert result.execution_time > 0
+
+
+def test_wordcount_slower_than_terasort_at_same_volume():
+    """Tiny Zipf pairs cost far more than TeraSort's 100 B rows — the
+    per-record effect applied to real workload shapes."""
+    wc = WORDCOUNT.configure(shuffle_gb=0.25, num_maps=4, num_reduces=4)
+    ts = TERASORT.configure(shuffle_gb=0.25, num_maps=4, num_reduces=4)
+    t_wc = run_simulated_job(wc, cluster=cluster_a(2)).execution_time
+    t_ts = run_simulated_job(ts, cluster=cluster_a(2)).execution_time
+    assert t_wc > t_ts

@@ -1,0 +1,131 @@
+"""Tests for the extension features: MR-ZIPF and mixed key/value types."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkConfig, compute_shuffle_matrix
+from repro.core.partitioners import ZipfPartitioner
+from repro.datatypes import BytesWritable, Text
+from repro.engine import LocalJobRunner
+from repro.hadoop import cluster_a, run_simulated_job
+
+KEY = BytesWritable(b"key")
+VALUE = BytesWritable(b"value")
+
+
+class TestZipfPartitioner:
+    def partition_counts(self, p, n):
+        counts = Counter(p.get_partition(KEY, VALUE) for _ in range(n))
+        return [counts.get(r, 0) for r in range(p.num_reduces)]
+
+    def test_in_range(self):
+        p = ZipfPartitioner(8, seed=1)
+        for _ in range(1000):
+            assert 0 <= p.get_partition(KEY, VALUE) < 8
+
+    def test_monotone_decreasing_loads(self):
+        counts = self.partition_counts(ZipfPartitioner(8, seed=1), 100_000)
+        # Zipf: each reducer gets (statistically) less than the previous.
+        for r in range(3):
+            assert counts[r] > counts[r + 1]
+
+    def test_expected_distribution_sums_to_one(self):
+        for n in (1, 2, 8, 64):
+            probs = ZipfPartitioner(n).expected_distribution()
+            assert sum(probs) == pytest.approx(1.0)
+
+    def test_expected_matches_empirical(self):
+        p = ZipfPartitioner(8, seed=3)
+        counts = self.partition_counts(p, 200_000)
+        expected = p.expected_distribution()
+        for r in range(8):
+            assert counts[r] / 200_000 == pytest.approx(expected[r], abs=0.01)
+
+    def test_exponent_controls_skew(self):
+        mild = ZipfPartitioner(8, exponent=0.5).expected_distribution()
+        harsh = ZipfPartitioner(8, exponent=2.0).expected_distribution()
+        assert harsh[0] > mild[0]
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPartitioner(8, exponent=0)
+
+    def test_reset_replays(self):
+        p = ZipfPartitioner(8, seed=5)
+        first = [p.get_partition(KEY, VALUE) for _ in range(50)]
+        p.reset()
+        assert [p.get_partition(KEY, VALUE) for _ in range(50)] == first
+
+    def test_zipf_config_and_matrix(self):
+        config = BenchmarkConfig(pattern="zipf", num_pairs=50_000,
+                                 num_maps=4, num_reduces=8)
+        matrix = compute_shuffle_matrix(config)
+        loads = matrix.reducer_loads()
+        assert matrix.total_records == config.num_pairs
+        assert loads[0] > loads[-1]
+
+    def test_zipf_simulated_job_between_avg_and_skew(self):
+        """Zipf(1) over 8 reducers is milder than MR-SKEW's 50 % head."""
+        times = {}
+        for pattern in ("avg", "zipf", "skew"):
+            config = BenchmarkConfig.from_shuffle_size(
+                4e9, pattern=pattern, num_maps=8, num_reduces=8,
+                network="1GigE")
+            times[pattern] = run_simulated_job(
+                config, cluster=cluster_a(2)).execution_time
+        assert times["avg"] < times["zipf"] < times["skew"]
+
+    def test_zipf_functional_engine_matches_matrix(self):
+        config = BenchmarkConfig(pattern="zipf", num_pairs=3000,
+                                 num_maps=3, num_reduces=4,
+                                 key_size=8, value_size=8)
+        observed = LocalJobRunner(config).run()
+        analytic = compute_shuffle_matrix(config)
+        assert np.array_equal(observed.shuffle_records, analytic.records)
+
+
+class TestMixedTypes:
+    def test_defaults_follow_data_type(self):
+        config = BenchmarkConfig(data_type="Text")
+        assert config.key_writable is Text
+        assert config.value_writable is Text
+
+    def test_mixed_override(self):
+        config = BenchmarkConfig(data_type="BytesWritable", key_type="Text")
+        assert config.key_writable is Text
+        assert config.value_writable is BytesWritable
+
+    def test_record_size_accounts_for_each_type(self):
+        # Text key (vint framing) + BytesWritable value (4-byte header)
+        mixed = BenchmarkConfig(key_type="Text", value_type="BytesWritable",
+                                key_size=100, value_size=100)
+        # key wire = 101, value wire = 104; headers vint(101)+vint(104)
+        assert mixed.record_size == 1 + 1 + 101 + 104
+
+    def test_invalid_key_type_rejected(self):
+        with pytest.raises((ValueError, KeyError)):
+            BenchmarkConfig(key_type="IntWritable")
+
+    def test_describe_reports_types(self):
+        desc = BenchmarkConfig(key_type="Text").describe()
+        assert desc["key_type"] == "Text"
+        assert desc["value_type"] == "BytesWritable"
+
+    def test_functional_engine_runs_mixed_types(self):
+        config = BenchmarkConfig(
+            pattern="avg", num_pairs=500, num_maps=2, num_reduces=2,
+            key_size=16, value_size=64,
+            key_type="Text", value_type="BytesWritable",
+        )
+        result = LocalJobRunner(config).run()
+        assert sum(result.reduce_input_records) == 500
+
+    def test_simulated_job_runs_mixed_types(self):
+        config = BenchmarkConfig(
+            num_pairs=50_000, num_maps=4, num_reduces=2,
+            key_type="Text", value_type="BytesWritable",
+        )
+        result = run_simulated_job(config, cluster=cluster_a(2))
+        assert result.execution_time > 0

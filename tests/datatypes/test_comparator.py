@@ -1,0 +1,42 @@
+"""Tests for raw and deserializing comparators."""
+
+from repro.datatypes import (
+    BytesWritable,
+    RawBytesComparator,
+    Text,
+    WritableComparator,
+    compare_bytes,
+)
+
+
+def test_compare_bytes_semantics():
+    assert compare_bytes(b"a", b"a") == 0
+    assert compare_bytes(b"a", b"b") < 0
+    assert compare_bytes(b"b", b"a") > 0
+    assert compare_bytes(b"a", b"aa") < 0
+
+
+def test_raw_comparator_sort_key():
+    comp = RawBytesComparator()
+    items = [b"pear", b"apple", b"fig"]
+    assert sorted(items, key=comp.sort_key) == [b"apple", b"fig", b"pear"]
+
+
+def test_writable_comparator_text():
+    comp = WritableComparator(Text)
+    a = Text("alpha").to_bytes()
+    b = Text("beta").to_bytes()
+    assert comp.compare(a, b) < 0
+    assert comp.compare(b, a) > 0
+    assert comp.compare(a, a) == 0
+
+
+def test_raw_order_equals_deserialized_order_for_bytes_writable():
+    """Raw payload comparison agrees with BytesWritable ordering (the
+    reason Hadoop can sort without deserializing)."""
+    payloads = [b"zz", b"a", b"mn", b"mnop", b"", b"a\x00b"]
+    raw_sorted = sorted(payloads)
+    writable_sorted = [
+        w.payload for w in sorted(BytesWritable(p) for p in payloads)
+    ]
+    assert raw_sorted == writable_sorted

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the datatype substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    BytesWritable,
+    IFileReader,
+    IFileWriter,
+    IntWritable,
+    LongWritable,
+    Text,
+    read_vlong,
+    record_wire_size,
+    vint_size,
+    write_vlong,
+)
+
+vlongs = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+@given(vlongs)
+def test_vlong_roundtrip(value):
+    buf = bytearray()
+    written = write_vlong(buf, value)
+    decoded, consumed = read_vlong(bytes(buf))
+    assert decoded == value
+    assert consumed == written == vint_size(value)
+
+
+@given(vlongs, vlongs)
+def test_vlong_streams_concatenate(a, b):
+    """Two encoded values decode back-to-back without framing help."""
+    buf = bytearray()
+    write_vlong(buf, a)
+    write_vlong(buf, b)
+    da, ca = read_vlong(bytes(buf))
+    db, _cb = read_vlong(bytes(buf), offset=ca)
+    assert (da, db) == (a, b)
+
+
+@given(st.binary(max_size=2048))
+def test_bytes_writable_roundtrip(payload):
+    data = BytesWritable(payload).to_bytes()
+    decoded, consumed = BytesWritable.read(data)
+    assert decoded.payload == payload
+    assert consumed == len(data) == BytesWritable.wire_size(len(payload))
+
+
+@given(st.text(max_size=512))
+def test_text_roundtrip(value):
+    data = Text(value).to_bytes()
+    decoded, consumed = Text.read(data)
+    assert str(decoded) == value
+    assert consumed == len(data)
+
+
+@given(st.text(max_size=64), st.text(max_size=64))
+def test_text_order_matches_utf8_byte_order(a, b):
+    """Hadoop sorts Text by raw UTF-8 bytes; our __lt__ must agree."""
+    assert (Text(a) < Text(b)) == (a.encode("utf-8") < b.encode("utf-8"))
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_writable_roundtrip(value):
+    decoded, _ = IntWritable.read(IntWritable(value).to_bytes())
+    assert decoded.value == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_long_writable_roundtrip(value):
+    decoded, _ = LongWritable.read(LongWritable(value).to_bytes())
+    assert decoded.value == value
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(st.binary(max_size=64), st.binary(max_size=256)), max_size=50
+    )
+)
+def test_ifile_roundtrip_preserves_all_records(pairs):
+    """Record conservation through serialize/deserialize."""
+    writer = IFileWriter()
+    for k, v in pairs:
+        writer.append(BytesWritable(k), BytesWritable(v))
+    segment = writer.close()
+    out = list(IFileReader(segment, BytesWritable, BytesWritable))
+    assert [(k.payload, v.payload) for k, v in out] == pairs
+
+
+@given(
+    st.sampled_from([BytesWritable, Text]),
+    st.integers(min_value=0, max_value=20_000),
+    st.integers(min_value=0, max_value=20_000),
+)
+def test_record_wire_size_matches_real_writer(datatype, ksize, vsize):
+    """Analytic size accounting equals actual serialized bytes."""
+    if datatype is BytesWritable:
+        key, value = BytesWritable(b"k" * ksize), BytesWritable(b"v" * vsize)
+    else:
+        key, value = Text("k" * ksize), Text("v" * vsize)
+    writer = IFileWriter()
+    appended = writer.append(key, value)
+    assert appended == record_wire_size(datatype, ksize, vsize)

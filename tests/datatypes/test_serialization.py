@@ -1,0 +1,108 @@
+"""Tests for IFile framing and wire-size accounting."""
+
+import pytest
+
+from repro.datatypes import (
+    BytesWritable,
+    IFileReader,
+    IFileWriter,
+    IntWritable,
+    Text,
+    record_wire_size,
+)
+
+
+class TestIFile:
+    def test_roundtrip_bytes_writable(self):
+        writer = IFileWriter()
+        records = [
+            (BytesWritable(b"k1"), BytesWritable(b"v1" * 10)),
+            (BytesWritable(b"k2"), BytesWritable(b"")),
+        ]
+        for k, v in records:
+            writer.append(k, v)
+        segment = writer.close()
+        out = list(IFileReader(segment, BytesWritable, BytesWritable))
+        assert out == records
+
+    def test_roundtrip_text(self):
+        writer = IFileWriter()
+        writer.append(Text("key"), Text("value with spaces"))
+        segment = writer.close()
+        reader = IFileReader(segment, Text, Text)
+        key, value = next(reader)
+        assert str(key) == "key" and str(value) == "value with spaces"
+        with pytest.raises(StopIteration):
+            next(reader)
+
+    def test_mixed_types(self):
+        writer = IFileWriter()
+        writer.append(IntWritable(7), Text("seven"))
+        segment = writer.close()
+        key, value = next(IFileReader(segment, IntWritable, Text))
+        assert key.value == 7 and str(value) == "seven"
+
+    def test_append_after_close_raises(self):
+        writer = IFileWriter()
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(Text("a"), Text("b"))
+
+    def test_close_is_idempotent(self):
+        writer = IFileWriter()
+        writer.append(Text("a"), Text("b"))
+        assert writer.close() == writer.close()
+
+    def test_record_count(self):
+        writer = IFileWriter()
+        for i in range(5):
+            writer.append(IntWritable(i), IntWritable(i * i))
+        segment = writer.close()
+        reader = IFileReader(segment, IntWritable, IntWritable)
+        assert len(list(reader)) == 5
+        assert reader.records_read == 5
+        assert writer.records_written == 5
+
+    def test_empty_segment(self):
+        segment = IFileWriter().close()
+        assert list(IFileReader(segment, Text, Text)) == []
+
+    def test_corrupt_eof_raises(self):
+        writer = IFileWriter()
+        segment = bytearray(writer.close())
+        segment[-1] = 0x05  # clobber second EOF marker
+        with pytest.raises(ValueError, match="corrupt IFile"):
+            list(IFileReader(bytes(segment), Text, Text))
+
+
+class TestRecordWireSize:
+    def test_bytes_writable_record(self):
+        """1 KB key + 1 KB value as BytesWritable:
+        vint(1028)=3, vint(1028)=3, 1028, 1028."""
+        assert record_wire_size(BytesWritable, 1024, 1024) == 3 + 3 + 1028 + 1028
+
+    def test_text_record(self):
+        """100 B key + 100 B value as Text: vint(101)=1... payload 101 each,
+        record headers vint(101)=1 each."""
+        assert record_wire_size(Text, 100, 100) == 1 + 1 + 101 + 101
+
+    def test_matches_actual_serialization(self):
+        """Accounting must agree byte-for-byte with the real writer."""
+        for datatype, key, value in [
+            (BytesWritable, BytesWritable(b"x" * 37), BytesWritable(b"y" * 512)),
+            (Text, Text("a" * 37), Text("b" * 512)),
+        ]:
+            writer = IFileWriter()
+            appended = writer.append(key, value)
+            assert appended == record_wire_size(datatype, 37, 512)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            record_wire_size(IntWritable, 4, 4)
+
+    def test_type_overhead_ordering(self):
+        """For equal payloads <= 127B framing: Text < BytesWritable (vint
+        beats fixed 4-byte header)."""
+        assert record_wire_size(Text, 100, 100) < record_wire_size(
+            BytesWritable, 100, 100
+        )

@@ -1,0 +1,92 @@
+"""Tests for the Hadoop vint/vlong codec."""
+
+import pytest
+
+from repro.datatypes import read_vint, read_vlong, vint_size, write_vint, write_vlong
+
+
+def roundtrip(value):
+    buf = bytearray()
+    written = write_vlong(buf, value)
+    decoded, consumed = read_vlong(bytes(buf))
+    assert consumed == written == len(buf)
+    return decoded
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 1, -1, 127, -112, 128, -113, 255, 256, 10_000, -10_000,
+     2**31 - 1, -(2**31), 2**62, -(2**62), 2**63 - 1, -(2**63)],
+)
+def test_vlong_roundtrip(value):
+    assert roundtrip(value) == value
+
+
+@pytest.mark.parametrize("value", list(range(-112, 128)))
+def test_single_byte_range(value):
+    """Hadoop encodes [-112, 127] in exactly one byte."""
+    buf = bytearray()
+    assert write_vlong(buf, value) == 1
+
+
+def test_128_takes_two_bytes():
+    buf = bytearray()
+    assert write_vlong(buf, 128) == 2
+
+
+def test_known_encoding_of_300():
+    """300 = 0x012C -> tag for 2 positive bytes is -114 (0x8E)."""
+    buf = bytearray()
+    write_vlong(buf, 300)
+    assert list(buf) == [0x8E, 0x01, 0x2C]
+
+
+def test_known_encoding_of_negative():
+    """-300: ~(-300) = 299 = 0x012B, tag -122 (0x86)."""
+    buf = bytearray()
+    write_vlong(buf, -300)
+    assert list(buf) == [0x86, 0x01, 0x2B]
+
+
+def test_vint_range_check():
+    buf = bytearray()
+    with pytest.raises(OverflowError):
+        write_vint(buf, 2**31)
+    with pytest.raises(OverflowError):
+        write_vint(buf, -(2**31) - 1)
+
+
+def test_read_vint_rejects_long_values():
+    buf = bytearray()
+    write_vlong(buf, 2**40)
+    with pytest.raises(OverflowError):
+        read_vint(bytes(buf))
+
+
+def test_read_past_end_raises():
+    with pytest.raises(EOFError):
+        read_vlong(b"")
+
+
+def test_truncated_multibyte_raises():
+    buf = bytearray()
+    write_vlong(buf, 100_000)
+    with pytest.raises(EOFError):
+        read_vlong(bytes(buf[:-1]))
+
+
+@pytest.mark.parametrize(
+    "value", [0, 127, -112, 128, -113, 2**16, -(2**16), 2**31 - 1, 2**62]
+)
+def test_vint_size_matches_actual(value):
+    buf = bytearray()
+    written = write_vlong(buf, value)
+    assert vint_size(value) == written
+
+
+def test_offset_reads():
+    buf = bytearray(b"\x00\x00")
+    write_vlong(buf, 500)
+    value, consumed = read_vlong(bytes(buf), offset=2)
+    assert value == 500
+    assert consumed == len(buf) - 2

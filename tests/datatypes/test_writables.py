@@ -1,0 +1,153 @@
+"""Tests for Writable scalar types, BytesWritable and Text."""
+
+import pytest
+
+from repro.datatypes import (
+    BytesWritable,
+    IntWritable,
+    LongWritable,
+    NullWritable,
+    Text,
+    writable_class,
+)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert writable_class("BytesWritable") is BytesWritable
+        assert writable_class("Text") is Text
+        assert writable_class("IntWritable") is IntWritable
+        assert writable_class("LongWritable") is LongWritable
+        assert writable_class("NullWritable") is NullWritable
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown Writable"):
+            writable_class("FloatWritable")
+
+
+class TestNullWritable:
+    def test_singleton(self):
+        assert NullWritable() is NullWritable()
+
+    def test_zero_size(self):
+        assert NullWritable().serialized_size() == 0
+        assert NullWritable().to_bytes() == b""
+
+    def test_read(self):
+        value, consumed = NullWritable.read(b"anything", 3)
+        assert value is NullWritable()
+        assert consumed == 0
+
+
+class TestIntWritable:
+    def test_roundtrip(self):
+        for v in (0, 1, -1, 2**31 - 1, -(2**31)):
+            data = IntWritable(v).to_bytes()
+            assert len(data) == 4
+            decoded, consumed = IntWritable.read(data)
+            assert consumed == 4 and decoded.value == v
+
+    def test_big_endian(self):
+        assert IntWritable(1).to_bytes() == b"\x00\x00\x00\x01"
+
+    def test_range_check(self):
+        with pytest.raises(OverflowError):
+            IntWritable(2**31)
+
+    def test_ordering(self):
+        assert IntWritable(1) < IntWritable(2)
+        assert sorted([IntWritable(3), IntWritable(1)])[0].value == 1
+
+
+class TestLongWritable:
+    def test_roundtrip(self):
+        for v in (0, 2**63 - 1, -(2**63)):
+            data = LongWritable(v).to_bytes()
+            assert len(data) == 8
+            decoded, _ = LongWritable.read(data)
+            assert decoded.value == v
+
+    def test_range_check(self):
+        with pytest.raises(OverflowError):
+            LongWritable(2**63)
+
+
+class TestBytesWritable:
+    def test_roundtrip(self):
+        payload = bytes(range(50))
+        data = BytesWritable(payload).to_bytes()
+        assert len(data) == 54
+        decoded, consumed = BytesWritable.read(data)
+        assert consumed == 54 and decoded.payload == payload
+
+    def test_wire_size(self):
+        assert BytesWritable.wire_size(100) == 104
+        assert BytesWritable(b"x" * 100).serialized_size() == 104
+
+    def test_wire_size_negative_raises(self):
+        with pytest.raises(ValueError):
+            BytesWritable.wire_size(-1)
+
+    def test_empty(self):
+        data = BytesWritable(b"").to_bytes()
+        assert data == b"\x00\x00\x00\x00"
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            BytesWritable("a string")
+
+    def test_truncated_raises(self):
+        data = BytesWritable(b"hello").to_bytes()
+        with pytest.raises(EOFError):
+            BytesWritable.read(data[:-2])
+
+    def test_ordering_is_bytewise(self):
+        assert BytesWritable(b"a") < BytesWritable(b"b")
+        assert BytesWritable(b"a") < BytesWritable(b"aa")
+
+    def test_len_and_eq(self):
+        assert len(BytesWritable(b"abc")) == 3
+        assert BytesWritable(b"abc") == BytesWritable(b"abc")
+        assert BytesWritable(b"abc") != BytesWritable(b"abd")
+
+
+class TestText:
+    def test_roundtrip_ascii(self):
+        data = Text("hello").to_bytes()
+        assert len(data) == 6  # 1-byte vint + 5 payload bytes
+        decoded, consumed = Text.read(data)
+        assert consumed == 6 and str(decoded) == "hello"
+
+    def test_roundtrip_unicode(self):
+        original = "héllo wörld ☃"
+        decoded, _ = Text.read(Text(original).to_bytes())
+        assert str(decoded) == original
+
+    def test_from_bytes_validates_utf8(self):
+        with pytest.raises(UnicodeDecodeError):
+            Text(b"\xff\xfe")
+
+    def test_wire_size_small(self):
+        # 100-byte payload: 1-byte vint prefix
+        assert Text.wire_size(100) == 101
+
+    def test_wire_size_large(self):
+        # 10 KB payload: vint(10000) needs 3 bytes (tag + 2)
+        assert Text.wire_size(10_000) == 10_003
+
+    def test_text_framing_differs_from_bytes_writable(self):
+        """The data-type experiment's premise: same payload, different
+        on-wire size."""
+        assert Text.wire_size(1000) != BytesWritable.wire_size(1000)
+
+    def test_ordering_is_utf8_bytewise(self):
+        assert Text("a") < Text("b")
+        assert sorted([Text("pear"), Text("apple")])[0] == Text("apple")
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            Text(42)
+
+    def test_truncated_raises(self):
+        with pytest.raises(EOFError):
+            Text.read(Text("hello world").to_bytes()[:-3])

@@ -1,0 +1,115 @@
+"""Tests for the functional local job runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkConfig, compute_shuffle_matrix
+from repro.engine import Counters, LocalJobRunner
+from repro.engine.localrunner import discarding_reducer
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=2000, num_maps=4, num_reduces=8,
+                    key_size=16, value_size=48)
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+@pytest.mark.parametrize("pattern", ["avg", "rand", "skew"])
+def test_record_conservation(pattern):
+    """No record is lost or duplicated between map and reduce."""
+    config = cfg(pattern=pattern)
+    result = LocalJobRunner(config).run()
+    c = result.counters
+    assert c.value(Counters.MAP_OUTPUT_RECORDS) == config.num_pairs
+    assert c.value(Counters.REDUCE_INPUT_RECORDS) == config.num_pairs
+    assert sum(result.reduce_input_records) == config.num_pairs
+
+
+def test_map_input_is_one_dummy_record_per_map():
+    config = cfg()
+    result = LocalJobRunner(config).run()
+    assert result.counters.value(Counters.MAP_INPUT_RECORDS) == config.num_maps
+
+
+def test_avg_reducer_loads_even():
+    config = cfg(pattern="avg", num_pairs=6400)
+    result = LocalJobRunner(config).run()
+    loads = result.reducer_loads()
+    assert max(loads) - min(loads) <= config.num_maps
+
+
+def test_skew_reducer0_dominates():
+    config = cfg(pattern="skew", num_pairs=20_000)
+    result = LocalJobRunner(config).run()
+    loads = result.reducer_loads()
+    assert loads[0] > 0.45 * sum(loads)
+
+
+def test_reduce_groups_bounded_by_unique_keys():
+    """The generator emits at most num_reduces unique keys, so the whole
+    job has at most num_reduces * num_maps... but identical key payloads
+    across maps collapse: group count per reducer <= unique keys."""
+    config = cfg(pattern="avg")
+    result = LocalJobRunner(config).run()
+    groups = result.counters.value(Counters.REDUCE_INPUT_GROUPS)
+    assert groups <= config.num_reduces * config.num_reduces
+
+
+def test_functional_matrix_matches_analytic_matrix():
+    """The simulator's shuffle matrix equals what the real execution
+    actually moved (same config, same seed) — the cross-validation the
+    design doc promises."""
+    for pattern in ("avg", "rand", "skew"):
+        config = cfg(pattern=pattern, num_pairs=3000)
+        observed = LocalJobRunner(config).run()
+        analytic = compute_shuffle_matrix(config)
+        assert np.array_equal(observed.shuffle_records, analytic.records)
+
+
+def test_shuffle_bytes_close_to_analytic():
+    """Observed segment bytes ~= records * record_size (segments add an
+    EOF marker per (map, reduce) cell)."""
+    config = cfg(pattern="avg", num_pairs=4000)
+    result = LocalJobRunner(config).run()
+    analytic = compute_shuffle_matrix(config)
+    eof_overhead = 2  # two vint(-1) bytes... each is 1 byte
+    for m in range(config.num_maps):
+        for r in range(config.num_reduces):
+            expected = analytic.bytes[m, r] + eof_overhead
+            assert abs(int(result.shuffle_bytes[m, r]) - expected) <= 2
+
+
+def test_custom_mapper_and_reducer():
+    """The engine is generic: run a word-count-style job."""
+    from repro.datatypes import IntWritable, Text
+
+    def mapper(config, map_id, ctx):
+        for word in ["the", "quick", "the", "fox"]:
+            ctx.emit(Text(word), Text("1"))
+
+    seen = {}
+
+    def reducer(key, values, ctx):
+        consumed = ctx.consume(key, values)
+        seen[str(key)] = seen.get(str(key), 0) + len(consumed)
+
+    config = cfg(data_type="Text", num_maps=2, num_reduces=2, num_pairs=1)
+    LocalJobRunner(config, mapper=mapper, reducer=reducer).run()
+    assert seen == {"the": 4, "quick": 2, "fox": 2}
+
+
+def test_deterministic_repeat_runs():
+    config = cfg(pattern="rand")
+    a = LocalJobRunner(config).run()
+    b = LocalJobRunner(config).run()
+    assert np.array_equal(a.shuffle_records, b.shuffle_records)
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+def test_discarding_reducer_counts():
+    config = cfg(num_pairs=100, num_maps=1, num_reduces=2)
+    result = LocalJobRunner(config, reducer=discarding_reducer).run()
+    assert result.counters.value(Counters.REDUCE_INPUT_RECORDS) == 100
+    # Output discarded: NullOutputFormat writer saw nothing.
+    assert result.counters.value(Counters.REDUCE_OUTPUT_RECORDS) == 0

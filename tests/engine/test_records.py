@@ -1,0 +1,93 @@
+"""Tests for map-output buffers and merge machinery."""
+
+import pytest
+
+from repro.datatypes import BytesWritable, IFileReader, Text
+from repro.engine import MapOutputBuffer, group_by_key, merge_sorted_segments
+
+
+class TestMapOutputBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapOutputBuffer(0)
+
+    def test_collect_counts(self):
+        buf = MapOutputBuffer(4)
+        buf.collect(BytesWritable(b"k"), BytesWritable(b"v"), 2)
+        assert buf.records_collected == 1
+        assert buf.records_per_partition() == [0, 0, 1, 0]
+        assert buf.bytes_collected == (4 + 1) * 2
+
+    def test_partition_range_check(self):
+        buf = MapOutputBuffer(2)
+        with pytest.raises(IndexError):
+            buf.collect(BytesWritable(b"k"), BytesWritable(b"v"), 2)
+
+    def test_segments_are_sorted(self):
+        buf = MapOutputBuffer(1)
+        for payload in (b"pear", b"apple", b"fig", b"banana"):
+            buf.collect(BytesWritable(payload), BytesWritable(b"v"), 0)
+        segment = buf.segments()[0]
+        keys = [k.payload for k, _v in IFileReader(segment, BytesWritable, BytesWritable)]
+        assert keys == sorted(keys)
+
+    def test_empty_partition_yields_empty_segment(self):
+        buf = MapOutputBuffer(2)
+        buf.collect(BytesWritable(b"k"), BytesWritable(b"v"), 0)
+        segments = buf.segments()
+        assert list(IFileReader(segments[1], BytesWritable, BytesWritable)) == []
+
+
+class TestMerge:
+    def make_segment(self, keys):
+        buf = MapOutputBuffer(1)
+        for k in keys:
+            buf.collect(BytesWritable(k), BytesWritable(b"v:" + k), 0)
+        return buf.segments()[0]
+
+    def test_merge_two_segments_globally_sorted(self):
+        seg1 = self.make_segment([b"a", b"c", b"e"])
+        seg2 = self.make_segment([b"b", b"d", b"f"])
+        merged = list(merge_sorted_segments([seg1, seg2], BytesWritable, BytesWritable))
+        keys = [k.payload for k, _v in merged]
+        assert keys == [b"a", b"b", b"c", b"d", b"e", b"f"]
+
+    def test_merge_with_duplicate_keys(self):
+        seg1 = self.make_segment([b"a", b"a", b"b"])
+        seg2 = self.make_segment([b"a", b"b"])
+        merged = list(merge_sorted_segments([seg1, seg2], BytesWritable, BytesWritable))
+        keys = [k.payload for k, _v in merged]
+        assert keys == [b"a", b"a", b"a", b"b", b"b"]
+
+    def test_merge_empty_input(self):
+        assert list(merge_sorted_segments([], BytesWritable, BytesWritable)) == []
+
+    def test_merge_text_segments(self):
+        buf = MapOutputBuffer(1)
+        for s in ("zebra", "ant"):
+            buf.collect(Text(s), Text("v"), 0)
+        merged = list(merge_sorted_segments([buf.segments()[0]], Text, Text))
+        assert [str(k) for k, _v in merged] == ["ant", "zebra"]
+
+
+class TestGroupByKey:
+    def test_groups_adjacent_equal_keys(self):
+        records = [
+            (BytesWritable(b"a"), BytesWritable(b"1")),
+            (BytesWritable(b"a"), BytesWritable(b"2")),
+            (BytesWritable(b"b"), BytesWritable(b"3")),
+        ]
+        groups = list(group_by_key(records))
+        assert len(groups) == 2
+        assert groups[0][0].payload == b"a"
+        assert [v.payload for v in groups[0][1]] == [b"1", b"2"]
+        assert [v.payload for v in groups[1][1]] == [b"3"]
+
+    def test_empty_stream(self):
+        assert list(group_by_key([])) == []
+
+    def test_single_key(self):
+        records = [(BytesWritable(b"x"), BytesWritable(bytes([i]))) for i in range(5)]
+        groups = list(group_by_key(records))
+        assert len(groups) == 1
+        assert len(groups[0][1]) == 5

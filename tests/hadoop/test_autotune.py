@@ -1,0 +1,82 @@
+"""Tests for the JobConf auto-tuner."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import JobConf, cluster_a, run_simulated_job
+from repro.hadoop.autotune import TuningResult, Trial, grid_search
+
+MB = 1e6
+
+
+def cfg():
+    return BenchmarkConfig(num_pairs=200_000, num_maps=8, num_reduces=4,
+                           key_size=512, value_size=512,
+                           network="ipoib-qdr")
+
+
+@pytest.fixture(scope="module")
+def search():
+    return grid_search(
+        cfg(),
+        space={"parallel_copies": (1, 5), "reduce_slowstart": (0.05, 1.0)},
+        cluster=cluster_a(2),
+        base_jobconf=JobConf(map_slots_per_node=2),  # 2 map waves
+    )
+
+
+def test_full_grid_evaluated(search):
+    assert len(search.trials) == 4
+
+
+def test_best_is_minimum(search):
+    assert search.best.execution_time == min(
+        t.execution_time for t in search.trials)
+    assert search.worst.execution_time == max(
+        t.execution_time for t in search.trials)
+
+
+def test_best_jobconf_applies_params(search):
+    jc = search.best_jobconf()
+    assert jc.parallel_copies == search.best.params["parallel_copies"]
+    assert jc.map_slots_per_node == 2  # base conf preserved
+
+
+def test_best_jobconf_reproduces_best_time(search):
+    rerun = run_simulated_job(cfg(), cluster=cluster_a(2),
+                              jobconf=search.best_jobconf())
+    assert rerun.execution_time == pytest.approx(
+        search.best.execution_time)
+
+
+def test_spread_pct(search):
+    assert 0.0 <= search.spread_pct < 100.0
+
+
+def test_table_orders_by_time(search):
+    lines = search.table().splitlines()
+    times = [float(line.split("s")[0]) for line in lines]
+    assert times == sorted(times)
+    assert len(search.table(top=2).splitlines()) == 2
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError, match="unknown JobConf field"):
+        grid_search(cfg(), space={"warp_speed": (9,)}, cluster=cluster_a(2))
+
+
+def test_empty_result_guards():
+    empty = TuningResult()
+    with pytest.raises(ValueError):
+        _ = empty.best
+
+
+def test_slowstart_early_wins_with_map_waves(search):
+    """With two map waves, launching reducers early (0.05) beats
+    waiting for all maps (1.0) at equal parallel_copies."""
+    by_params = {
+        (t.params["parallel_copies"], t.params["reduce_slowstart"]):
+            t.execution_time
+        for t in search.trials
+    }
+    assert by_params[(5, 0.05)] <= by_params[(5, 1.0)]

@@ -1,0 +1,69 @@
+"""Tests for cluster hardware specifications."""
+
+import pytest
+
+from repro.hadoop import NodeSpec, STAMPEDE_NODE, WESTMERE_NODE, cluster_a, cluster_b
+
+
+def test_cluster_a_matches_paper():
+    """Sect 5.1: Xeon dual quad-core @2.67GHz, 24GB, two 1TB HDDs."""
+    spec = cluster_a().node
+    assert spec.cores == 8
+    assert spec.clock_ghz == pytest.approx(2.67)
+    assert spec.ram_bytes == pytest.approx(24e9)
+    assert spec.disks == 2
+
+
+def test_cluster_b_matches_paper():
+    """Sect 5.1: dual octa-core E5-2680 @2.7GHz, 32GB, single HDD."""
+    spec = cluster_b().node
+    assert spec.cores == 16
+    assert spec.clock_ghz == pytest.approx(2.7)
+    assert spec.ram_bytes == pytest.approx(32e9)
+    assert spec.disks == 1
+
+
+def test_default_slave_counts():
+    assert cluster_a().num_slaves == 4
+    assert cluster_b().num_slaves == 8
+
+
+def test_with_slaves():
+    c = cluster_a().with_slaves(8)
+    assert c.num_slaves == 8
+    assert c.node is WESTMERE_NODE
+
+
+def test_slave_names_unique():
+    names = cluster_b(16).slave_names()
+    assert len(names) == 16
+    assert len(set(names)) == 16
+
+
+def test_aggregate_disk_bandwidth():
+    assert WESTMERE_NODE.aggregate_disk_bandwidth == pytest.approx(
+        2 * WESTMERE_NODE.disk_bandwidth
+    )
+
+
+def test_page_cache_bytes():
+    assert STAMPEDE_NODE.page_cache_bytes == pytest.approx(
+        STAMPEDE_NODE.ram_bytes * STAMPEDE_NODE.page_cache_fraction
+    )
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"cores": 0}, {"disks": 0}, {"clock_ghz": 0},
+    {"ram_bytes": 0}, {"disk_bandwidth": 0}, {"page_cache_fraction": 1.5},
+])
+def test_node_spec_validation(kwargs):
+    base = dict(cores=8, clock_ghz=2.67, ram_bytes=24e9, disks=2,
+                disk_bandwidth=120e6)
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        NodeSpec(**base)
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        cluster_a(0)

@@ -1,0 +1,67 @@
+"""Tests for the framework cost model."""
+
+import pytest
+
+from repro.hadoop import CostModel, DEFAULT_COST_MODEL
+
+
+def test_scaled_preserves_total_work_ratio():
+    """A 2x faster clock halves all per-record/byte CPU costs."""
+    cm = DEFAULT_COST_MODEL
+    fast = cm.scaled(cm.base_clock_ghz * 2)
+    assert fast.cpu_per_record_generate == pytest.approx(
+        cm.cpu_per_record_generate / 2
+    )
+    assert fast.cpu_per_record_reduce == pytest.approx(
+        cm.cpu_per_record_reduce / 2
+    )
+    assert fast.cpu_per_record_final_merge == pytest.approx(
+        cm.cpu_per_record_final_merge / 2
+    )
+
+
+def test_scaled_identity():
+    cm = DEFAULT_COST_MODEL
+    same = cm.scaled(cm.base_clock_ghz)
+    assert same.cpu_per_record_generate == pytest.approx(cm.cpu_per_record_generate)
+
+
+def test_scaled_invalid_clock():
+    with pytest.raises(ValueError):
+        DEFAULT_COST_MODEL.scaled(0)
+
+
+def test_scaled_does_not_change_fixed_overheads():
+    fast = DEFAULT_COST_MODEL.scaled(10.0)
+    assert fast.map_task_start == DEFAULT_COST_MODEL.map_task_start
+    assert fast.heartbeat_interval == DEFAULT_COST_MODEL.heartbeat_interval
+
+
+def test_map_generate_time_linear():
+    cm = DEFAULT_COST_MODEL
+    t1 = cm.map_generate_time(1000, 1e6)
+    t2 = cm.map_generate_time(2000, 2e6)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_sort_time_nlogn():
+    cm = DEFAULT_COST_MODEL
+    assert cm.sort_time(0) == 0.0
+    assert cm.sort_time(1) == 0.0
+    # 2n log(2n) > 2 * n log n
+    assert cm.sort_time(2000) > 2 * cm.sort_time(1000)
+
+
+def test_reduce_and_merge_times_positive():
+    cm = DEFAULT_COST_MODEL
+    assert cm.reduce_time(100, 1e5) > 0
+    assert cm.shuffle_merge_time(100, 1e5) > 0
+    assert cm.final_merge_time(100, 1e5) > 0
+    assert cm.map_merge_time(100) > 0
+
+
+def test_generate_dominates_reduce_per_record():
+    """Map-side object churn is the most expensive per-record path."""
+    cm = DEFAULT_COST_MODEL
+    assert cm.cpu_per_record_generate > cm.cpu_per_record_reduce
+    assert cm.cpu_per_record_generate > cm.cpu_per_record_final_merge

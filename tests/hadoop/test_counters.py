@@ -1,0 +1,64 @@
+"""Tests for Hadoop-style job counters."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.engine.context import Counters
+from repro.hadoop import JobConf, cluster_a, run_simulated_job
+from repro.hadoop.counters import (
+    MAP_SPILLS,
+    REDUCE_SPILLED_BYTES,
+    SHUFFLE_WIRE_BYTES,
+    counters_dict,
+    format_counters,
+    job_counters,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = BenchmarkConfig(num_pairs=400_000, num_maps=8, num_reduces=4,
+                             key_size=512, value_size=512)
+    return run_simulated_job(config, cluster=cluster_a(2))
+
+
+def test_record_counters(result):
+    c = job_counters(result)
+    assert c.value(Counters.MAP_INPUT_RECORDS) == 8
+    assert c.value(Counters.MAP_OUTPUT_RECORDS) == 400_000
+    assert c.value(Counters.REDUCE_INPUT_RECORDS) == 400_000
+    assert c.value(Counters.REDUCE_OUTPUT_RECORDS) == 0  # NullOutputFormat
+
+
+def test_byte_counters(result):
+    c = job_counters(result)
+    assert c.value(Counters.MAP_OUTPUT_BYTES) == result.config.shuffle_bytes
+    assert c.value(Counters.REDUCE_SHUFFLE_BYTES) == pytest.approx(
+        result.config.shuffle_bytes, rel=0.001)
+
+
+def test_spill_counters(result):
+    c = job_counters(result)
+    assert c.value(MAP_SPILLS) >= 8  # at least one spill per map
+    assert c.value(REDUCE_SPILLED_BYTES) >= 0
+
+
+def test_wire_bytes_shrink_with_compression():
+    config = BenchmarkConfig(num_pairs=400_000, num_maps=8, num_reduces=4,
+                             key_size=512, value_size=512)
+    plain = job_counters(run_simulated_job(config, cluster=cluster_a(2)))
+    packed = job_counters(run_simulated_job(
+        config, cluster=cluster_a(2),
+        jobconf=JobConf(compress_map_output=True)))
+    assert packed.value(SHUFFLE_WIRE_BYTES) < plain.value(SHUFFLE_WIRE_BYTES)
+
+
+def test_format_counters(result):
+    text = format_counters(job_counters(result))
+    assert text.startswith("Counters:")
+    assert "MAP_OUTPUT_RECORDS=400,000" in text
+
+
+def test_counters_dict(result):
+    d = counters_dict(result)
+    assert d[Counters.MAP_OUTPUT_RECORDS] == 400_000

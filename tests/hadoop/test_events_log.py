@@ -1,0 +1,38 @@
+"""Tests for the job event log."""
+
+import pytest
+
+from repro.hadoop import JobEventLog
+
+
+def test_record_and_query():
+    log = JobEventLog()
+    log.record(0.0, JobEventLog.MAP_START, "map0")
+    log.record(1.0, JobEventLog.MAP_FINISH, "map0")
+    log.record(1.0, JobEventLog.SLOWSTART)
+    assert len(log) == 3
+    assert log.first(JobEventLog.MAP_START).detail == "map0"
+    assert log.last(JobEventLog.MAP_FINISH).time == 1.0
+    assert log.first("NOPE") is None
+
+
+def test_out_of_order_rejected():
+    log = JobEventLog()
+    log.record(5.0, JobEventLog.MAP_START)
+    with pytest.raises(ValueError):
+        log.record(4.0, JobEventLog.MAP_FINISH)
+
+
+def test_dump_format():
+    log = JobEventLog()
+    log.record(1.5, JobEventLog.JOB_FINISH, "done")
+    text = log.dump()
+    assert "JOB_FINISH" in text
+    assert "1.500" in text
+
+
+def test_iteration():
+    log = JobEventLog()
+    log.record(0.0, "A")
+    log.record(1.0, "B")
+    assert [ev.kind for ev in log] == ["A", "B"]

@@ -1,0 +1,167 @@
+"""Tests for the framework extensions: combiner, compression,
+failure injection, speculative execution."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import JobConf, JobEventLog, cluster_a, run_simulated_job
+from repro.hadoop.simulation import TaskFailedError
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=400_000, num_maps=8, num_reduces=4,
+                    key_size=512, value_size=512, network="1GigE")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def run(config, **kw):
+    kw.setdefault("cluster", cluster_a(2))
+    return run_simulated_job(config, **kw)
+
+
+class TestCompression:
+    def test_compression_reduces_wire_bytes(self):
+        plain = run(cfg())
+        packed = run(cfg(), jobconf=JobConf(compress_map_output=True))
+        fetched_plain = sum(s.bytes_fetched for s in plain.reduce_stats)
+        fetched_packed = sum(s.bytes_fetched for s in packed.reduce_stats)
+        assert fetched_packed == pytest.approx(
+            fetched_plain * 0.45, rel=0.01)
+
+    def test_compression_helps_on_slow_network(self):
+        """On 1 GigE, shrinking the wire bytes outweighs codec CPU."""
+        plain = run(cfg(network="1GigE")).execution_time
+        packed = run(cfg(network="1GigE"),
+                     jobconf=JobConf(compress_map_output=True)).execution_time
+        assert packed < plain
+
+    def test_compression_costs_cpu_on_fast_network(self):
+        """On RDMA the wire is nearly free; codec CPU is pure overhead
+        (or at best a wash)."""
+        from repro.hadoop import cluster_b
+
+        plain = run_simulated_job(
+            cfg(network="rdma"), cluster=cluster_b(2)).execution_time
+        packed = run_simulated_job(
+            cfg(network="rdma"), cluster=cluster_b(2),
+            jobconf=JobConf(compress_map_output=True)).execution_time
+        assert packed >= plain * 0.98
+
+    def test_logical_bytes_preserved(self):
+        packed = run(cfg(), jobconf=JobConf(compress_map_output=True))
+        total_logical = packed.matrix.total_bytes
+        # reduce functions still see the uncompressed volume
+        assert sum(
+            s.records for s in packed.reduce_stats
+        ) == packed.config.num_pairs
+        assert total_logical > sum(s.bytes_fetched for s in packed.reduce_stats)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobConf(compression_ratio=0.0)
+
+
+class TestCombiner:
+    def test_combiner_reduces_shuffle_volume(self):
+        plain = run(cfg())
+        combined = run(cfg(), jobconf=JobConf(combiner_reduction=0.25))
+        assert sum(s.bytes_fetched for s in combined.reduce_stats) == (
+            pytest.approx(
+                0.25 * sum(s.bytes_fetched for s in plain.reduce_stats),
+                rel=0.01,
+            )
+        )
+
+    def test_combiner_speeds_up_slow_network(self):
+        plain = run(cfg(network="1GigE")).execution_time
+        combined = run(
+            cfg(network="1GigE"),
+            jobconf=JobConf(combiner_reduction=0.25),
+        ).execution_time
+        assert combined < plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobConf(combiner_reduction=0.0)
+        with pytest.raises(ValueError):
+            JobConf(combiner_reduction=1.5)
+
+
+class TestFailureInjection:
+    def test_no_failures_by_default(self):
+        result = run(cfg())
+        assert not result.events.of_kind(JobEventLog.TASK_FAILED)
+
+    def test_failures_are_retried_and_job_completes(self):
+        jc = JobConf(task_failure_probability=0.3, max_task_attempts=8)
+        result = run(cfg(), jobconf=jc)
+        failed = result.events.of_kind(JobEventLog.TASK_FAILED)
+        assert failed  # at p=0.3 over 12 tasks some attempt fails
+        # ...but the job still finishes with every record accounted for.
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+    def test_failures_slow_the_job_down(self):
+        clean = run(cfg()).execution_time
+        flaky = run(
+            cfg(),
+            jobconf=JobConf(task_failure_probability=0.3,
+                            max_task_attempts=8),
+        ).execution_time
+        assert flaky > clean
+
+    def test_job_fails_after_max_attempts(self):
+        jc = JobConf(task_failure_probability=0.95, max_task_attempts=2)
+        with pytest.raises(TaskFailedError):
+            run(cfg(), jobconf=jc)
+
+    def test_failure_injection_is_deterministic(self):
+        jc = JobConf(task_failure_probability=0.3, max_task_attempts=8)
+        a = run(cfg(), jobconf=jc)
+        b = run(cfg(), jobconf=jc)
+        assert a.execution_time == b.execution_time
+        assert len(a.events.of_kind(JobEventLog.TASK_FAILED)) == len(
+            b.events.of_kind(JobEventLog.TASK_FAILED)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobConf(task_failure_probability=1.0)
+        with pytest.raises(ValueError):
+            JobConf(max_task_attempts=0)
+
+
+class TestSpeculativeExecution:
+    def test_speculation_off_by_default(self):
+        result = run(cfg())
+        assert not result.events.of_kind(JobEventLog.SPECULATIVE)
+
+    def test_speculation_rescues_straggler(self):
+        """With failures making one map wave slow and speculation on,
+        backups launch and the job still completes correctly."""
+        jc = JobConf(task_failure_probability=0.25, max_task_attempts=8,
+                     speculative_execution=True, map_slots_per_node=2)
+        result = run(cfg(num_maps=12), jobconf=jc)
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+    def test_speculation_never_slower_without_failures(self):
+        base = run(cfg()).execution_time
+        spec = run(
+            cfg(), jobconf=JobConf(speculative_execution=True)
+        ).execution_time
+        assert spec == pytest.approx(base, rel=0.01)
+
+    def test_speculation_helps_with_flaky_maps(self):
+        """Failures create stragglers (retried maps); speculation should
+        not make things worse and usually helps."""
+        flaky = JobConf(task_failure_probability=0.25, max_task_attempts=8,
+                        map_slots_per_node=2)
+        spec = JobConf(task_failure_probability=0.25, max_task_attempts=8,
+                       map_slots_per_node=2, speculative_execution=True)
+        t_flaky = run(cfg(num_maps=12), jobconf=flaky).execution_time
+        t_spec = run(cfg(num_maps=12), jobconf=spec).execution_time
+        assert t_spec <= t_flaky * 1.05

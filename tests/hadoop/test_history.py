@@ -1,0 +1,75 @@
+"""Tests for job history records and timelines."""
+
+import json
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import cluster_a, run_simulated_job
+from repro.hadoop.history import history_json, job_history, render_timeline
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = BenchmarkConfig(num_pairs=200_000, num_maps=6, num_reduces=3,
+                             key_size=512, value_size=512,
+                             network="ipoib-qdr")
+    return run_simulated_job(config, cluster=cluster_a(2))
+
+
+class TestJobHistory:
+    def test_structure(self, result):
+        h = job_history(result)
+        assert h["job"]["benchmark"] == "MR-AVG"
+        assert h["job"]["network"] == "IPoIB-QDR(32Gbps)"
+        assert len(h["maps"]) == 6
+        assert len(h["reduces"]) == 3
+        assert h["counters"]["MAP_OUTPUT_RECORDS"] == 200_000
+
+    def test_task_times_consistent(self, result):
+        h = job_history(result)
+        for task in h["maps"]:
+            assert task["finish_s"] >= task["start_s"]
+        for task in h["reduces"]:
+            assert task["start_s"] <= task["shuffle_end_s"] <= task["finish_s"]
+            assert task["finish_s"] <= h["job"]["execution_time_s"]
+
+    def test_events_included_in_order(self, result):
+        h = job_history(result)
+        times = [ev["t"] for ev in h["events"]]
+        assert times == sorted(times)
+        kinds = {ev["kind"] for ev in h["events"]}
+        assert "MAP_START" in kinds and "JOB_FINISH" in kinds
+
+    def test_json_round_trip(self, result):
+        text = history_json(result)
+        parsed = json.loads(text)
+        assert parsed == job_history(result)
+
+
+class TestTimeline:
+    def test_renders_every_task(self, result):
+        chart = render_timeline(result)
+        for m in range(6):
+            assert f"map{m}@" in chart
+        for r in range(3):
+            assert f"reduce{r}@" in chart
+
+    def test_phases_marked(self, result):
+        chart = render_timeline(result)
+        assert "m" in chart and "s" in chart and "r" in chart
+        assert "m=map" in chart  # legend
+
+    def test_reduces_outlast_maps(self, result):
+        """In the Gantt, the reduce tail ends after the last map bar —
+        the job always finishes in the reduce phase."""
+        chart = render_timeline(result).splitlines()
+        map_lines = [l for l in chart if l.lstrip().startswith("map")]
+        reduce_lines = [l for l in chart if l.lstrip().startswith("reduce")]
+
+        def bar_end(line):
+            return len(line.split("|", 1)[1].rstrip())
+
+        last_map = max(bar_end(l) for l in map_lines)
+        last_reduce = max(bar_end(l) for l in reduce_lines)
+        assert last_reduce >= last_map

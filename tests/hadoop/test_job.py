@@ -1,0 +1,64 @@
+"""Tests for JobConf."""
+
+import pytest
+
+from repro.hadoop import DEFAULT_JOB_CONF, JobConf, MRV1, YARN
+
+
+def test_defaults_match_hadoop_121():
+    jc = DEFAULT_JOB_CONF
+    assert jc.io_sort_mb == pytest.approx(100e6)
+    assert jc.sort_spill_percent == pytest.approx(0.80)
+    assert jc.sort_factor == 10
+    assert jc.parallel_copies == 5
+    assert jc.reduce_slowstart == pytest.approx(0.05)
+    assert jc.version == MRV1
+
+
+def test_spill_threshold():
+    jc = JobConf(io_sort_mb=100e6, sort_spill_percent=0.8)
+    assert jc.spill_threshold_bytes == pytest.approx(80e6)
+
+
+def test_derived_slots_for_westmere():
+    jc = DEFAULT_JOB_CONF
+    assert jc.map_slots(8) == 4
+    assert jc.reduce_slots(8) == 2
+    assert jc.containers(8) == 7
+
+
+def test_explicit_slots_override():
+    jc = JobConf(map_slots_per_node=6, reduce_slots_per_node=3,
+                 containers_per_node=10)
+    assert jc.map_slots(8) == 6
+    assert jc.reduce_slots(8) == 3
+    assert jc.containers(8) == 10
+
+
+def test_minimum_slots_on_small_nodes():
+    jc = DEFAULT_JOB_CONF
+    assert jc.map_slots(2) == 2
+    assert jc.reduce_slots(2) == 1
+    assert jc.containers(2) == 2
+
+
+def test_for_yarn_and_back():
+    jc = DEFAULT_JOB_CONF.for_yarn()
+    assert jc.version == YARN
+    assert jc.for_mrv1().version == MRV1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"version": "mrv3"},
+    {"io_sort_mb": 0},
+    {"sort_spill_percent": 0},
+    {"sort_spill_percent": 1.5},
+    {"sort_factor": 1},
+    {"parallel_copies": 0},
+    {"reduce_slowstart": -0.1},
+    {"shuffle_memory_bytes": 0},
+    {"map_slots_per_node": 0},
+])
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        JobConf(**kwargs)

@@ -1,0 +1,116 @@
+"""Tests for concurrent multi-job execution."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import JobConf, cluster_a, run_simulated_job
+from repro.hadoop.multijob import (
+    ConcurrentJobResult,
+    JobRequest,
+    run_concurrent_jobs,
+)
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=300_000, num_maps=8, num_reduces=4,
+                    key_size=512, value_size=512, network="ipoib-qdr")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent_jobs([])
+
+    def test_negative_submit_rejected(self):
+        with pytest.raises(ValueError):
+            JobRequest(cfg(), submit_at=-1.0)
+
+    def test_mixed_networks_rejected(self):
+        with pytest.raises(ValueError, match="share one network"):
+            run_concurrent_jobs([
+                JobRequest(cfg(network="1GigE")),
+                JobRequest(cfg(network="rdma")),
+            ], cluster=cluster_a(2))
+
+
+class TestSingleJobParity:
+    def test_alone_close_to_dedicated_driver(self):
+        """A lone job in the shared world lands near the dedicated
+        driver's time (minor bookkeeping differences allowed)."""
+        dedicated = run_simulated_job(cfg(), cluster=cluster_a(2))
+        [shared] = run_concurrent_jobs([JobRequest(cfg())],
+                                       cluster=cluster_a(2))
+        assert shared.execution_time == pytest.approx(
+            dedicated.execution_time, rel=0.1)
+
+
+class TestInterference:
+    def test_second_job_pays_the_interference(self):
+        """FIFO slots: the first job runs as if alone; the later one
+        queues behind it and finishes strictly later."""
+        alone = run_concurrent_jobs([JobRequest(cfg())],
+                                    cluster=cluster_a(2))[0].execution_time
+        together = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg())], cluster=cluster_a(2))
+        assert together[0].execution_time == pytest.approx(alone, rel=0.02)
+        assert together[1].execution_time > alone * 1.1
+
+    def test_two_jobs_faster_than_serial(self):
+        """Sharing beats strict serialization (the cluster has slack)."""
+        alone = run_concurrent_jobs([JobRequest(cfg())],
+                                    cluster=cluster_a(2))[0].execution_time
+        together = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg())], cluster=cluster_a(2))
+        makespan = max(r.finished_at for r in together)
+        assert makespan < 2 * alone
+
+    def test_staggered_submission(self):
+        first, second = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(), submit_at=30.0)],
+            cluster=cluster_a(2),
+        )
+        assert second.started_at >= 30.0
+        assert first.finished_at > 0
+
+    def test_late_job_on_idle_cluster_runs_clean(self):
+        alone = run_concurrent_jobs([JobRequest(cfg())],
+                                    cluster=cluster_a(2))[0].execution_time
+        first, late = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(), submit_at=10_000.0)],
+            cluster=cluster_a(2),
+        )
+        assert late.execution_time == pytest.approx(alone, rel=0.05)
+
+    def test_skewed_neighbour_hurts_more(self):
+        """A skewed co-tenant occupies reduce slots longer than an even
+        one, delaying the victim more."""
+        even_pair = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(pattern="avg"))],
+            cluster=cluster_a(2))
+        skew_pair = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(pattern="skew"))],
+            cluster=cluster_a(2))
+        assert skew_pair[0].execution_time >= even_pair[0].execution_time * 0.99
+
+    def test_yarn_batch(self):
+        results = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg())],
+            cluster=cluster_a(2), jobconf=JobConf(version="yarn"))
+        assert all(r.execution_time > 0 for r in results)
+
+    def test_deterministic(self):
+        a = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(), submit_at=5.0)],
+            cluster=cluster_a(2))
+        b = run_concurrent_jobs(
+            [JobRequest(cfg()), JobRequest(cfg(), submit_at=5.0)],
+            cluster=cluster_a(2))
+        for ra, rb in zip(a, b):
+            assert ra.execution_time == rb.execution_time
+
+    def test_queueing_delay_reported(self):
+        results = run_concurrent_jobs(
+            [JobRequest(cfg(), submit_at=2.0)], cluster=cluster_a(2))
+        assert results[0].queueing_delay == pytest.approx(0.0, abs=0.01)

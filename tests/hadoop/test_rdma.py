@@ -1,0 +1,78 @@
+"""Tests for the MRoIB case study and its ablation transports."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import (
+    cluster_b,
+    mroib_transport,
+    overlap_only_transport,
+    run_simulated_job,
+    zero_copy_only_transport,
+)
+from repro.net import IPOIB_FDR, ONE_GIGE, RDMA_FDR
+
+
+def cfg(network="ipoib-fdr"):
+    return BenchmarkConfig(num_pairs=400_000, num_maps=8, num_reduces=4,
+                           key_size=512, value_size=512, network=network)
+
+
+def test_mroib_transport_properties():
+    t = mroib_transport()
+    assert t.merge_overlap == 1.0
+    assert t.pipelined_final_merge
+    assert not t.reads_map_output_from_disk
+
+
+def test_mroib_requires_rdma():
+    with pytest.raises(ValueError):
+        mroib_transport(ONE_GIGE)
+
+
+def test_overlap_only_keeps_sockets():
+    t = overlap_only_transport(IPOIB_FDR)
+    assert t.pipelined_final_merge
+    assert t.reads_map_output_from_disk  # still the HTTP data path
+
+
+def test_zero_copy_only_keeps_stock_pipeline():
+    t = zero_copy_only_transport(RDMA_FDR)
+    assert not t.pipelined_final_merge
+    assert not t.reads_map_output_from_disk
+
+
+def test_zero_copy_requires_rdma():
+    with pytest.raises(ValueError):
+        zero_copy_only_transport(IPOIB_FDR)
+
+
+def test_full_mroib_beats_both_ablations():
+    """The Sect. 6 decomposition: zero-copy + overlap > either alone."""
+    cluster = cluster_b(4)
+    stock = run_simulated_job(cfg("ipoib-fdr"), cluster=cluster).execution_time
+    full = run_simulated_job(cfg("rdma"), cluster=cluster).execution_time
+    overlap = run_simulated_job(
+        cfg("ipoib-fdr"), cluster=cluster,
+        transport=overlap_only_transport(IPOIB_FDR),
+    ).execution_time
+    zero_copy = run_simulated_job(
+        cfg("rdma"), cluster=cluster,
+        transport=zero_copy_only_transport(RDMA_FDR),
+    ).execution_time
+    assert full < overlap < stock
+    assert full < zero_copy < stock
+
+
+def test_rdma_gain_grows_with_shuffle_size():
+    cluster = cluster_b(4)
+    gains = []
+    for pairs in (100_000, 800_000):
+        c_ib = BenchmarkConfig(num_pairs=pairs, num_maps=8, num_reduces=4,
+                               network="ipoib-fdr")
+        c_rd = BenchmarkConfig(num_pairs=pairs, num_maps=8, num_reduces=4,
+                               network="rdma")
+        t_ib = run_simulated_job(c_ib, cluster=cluster).execution_time
+        t_rd = run_simulated_job(c_rd, cluster=cluster).execution_time
+        gains.append((t_ib - t_rd) / t_ib)
+    assert gains[1] > gains[0]

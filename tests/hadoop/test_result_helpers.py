@@ -1,0 +1,56 @@
+"""Tests for SimJobResult convenience accessors."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import cluster_a, run_simulated_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = BenchmarkConfig(pattern="skew", num_pairs=300_000,
+                             num_maps=6, num_reduces=4,
+                             key_size=512, value_size=512,
+                             network="1GigE")
+    return run_simulated_job(config, cluster=cluster_a(2))
+
+
+def test_slowest_reduce_is_the_skewed_one(result):
+    slowest = result.slowest_reduce
+    assert slowest.finished_at == max(
+        s.finished_at for s in result.reduce_stats)
+    # Under MR-SKEW the heavy reducer (id 0) finishes last.
+    assert slowest.reduce_id == 0
+
+
+def test_reduce_phase_time_positive_and_bounded(result):
+    assert 0 < result.reduce_phase_time < result.execution_time
+
+
+def test_breakdown_keys_and_consistency(result):
+    b = result.breakdown()
+    assert set(b) == {"execution_time", "map_phase", "slowest_shuffle",
+                      "slowest_reduce_fn"}
+    assert b["execution_time"] == result.execution_time
+    assert b["map_phase"] == result.map_phase_end
+    assert b["slowest_shuffle"] == max(
+        s.shuffle_duration for s in result.reduce_stats)
+
+
+def test_total_shuffle_bytes_matches_config(result):
+    assert result.total_shuffle_bytes == result.config.shuffle_bytes
+
+
+def test_summary_round_numbers(result):
+    s = result.summary()
+    assert s["benchmark"] == "MR-SKEW"
+    assert s["slaves"] == 2
+    assert s["shuffle_gb"] == pytest.approx(
+        result.config.shuffle_bytes / 1e9)
+    assert isinstance(s["execution_time_s"], float)
+
+
+def test_map_stats_sorted_by_id(result):
+    assert [m.map_id for m in result.map_stats] == list(range(6))
+    for m in result.map_stats:
+        assert m.duration > 0

@@ -1,0 +1,108 @@
+"""Tests for the MRv1 and YARN schedulers."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import (
+    DEFAULT_COST_MODEL,
+    JobConf,
+    JobEventLog,
+    JobTrackerScheduler,
+    SimNode,
+    WESTMERE_NODE,
+    YarnScheduler,
+    cluster_a,
+    run_simulated_job,
+)
+from repro.net import NetworkFabric, ONE_GIGE
+from repro.sim import Simulator
+
+
+def make_nodes(n=2):
+    sim = Simulator()
+    fabric = NetworkFabric(sim, ONE_GIGE)
+    nodes = [SimNode(sim, f"n{i}", WESTMERE_NODE, fabric) for i in range(n)]
+    return sim, nodes
+
+
+class TestJobTrackerScheduler:
+    def test_slot_counts(self):
+        sim, nodes = make_nodes()
+        sched = JobTrackerScheduler(sim, nodes, JobConf(), DEFAULT_COST_MODEL)
+        # Westmere: 4 map slots, 2 reduce slots per node
+        assert sched.map_wave_count(8) == 1
+        assert sched.map_wave_count(9) == 2
+        assert sched.map_wave_count(16) == 2
+
+    def test_round_robin_placement(self):
+        sim, nodes = make_nodes()
+        sched = JobTrackerScheduler(sim, nodes, JobConf(), DEFAULT_COST_MODEL)
+        assert sched.map_node(0) is nodes[0]
+        assert sched.map_node(1) is nodes[1]
+        assert sched.map_node(2) is nodes[0]
+        assert sched.reduce_node(3) is nodes[1]
+
+    def test_no_extra_start_latency(self):
+        sim, nodes = make_nodes()
+        sched = JobTrackerScheduler(sim, nodes, JobConf(), DEFAULT_COST_MODEL)
+        assert sched.task_start_extra == 0.0
+
+    def test_slots_block_when_full(self):
+        sim, nodes = make_nodes(1)
+        jc = JobConf(map_slots_per_node=1)
+        sched = JobTrackerScheduler(sim, nodes, jc, DEFAULT_COST_MODEL)
+        g1 = sched.acquire_map(nodes[0])
+        g2 = sched.acquire_map(nodes[0])
+        sim.run()
+        assert g1.processed and not g2.triggered
+        sched.release_map(nodes[0])
+        sim.run()
+        assert g2.processed
+
+
+class TestYarnScheduler:
+    def test_appmaster_takes_a_container(self):
+        sim, nodes = make_nodes()
+        sched = YarnScheduler(sim, nodes, JobConf(version="yarn"),
+                              DEFAULT_COST_MODEL)
+        before = sched.containers_available(nodes[0])
+        sched.job_started()
+        assert sched.containers_available(nodes[0]) == before - 1
+        sched.job_finished()
+        assert sched.containers_available(nodes[0]) == before
+
+    def test_extra_start_latency(self):
+        sim, nodes = make_nodes()
+        sched = YarnScheduler(sim, nodes, JobConf(version="yarn"),
+                              DEFAULT_COST_MODEL)
+        assert sched.task_start_extra == DEFAULT_COST_MODEL.yarn_container_start_extra
+
+    def test_maps_and_reduces_share_containers(self):
+        sim, nodes = make_nodes(1)
+        jc = JobConf(version="yarn", containers_per_node=2)
+        sched = YarnScheduler(sim, nodes, jc, DEFAULT_COST_MODEL)
+        g1 = sched.acquire_map(nodes[0])
+        g2 = sched.acquire_reduce(nodes[0])
+        g3 = sched.acquire_map(nodes[0])
+        sim.run()
+        assert g1.processed and g2.processed and not g3.triggered
+
+
+class TestWaveScheduling:
+    def test_two_map_waves_when_slots_scarce(self):
+        """More maps than slots -> maps run in waves (visible in the
+        event log as staggered MAP_START times)."""
+        config = BenchmarkConfig(num_pairs=50_000, num_maps=8, num_reduces=2)
+        jc = JobConf(map_slots_per_node=2)
+        result = run_simulated_job(config, cluster=cluster_a(2), jobconf=jc)
+        starts = sorted(ev.time for ev in
+                        result.events.of_kind(JobEventLog.MAP_START))
+        # first wave of 4 together, second wave later
+        assert starts[4] > starts[3] + 1.0
+
+    def test_single_wave_when_slots_ample(self):
+        config = BenchmarkConfig(num_pairs=50_000, num_maps=8, num_reduces=2)
+        jc = JobConf(map_slots_per_node=4)
+        result = run_simulated_job(config, cluster=cluster_a(2), jobconf=jc)
+        starts = [ev.time for ev in result.events.of_kind(JobEventLog.MAP_START)]
+        assert max(starts) - min(starts) < 1.0

@@ -1,0 +1,141 @@
+"""Tests for the shuffle service: registry, fetchers, merge."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop import (
+    DEFAULT_COST_MODEL,
+    JobConf,
+    MapOutput,
+    MapOutputRegistry,
+    ReducerShuffle,
+    SimNode,
+    WESTMERE_NODE,
+)
+from repro.net import NetworkFabric, ONE_GIGE, RDMA_FDR
+from repro.net.transport import transport_for
+from repro.sim import Simulator
+
+
+def build_world(num_nodes=2, interconnect=ONE_GIGE):
+    sim = Simulator()
+    fabric = NetworkFabric(sim, interconnect)
+    nodes = [SimNode(sim, f"n{i}", WESTMERE_NODE, fabric) for i in range(num_nodes)]
+    return sim, fabric, nodes
+
+
+def make_output(map_id, node, seg_bytes, seg_records):
+    return MapOutput(
+        map_id=map_id,
+        node=node,
+        segment_bytes=np.asarray(seg_bytes, dtype=float),
+        segment_records=np.asarray(seg_records, dtype=np.int64),
+    )
+
+
+class TestMapOutputRegistry:
+    def test_register_and_complete(self):
+        sim, _f, nodes = build_world()
+        reg = MapOutputRegistry(sim, num_maps=2)
+        assert not reg.complete
+        reg.register(make_output(0, nodes[0], [10.0], [1]))
+        reg.register(make_output(1, nodes[1], [10.0], [1]))
+        assert reg.complete
+
+    def test_too_many_registrations(self):
+        sim, _f, nodes = build_world()
+        reg = MapOutputRegistry(sim, num_maps=1)
+        reg.register(make_output(0, nodes[0], [10.0], [1]))
+        with pytest.raises(RuntimeError):
+            reg.register(make_output(1, nodes[0], [10.0], [1]))
+
+    def test_waiters_notified(self):
+        sim, _f, nodes = build_world()
+        reg = MapOutputRegistry(sim, num_maps=1)
+        ev = reg.wait_for_more()
+        reg.register(make_output(0, nodes[0], [10.0], [1]))
+        sim.run()
+        assert ev.processed and ev.ok
+
+
+def run_shuffle(seg_mb_per_map=50.0, records_per_map=50_000,
+                interconnect=ONE_GIGE, num_maps=4, jobconf=None):
+    sim, fabric, nodes = build_world(2, interconnect)
+    reg = MapOutputRegistry(sim, num_maps=num_maps)
+    costs = DEFAULT_COST_MODEL.scaled(WESTMERE_NODE.clock_ghz)
+    jc = jobconf or JobConf()
+    shuffle = ReducerShuffle(
+        reduce_id=0,
+        node=nodes[0],
+        registry=reg,
+        fabric=fabric,
+        transport=transport_for(interconnect),
+        jobconf=jc,
+        costs=costs,
+    )
+    proc = sim.process(shuffle.run())
+    for m in range(num_maps):
+        reg.register(
+            make_output(m, nodes[m % 2], [seg_mb_per_map * 1e6],
+                        [records_per_map])
+        )
+    stats = sim.run_until_event(proc)
+    return sim, shuffle, stats
+
+
+def test_fetches_everything():
+    _sim, _sh, stats = run_shuffle()
+    assert stats.bytes_fetched == pytest.approx(4 * 50e6)
+    assert stats.records_fetched == 4 * 50_000
+
+
+def test_local_vs_remote_fetch_counting():
+    _sim, _sh, stats = run_shuffle()
+    assert stats.local_fetches == 2
+    assert stats.remote_fetches == 2
+
+
+def test_spills_beyond_memory_budget():
+    """200MB fetched vs a 140MB budget -> ~60MB spilled."""
+    _sim, _sh, stats = run_shuffle()
+    assert stats.bytes_spilled == pytest.approx(200e6 - 140e6)
+
+
+def test_no_spill_when_in_memory():
+    _sim, _sh, stats = run_shuffle(seg_mb_per_map=10.0)
+    assert stats.bytes_spilled == 0.0
+
+
+def test_zero_byte_segments_are_free():
+    sim, _sh, stats = run_shuffle(seg_mb_per_map=0.0, records_per_map=0)
+    assert stats.bytes_fetched == 0.0
+    assert sim.now < 1.0
+
+
+def test_merge_exposed_decreases_with_slower_network():
+    """On a slow network the fetch window hides the incremental merge."""
+    _s1, _sh1, slow = run_shuffle(interconnect=ONE_GIGE)
+    _s2, _sh2, fast = run_shuffle(interconnect=RDMA_FDR)
+    assert slow.merge_work_exposed <= fast.merge_work_exposed + 1e-9
+
+
+def test_rdma_shuffle_faster_than_tcp():
+    s1, _a, _x = run_shuffle(interconnect=ONE_GIGE)
+    s2, _b, _y = run_shuffle(interconnect=RDMA_FDR)
+    assert s2.now < s1.now
+
+
+def test_fetch_order_is_deterministic_per_reducer():
+    _s1, _sh1, a = run_shuffle()
+    _s2, _sh2, b = run_shuffle()
+    assert a.bytes_fetched == b.bytes_fetched
+    assert _s1.now == _s2.now
+
+
+def test_parallel_copies_limits_concurrent_fetches():
+    """With 1 fetcher, fetches serialize -> longer shuffle."""
+    one = JobConf(parallel_copies=1)
+    five = JobConf(parallel_copies=5)
+    s1, _sh1, _a = run_shuffle(jobconf=one, num_maps=8)
+    s5, _sh5, _b = run_shuffle(jobconf=five, num_maps=8)
+    assert s1.now >= s5.now

@@ -1,0 +1,123 @@
+"""Edge cases of the shuffle service and reduce pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import (
+    DEFAULT_COST_MODEL,
+    JobConf,
+    MapOutput,
+    MapOutputRegistry,
+    ReducerShuffle,
+    SimNode,
+    WESTMERE_NODE,
+    cluster_a,
+    run_simulated_job,
+)
+from repro.net import NetworkFabric, ONE_GIGE
+from repro.net.transport import transport_for
+from repro.sim import Simulator
+
+
+def test_single_reducer_receives_everything():
+    config = BenchmarkConfig(num_pairs=100_000, num_maps=4, num_reduces=1,
+                             key_size=512, value_size=512)
+    result = run_simulated_job(config, cluster=cluster_a(2))
+    assert len(result.reduce_stats) == 1
+    assert result.reduce_stats[0].records == config.num_pairs
+
+
+def test_many_reducers_queue_on_slots():
+    """More reducers than reduce slots -> reduce waves."""
+    config = BenchmarkConfig(num_pairs=100_000, num_maps=4, num_reduces=8,
+                             key_size=512, value_size=512)
+    jc = JobConf(reduce_slots_per_node=1)  # 2 slots total on 2 slaves
+    result = run_simulated_job(config, cluster=cluster_a(2), jobconf=jc)
+    starts = sorted(s.started_at for s in result.reduce_stats)
+    assert starts[-1] > starts[0] + 1.0  # later waves demonstrably queue
+
+
+def test_reducer_with_zero_byte_segments():
+    """A reducer whose segments are all empty finishes fast and clean."""
+    sim = Simulator()
+    fabric = NetworkFabric(sim, ONE_GIGE)
+    node = SimNode(sim, "n0", WESTMERE_NODE, fabric)
+    registry = MapOutputRegistry(sim, num_maps=2)
+    costs = DEFAULT_COST_MODEL.scaled(WESTMERE_NODE.clock_ghz)
+    shuffle = ReducerShuffle(
+        reduce_id=0, node=node, registry=registry, fabric=fabric,
+        transport=transport_for(ONE_GIGE), jobconf=JobConf(), costs=costs)
+    proc = sim.process(shuffle.run())
+    for m in range(2):
+        registry.register(MapOutput(
+            map_id=m, node=node,
+            segment_bytes=np.zeros(1), segment_records=np.zeros(1, np.int64)))
+    stats = sim.run_until_event(proc)
+    assert stats.bytes_fetched == 0.0
+    assert stats.records_fetched == 0
+    assert sim.now < 0.5
+
+
+def test_incremental_fetch_as_maps_trickle_in():
+    """Reducers fetch outputs as they are registered, not in one batch."""
+    sim = Simulator()
+    fabric = NetworkFabric(sim, ONE_GIGE)
+    n0 = SimNode(sim, "n0", WESTMERE_NODE, fabric)
+    n1 = SimNode(sim, "n1", WESTMERE_NODE, fabric)
+    registry = MapOutputRegistry(sim, num_maps=2)
+    costs = DEFAULT_COST_MODEL.scaled(WESTMERE_NODE.clock_ghz)
+    shuffle = ReducerShuffle(
+        reduce_id=0, node=n0, registry=registry, fabric=fabric,
+        transport=transport_for(ONE_GIGE), jobconf=JobConf(), costs=costs)
+    proc = sim.process(shuffle.run())
+
+    def trickler():
+        registry.register(MapOutput(
+            map_id=0, node=n1,
+            segment_bytes=np.array([50e6]),
+            segment_records=np.array([50_000], np.int64)))
+        yield sim.timeout(10.0)
+        registry.register(MapOutput(
+            map_id=1, node=n1,
+            segment_bytes=np.array([50e6]),
+            segment_records=np.array([50_000], np.int64)))
+
+    sim.process(trickler())
+    stats = sim.run_until_event(proc)
+    assert stats.bytes_fetched == pytest.approx(100e6)
+    # The second segment could not even start before t=10.
+    assert stats.fetch_finished_at > 10.0
+    # ...but the first was already done by then (fetch overlap).
+    assert stats.fetch_finished_at < 10.0 + 2 * (50e6 / 112e6) + 1.0
+
+
+def test_pipelined_transport_skips_serial_merge():
+    """RDMA-style pipelines expose no merge work in the shuffle stats."""
+    from repro.net import RDMA_FDR
+
+    config = BenchmarkConfig(num_pairs=200_000, num_maps=4, num_reduces=2,
+                             key_size=512, value_size=512, network="rdma")
+    result = run_simulated_job(config, cluster=cluster_a(2))
+    for s in result.reduce_stats:
+        assert s.merge_work_exposed == 0.0
+
+
+def test_stock_transport_exposes_final_merge():
+    config = BenchmarkConfig(num_pairs=200_000, num_maps=4, num_reduces=2,
+                             key_size=512, value_size=512,
+                             network="ipoib-qdr")
+    result = run_simulated_job(config, cluster=cluster_a(2))
+    # The serial gap between fetch end and reduce start is visible as
+    # shuffle_duration exceeding the pure transfer time.
+    s = result.reduce_stats[0]
+    assert s.shuffle_duration > 0
+
+
+def test_reduce_slowstart_one_respects_single_map():
+    """slowstart=1.0 -> reducers launch only after every map."""
+    config = BenchmarkConfig(num_pairs=100_000, num_maps=4, num_reduces=2,
+                             key_size=512, value_size=512)
+    jc = JobConf(reduce_slowstart=1.0)
+    result = run_simulated_job(config, cluster=cluster_a(2), jobconf=jc)
+    assert result.first_reduce_start >= result.map_phase_end - 1e-6

@@ -1,0 +1,187 @@
+"""Integration tests for the simulated-job driver."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import (
+    JOB_OVERHEAD,
+    JobConf,
+    JobEventLog,
+    cluster_a,
+    cluster_b,
+    run_simulated_job,
+)
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=200_000, num_maps=8, num_reduces=4,
+                    key_size=512, value_size=512, network="1GigE")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def run(config, **kw):
+    kw.setdefault("cluster", cluster_a(2))
+    return run_simulated_job(config, **kw)
+
+
+class TestDriverBasics:
+    def test_returns_result_with_positive_time(self):
+        result = run(cfg())
+        assert result.execution_time > JOB_OVERHEAD
+        assert result.map_phase_end > 0
+
+    def test_all_tasks_have_stats(self):
+        config = cfg()
+        result = run(config)
+        assert len(result.map_stats) == config.num_maps
+        assert len(result.reduce_stats) == config.num_reduces
+        for s in result.reduce_stats:
+            assert s.finished_at >= s.shuffle_finished_at >= s.started_at
+
+    def test_all_bytes_are_fetched(self):
+        config = cfg()
+        result = run(config)
+        fetched = sum(s.bytes_fetched for s in result.reduce_stats)
+        assert fetched == pytest.approx(result.matrix.total_bytes)
+
+    def test_event_log_ordering(self):
+        result = run(cfg())
+        events = result.events
+        assert len(events.of_kind(JobEventLog.MAP_START)) == 8
+        assert len(events.of_kind(JobEventLog.MAP_FINISH)) == 8
+        assert len(events.of_kind(JobEventLog.REDUCE_FINISH)) == 4
+        first_reduce = events.first(JobEventLog.REDUCE_START)
+        slowstart = events.first(JobEventLog.SLOWSTART)
+        assert slowstart.time <= first_reduce.time
+        assert events.last(JobEventLog.JOB_FINISH) is not None
+
+    def test_deterministic(self):
+        a = run(cfg())
+        b = run(cfg())
+        assert a.execution_time == b.execution_time
+
+    def test_mismatched_matrix_rejected(self):
+        from repro.core import compute_shuffle_matrix
+
+        other = compute_shuffle_matrix(cfg(num_pairs=999))
+        with pytest.raises(ValueError):
+            run(cfg(), matrix=other)
+
+    def test_summary_fields(self):
+        result = run(cfg())
+        s = result.summary()
+        assert s["benchmark"] == "MR-AVG"
+        assert s["network"] == "1GigE"
+        assert s["execution_time_s"] > 0
+
+
+class TestPaperShapes:
+    """The orderings the paper's evaluation section reports."""
+
+    def test_network_ordering(self):
+        """1 GigE slowest, IPoIB QDR fastest (Fig. 2)."""
+        times = {
+            net: run(cfg(network=net)).execution_time
+            for net in ("1GigE", "10GigE", "ipoib-qdr")
+        }
+        assert times["1GigE"] > times["10GigE"] > times["ipoib-qdr"]
+
+    def test_skew_slower_than_avg(self):
+        """Fig. 2(c): skew roughly doubles the job time vs avg at the
+        paper's own scale (16 maps / 8 reduces on 4 slaves)."""
+
+        def paper_cfg(pattern):
+            return BenchmarkConfig.from_shuffle_size(
+                8e9, pattern=pattern, num_maps=16, num_reduces=8,
+                network="1GigE")
+
+        avg = run_simulated_job(paper_cfg("avg"),
+                                cluster=cluster_a(4)).execution_time
+        skew = run_simulated_job(paper_cfg("skew"),
+                                 cluster=cluster_a(4)).execution_time
+        assert skew > 1.6 * avg
+        assert skew < 3.0 * avg
+
+    def test_rand_close_to_avg(self):
+        avg = run(cfg(pattern="avg")).execution_time
+        rand = run(cfg(pattern="rand")).execution_time
+        assert rand == pytest.approx(avg, rel=0.1)
+
+    def test_monotone_in_data_size(self):
+        small = run(cfg(num_pairs=100_000)).execution_time
+        large = run(cfg(num_pairs=400_000)).execution_time
+        assert large > small
+
+    def test_smaller_kv_pairs_slower_for_same_volume(self):
+        """Fig. 4: same shuffle bytes, smaller pairs -> slower."""
+        big_kv = BenchmarkConfig.from_shuffle_size(
+            1e9, key_size=5120, value_size=5120, num_maps=8, num_reduces=4)
+        small_kv = BenchmarkConfig.from_shuffle_size(
+            1e9, key_size=50, value_size=50, num_maps=8, num_reduces=4)
+        t_big = run(big_kv).execution_time
+        t_small = run(small_kv).execution_time
+        assert t_small > 2 * t_big
+
+    def test_more_tasks_faster(self):
+        """Fig. 5: more maps/reduces exploit the cluster better."""
+        few = cfg(num_maps=4, num_reduces=2)
+        many = cfg(num_maps=8, num_reduces=4)
+        assert run(many).execution_time < run(few).execution_time
+
+    def test_rdma_beats_ipoib_fdr(self):
+        """Fig. 8 on Cluster B."""
+        b = cluster_b(4)
+        t_ib = run_simulated_job(cfg(network="ipoib-fdr"), cluster=b)
+        t_rd = run_simulated_job(cfg(network="rdma"), cluster=b)
+        assert t_rd.execution_time < t_ib.execution_time
+
+    def test_text_and_bytes_writable_both_run(self):
+        """Fig. 6: both data types benefit from faster networks."""
+        for dtype in ("BytesWritable", "Text"):
+            slow = run(cfg(data_type=dtype, network="1GigE")).execution_time
+            fast = run(cfg(data_type=dtype, network="ipoib-qdr")).execution_time
+            assert fast < slow
+
+
+class TestYarn:
+    def test_yarn_runs(self):
+        result = run(cfg(), jobconf=JobConf(version="yarn"))
+        assert result.execution_time > 0
+        assert result.jobconf.version == "yarn"
+
+    def test_yarn_slower_start_but_works(self):
+        v1 = run(cfg())
+        v2 = run(cfg(), jobconf=JobConf(version="yarn"))
+        # YARN pays container-launch overhead on this small job.
+        assert v2.execution_time >= v1.execution_time * 0.9
+
+    def test_yarn_network_ordering_preserved(self):
+        jc = JobConf(version="yarn")
+        times = {
+            net: run(cfg(network=net), jobconf=jc).execution_time
+            for net in ("1GigE", "ipoib-qdr")
+        }
+        assert times["1GigE"] > times["ipoib-qdr"]
+
+
+class TestMonitoring:
+    def test_monitor_collects_traces(self):
+        result = run(cfg(), monitor_interval=1.0)
+        assert result.monitor is not None
+        times, cpu = result.monitor.series("cpu_pct")
+        assert len(times) > 3
+        assert max(cpu) > 0
+        _t, rx = result.monitor.series("net_rx_mb_s")
+        assert max(rx) > 0
+
+    def test_monitor_peak_bounded_by_interconnect(self):
+        from repro.net import get_interconnect
+
+        result = run(cfg(network="1GigE"), monitor_interval=0.5)
+        peak = result.monitor.peak("net_rx_mb_s")
+        cap = get_interconnect("1GigE").sustained_bandwidth / 1e6
+        assert peak <= cap * 1.01
+
+    def test_no_monitor_by_default(self):
+        assert run(cfg()).monitor is None

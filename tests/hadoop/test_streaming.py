@@ -1,0 +1,66 @@
+"""Tests for the Hadoop Streaming overhead model."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import JobConf, cluster_a, run_simulated_job
+from repro.analysis import improvement_pct
+
+
+def cfg(key_size=512, value_size=512, **kw):
+    defaults = dict(num_pairs=400_000, num_maps=8, num_reduces=4,
+                    key_size=key_size, value_size=value_size,
+                    network="ipoib-qdr")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def test_streaming_is_slower():
+    native = run_simulated_job(cfg(), cluster=cluster_a(2)).execution_time
+    streaming = run_simulated_job(
+        cfg(), cluster=cluster_a(2), jobconf=JobConf(streaming=True)
+    ).execution_time
+    assert streaming > native * 1.05
+
+
+def test_streaming_penalty_scales_with_record_count():
+    """At fixed bytes, smaller pairs mean more pipe crossings — the
+    streaming penalty grows, which is exactly why a streaming-based
+    reproduction of this paper would distort the Fig. 4 sweep."""
+
+    def penalty(key_size, value_size):
+        base = BenchmarkConfig.from_shuffle_size(
+            1e9, key_size=key_size, value_size=value_size,
+            num_maps=8, num_reduces=4, network="ipoib-qdr")
+        native = run_simulated_job(base, cluster=cluster_a(2)).execution_time
+        piped = run_simulated_job(
+            base, cluster=cluster_a(2), jobconf=JobConf(streaming=True)
+        ).execution_time
+        return piped / native
+
+    assert penalty(50, 50) > penalty(2048, 2048)
+
+
+def test_streaming_shrinks_apparent_network_gains():
+    """Streaming inflates the CPU share, so the measured network
+    improvement drops — quantifying the 'less faithful' caveat of
+    streaming-based suites."""
+
+    def gain(jobconf):
+        t1 = run_simulated_job(cfg(network="1GigE"), cluster=cluster_a(2),
+                               jobconf=jobconf).execution_time
+        tib = run_simulated_job(cfg(network="ipoib-qdr"),
+                                cluster=cluster_a(2),
+                                jobconf=jobconf).execution_time
+        return improvement_pct(t1, tib)
+
+    assert gain(JobConf(streaming=True)) < gain(JobConf())
+
+
+def test_streaming_moves_no_extra_bytes():
+    native = run_simulated_job(cfg(), cluster=cluster_a(2))
+    piped = run_simulated_job(cfg(), cluster=cluster_a(2),
+                              jobconf=JobConf(streaming=True))
+    assert sum(s.bytes_fetched for s in piped.reduce_stats) == (
+        pytest.approx(sum(s.bytes_fetched for s in native.reduce_stats))
+    )

@@ -1,0 +1,56 @@
+"""YARN under container pressure: tasks queue when the pool is tight."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import JobConf, JobEventLog, cluster_a, run_simulated_job
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=100_000, num_maps=8, num_reduces=4,
+                    key_size=256, value_size=256)
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def test_tight_container_pool_serializes_tasks():
+    """With 2 containers per node (1 eaten by the AppMaster on node0),
+    the 8 maps run in several waves."""
+    jc = JobConf(version="yarn", containers_per_node=2)
+    result = run_simulated_job(cfg(), cluster=cluster_a(2), jobconf=jc)
+    starts = sorted(ev.time for ev in
+                    result.events.of_kind(JobEventLog.MAP_START))
+    # 3 free containers -> at least 3 waves for 8 maps.
+    assert starts[-1] > starts[0] + 2.0
+
+
+def test_tight_pool_slower_than_roomy_pool():
+    tight = run_simulated_job(
+        cfg(), cluster=cluster_a(2),
+        jobconf=JobConf(version="yarn", containers_per_node=2),
+    ).execution_time
+    roomy = run_simulated_job(
+        cfg(), cluster=cluster_a(2),
+        jobconf=JobConf(version="yarn", containers_per_node=8),
+    ).execution_time
+    assert tight > roomy
+
+
+def test_reducers_wait_for_containers_behind_maps():
+    """Reducers share the container pool with maps: under pressure the
+    first reducer starts only after map containers free up."""
+    jc = JobConf(version="yarn", containers_per_node=2,
+                 reduce_slowstart=0.05)
+    result = run_simulated_job(cfg(), cluster=cluster_a(2), jobconf=jc)
+    first_reduce = result.events.first(JobEventLog.REDUCE_START).time
+    first_map_finish = result.events.first(JobEventLog.MAP_FINISH).time
+    assert first_reduce >= first_map_finish - 1e-6
+
+
+def test_job_completes_under_extreme_pressure():
+    """Even 2 containers on one node (1 left after the AppMaster)
+    eventually drains the whole job."""
+    jc = JobConf(version="yarn", containers_per_node=2)
+    result = run_simulated_job(cfg(num_maps=6, num_reduces=2),
+                               cluster=cluster_a(1), jobconf=jc)
+    assert sum(s.records for s in result.reduce_stats) == 100_000

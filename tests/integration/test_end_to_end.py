@@ -1,0 +1,152 @@
+"""Cross-module integration tests: the whole stack, end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BenchmarkConfig,
+    JobConf,
+    MicroBenchmarkSuite,
+    cluster_a,
+    cluster_b,
+    run_simulated_job,
+)
+from repro.core import compute_shuffle_matrix
+from repro.engine import LocalJobRunner
+
+
+SMALL = dict(num_maps=4, num_reduces=4, key_size=64, value_size=192)
+
+
+class TestFunctionalVsSimulated:
+    """The functional engine and the simulator must agree on *what*
+    moves; only the *when* is simulated."""
+
+    @pytest.mark.parametrize("pattern", ["avg", "rand", "skew", "zipf"])
+    def test_shuffle_matrices_agree(self, pattern):
+        config = BenchmarkConfig(pattern=pattern, num_pairs=4000, **SMALL)
+        functional = LocalJobRunner(config).run()
+        simulated = run_simulated_job(config, cluster=cluster_a(2))
+        assert np.array_equal(
+            functional.shuffle_records, simulated.matrix.records
+        )
+
+    def test_reducer_record_counts_agree(self):
+        config = BenchmarkConfig(pattern="skew", num_pairs=4000, **SMALL)
+        functional = LocalJobRunner(config).run()
+        simulated = run_simulated_job(config, cluster=cluster_a(2))
+        sim_records = sorted(s.records for s in simulated.reduce_stats)
+        fun_records = sorted(functional.reduce_input_records)
+        assert sim_records == fun_records
+
+
+class TestCrossNetworkInvariants:
+    @pytest.mark.parametrize("pattern", ["avg", "rand", "skew"])
+    def test_network_ordering_holds_for_every_pattern(self, pattern):
+        config = BenchmarkConfig.from_shuffle_size(
+            2e9, pattern=pattern, **SMALL)
+        times = {}
+        for net in ("1GigE", "10GigE", "ipoib-qdr", "ipoib-fdr"):
+            c = BenchmarkConfig.from_shuffle_size(
+                2e9, pattern=pattern, network=net, **SMALL)
+            times[net] = run_simulated_job(c, cluster=cluster_a(2)).execution_time
+        assert times["1GigE"] > times["10GigE"] > times["ipoib-qdr"]
+        assert times["ipoib-qdr"] >= times["ipoib-fdr"] * 0.99
+
+    def test_identical_workload_identical_matrix_across_networks(self):
+        """Changing the network must not change what is shuffled."""
+        a = BenchmarkConfig.from_shuffle_size(1e9, network="1GigE", **SMALL)
+        b = BenchmarkConfig.from_shuffle_size(1e9, network="rdma", **SMALL)
+        ra = run_simulated_job(a, cluster=cluster_b(2))
+        rb = run_simulated_job(b, cluster=cluster_b(2))
+        assert np.array_equal(ra.matrix.records, rb.matrix.records)
+
+
+class TestFrameworkInvariants:
+    def test_mrv1_and_yarn_same_shuffle_different_schedule(self):
+        config = BenchmarkConfig(num_pairs=200_000, **SMALL)
+        v1 = run_simulated_job(config, cluster=cluster_a(2))
+        v2 = run_simulated_job(config, cluster=cluster_a(2),
+                               jobconf=JobConf(version="yarn"))
+        assert np.array_equal(v1.matrix.records, v2.matrix.records)
+        assert v1.execution_time != v2.execution_time  # different overheads
+
+    def test_scaling_out_helps(self):
+        """More slaves, same work -> faster job."""
+        config = BenchmarkConfig.from_shuffle_size(
+            4e9, num_maps=8, num_reduces=8, key_size=512, value_size=512)
+        t2 = run_simulated_job(config, cluster=cluster_a(2)).execution_time
+        t4 = run_simulated_job(config, cluster=cluster_a(4)).execution_time
+        assert t4 < t2
+
+    def test_cluster_b_faster_nodes_beat_cluster_a(self):
+        """Stampede nodes (16 cores) outrun Westmere (8) per node."""
+        config = BenchmarkConfig.from_shuffle_size(
+            2e9, network="ipoib-fdr", **SMALL)
+        ta = run_simulated_job(config, cluster=cluster_a(2)).execution_time
+        tb = run_simulated_job(config, cluster=cluster_b(2)).execution_time
+        assert tb < ta
+
+    def test_full_determinism_across_suite(self):
+        suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+        a = suite.sweep("MR-SKEW", [0.5], ["1GigE", "rdma"], **SMALL)
+        b = suite.sweep("MR-SKEW", [0.5], ["1GigE", "rdma"], **SMALL)
+        for ra, rb in zip(a.rows, b.rows):
+            assert ra.execution_time == rb.execution_time
+
+
+class TestExtensionInterplay:
+    def test_compression_plus_combiner_compose(self):
+        config = BenchmarkConfig(num_pairs=300_000, network="1GigE", **SMALL)
+        base = run_simulated_job(config, cluster=cluster_a(2))
+        both = run_simulated_job(
+            config, cluster=cluster_a(2),
+            jobconf=JobConf(compress_map_output=True, combiner_reduction=0.5),
+        )
+        fetched_base = sum(s.bytes_fetched for s in base.reduce_stats)
+        fetched_both = sum(s.bytes_fetched for s in both.reduce_stats)
+        assert fetched_both == pytest.approx(
+            fetched_base * 0.5 * 0.45, rel=0.02)
+
+    def test_failures_with_yarn_and_compression(self):
+        """The whole option surface composes without deadlock."""
+        config = BenchmarkConfig(num_pairs=100_000, **SMALL)
+        jc = JobConf(version="yarn", compress_map_output=True,
+                     combiner_reduction=0.5,
+                     task_failure_probability=0.2, max_task_attempts=8,
+                     speculative_execution=True)
+        result = run_simulated_job(config, cluster=cluster_a(2), jobconf=jc)
+        assert result.execution_time > 0
+        assert sum(s.records for s in result.reduce_stats) == pytest.approx(
+            config.num_pairs * 0.5, rel=0.02)
+
+    def test_monitor_with_rdma(self):
+        config = BenchmarkConfig.from_shuffle_size(
+            2e9, network="rdma", **SMALL)
+        result = run_simulated_job(config, cluster=cluster_b(2),
+                                   monitor_interval=0.5)
+        assert result.monitor.peak("net_rx_mb_s") > 0
+
+
+class TestEventLogInvariants:
+    def test_phase_ordering(self):
+        from repro.hadoop import JobEventLog
+
+        config = BenchmarkConfig(num_pairs=100_000, **SMALL)
+        result = run_simulated_job(config, cluster=cluster_a(2))
+        log = result.events
+        assert log.first(JobEventLog.MAP_START).time <= (
+            log.first(JobEventLog.MAP_FINISH).time
+        )
+        assert log.first(JobEventLog.SLOWSTART).time <= (
+            log.first(JobEventLog.REDUCE_START).time
+        )
+        assert log.last(JobEventLog.REDUCE_FINISH).time <= (
+            log.last(JobEventLog.JOB_FINISH).time
+        )
+
+    def test_times_monotone(self):
+        config = BenchmarkConfig(num_pairs=50_000, **SMALL)
+        result = run_simulated_job(config, cluster=cluster_a(2))
+        times = [ev.time for ev in result.events]
+        assert times == sorted(times)

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the network fabric."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import NetworkFabric, compute_max_min
+from repro.net.interconnect import InterconnectSpec
+from repro.sim import Simulator
+
+
+class _FakeFlow:
+    def __init__(self, src, dst):
+        self.src, self.dst = src, dst
+
+    def __repr__(self):
+        return f"flow({self.src}->{self.dst})"
+
+
+def _links(flow):
+    return (("out", flow.src), ("in", flow.dst))
+
+
+flows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+        lambda p: p[0] != p[1]
+    ),
+    min_size=1,
+    max_size=30,
+)
+caps_strategy = st.floats(min_value=1.0, max_value=1e6)
+
+
+@given(flows_strategy, caps_strategy)
+def test_max_min_never_exceeds_capacity(pairs, cap):
+    flows = [_FakeFlow(f"n{a}", f"n{b}") for a, b in pairs]
+    caps = {}
+    for f in flows:
+        for link in _links(f):
+            caps[link] = cap
+    rates = compute_max_min(flows, caps, _links)
+    usage = {}
+    for f in flows:
+        assert rates[f] >= 0
+        for link in _links(f):
+            usage[link] = usage.get(link, 0.0) + rates[f]
+    for link, used in usage.items():
+        assert used <= caps[link] * (1 + 1e-9)
+
+
+@given(flows_strategy, caps_strategy)
+def test_max_min_is_work_conserving(pairs, cap):
+    """Every flow has at least one saturated link (else its rate could
+    be raised — not max-min)."""
+    flows = [_FakeFlow(f"n{a}", f"n{b}") for a, b in pairs]
+    caps = {}
+    for f in flows:
+        for link in _links(f):
+            caps[link] = cap
+    rates = compute_max_min(flows, caps, _links)
+    usage = {}
+    for f in flows:
+        for link in _links(f):
+            usage[link] = usage.get(link, 0.0) + rates[f]
+    for f in flows:
+        saturated = any(
+            usage[link] >= caps[link] * (1 - 1e-9) for link in _links(f)
+        )
+        assert saturated, f"{f} could be raised"
+
+
+@given(flows_strategy)
+def test_max_min_symmetry(pairs):
+    """Flows sharing the same (src, dst) get identical rates."""
+    flows = [_FakeFlow(f"n{a}", f"n{b}") for a, b in pairs]
+    caps = {}
+    for f in flows:
+        for link in _links(f):
+            caps[link] = 100.0
+    rates = compute_max_min(flows, caps, _links)
+    by_pair = {}
+    for f in flows:
+        by_pair.setdefault((f.src, f.dst), []).append(rates[f])
+    for pair_rates in by_pair.values():
+        assert max(pair_rates) - min(pair_rates) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3),            # src
+            st.integers(0, 3),            # dst
+            st.floats(min_value=1.0, max_value=1e6),  # bytes
+            st.floats(min_value=0.0, max_value=5.0),  # start delay
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_fabric_delivers_every_byte(specs):
+    """End-to-end conservation: all flows complete, wire counters add up."""
+    spec = InterconnectSpec("t", 1, effective_bandwidth=1000.0, latency=0.0,
+                            fetch_setup=0.0, cpu_per_byte=0.0)
+    sim = Simulator()
+    fabric = NetworkFabric(sim, spec, loopback_bandwidth=5000.0)
+    for i in range(4):
+        fabric.add_node(f"n{i}")
+    flows = []
+
+    def starter():
+        for src, dst, nbytes, delay in specs:
+            flows.append(
+                fabric.start_flow(f"n{src}", f"n{dst}", nbytes, delay=delay)
+            )
+            yield sim.timeout(0.01)
+
+    sim.process(starter())
+    sim.run()
+    wire_total = sum(n for s, d, n, _ in specs if s != d)
+    received = sum(fabric.node(f"n{i}").rx.total for i in range(4))
+    for flow in flows:
+        assert flow.done.processed and flow.done.ok
+        assert flow.remaining == 0.0
+    assert math.isclose(received, wire_total, rel_tol=1e-6, abs_tol=1e-3)

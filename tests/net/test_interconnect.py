@@ -1,0 +1,84 @@
+"""Tests for the interconnect catalog."""
+
+import pytest
+
+from repro.net import (
+    INTERCONNECTS,
+    IPOIB_FDR,
+    IPOIB_QDR,
+    ONE_GIGE,
+    RDMA_FDR,
+    TEN_GIGE,
+    InterconnectSpec,
+    get_interconnect,
+)
+
+
+def test_catalog_contains_all_paper_networks():
+    assert len(INTERCONNECTS) == 5
+    assert ONE_GIGE.name in INTERCONNECTS
+    assert RDMA_FDR.name in INTERCONNECTS
+
+
+def test_bandwidth_ordering_matches_paper():
+    """1 GigE < 10 GigE < IPoIB QDR < IPoIB FDR < RDMA FDR."""
+    ordered = [ONE_GIGE, TEN_GIGE, IPOIB_QDR, IPOIB_FDR, RDMA_FDR]
+    bandwidths = [spec.effective_bandwidth for spec in ordered]
+    assert bandwidths == sorted(bandwidths)
+    assert bandwidths[0] < bandwidths[1] < bandwidths[2]
+
+
+def test_latency_ordering():
+    """Faster interconnects also have lower latency."""
+    assert ONE_GIGE.latency > TEN_GIGE.latency > IPOIB_QDR.latency
+    assert IPOIB_FDR.latency > RDMA_FDR.latency
+
+
+def test_rdma_flag():
+    assert RDMA_FDR.rdma
+    for spec in (ONE_GIGE, TEN_GIGE, IPOIB_QDR, IPOIB_FDR):
+        assert not spec.rdma
+
+
+def test_rdma_cpu_cost_negligible():
+    """RDMA's defining property: per-byte CPU orders below sockets."""
+    assert RDMA_FDR.cpu_per_byte < ONE_GIGE.cpu_per_byte / 20
+
+
+def test_effective_bandwidths_match_fig7_peaks():
+    """Fig. 7(b): peaks ~110 / ~520 / ~950 MB/s."""
+    assert ONE_GIGE.effective_bandwidth == pytest.approx(110e6, rel=0.1)
+    assert TEN_GIGE.effective_bandwidth == pytest.approx(520e6, rel=0.1)
+    assert IPOIB_QDR.effective_bandwidth == pytest.approx(950e6, rel=0.1)
+
+
+def test_transfer_time():
+    spec = InterconnectSpec(
+        name="test", raw_gbps=1, effective_bandwidth=100.0, latency=0.5,
+        fetch_setup=0.25, cpu_per_byte=0.0,
+    )
+    assert spec.transfer_time(1000.0) == pytest.approx(0.75 + 10.0)
+
+
+def test_validation_rejects_bad_specs():
+    with pytest.raises(ValueError):
+        InterconnectSpec("bad", 1, 0.0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        InterconnectSpec("bad", 1, 1.0, -1, 0, 0)
+
+
+def test_get_interconnect_by_name_and_alias():
+    assert get_interconnect("1GigE") is ONE_GIGE
+    assert get_interconnect("10gige") is TEN_GIGE
+    assert get_interconnect("IPOIB-QDR") is IPOIB_QDR
+    assert get_interconnect("ipoib_fdr") is IPOIB_FDR
+    assert get_interconnect("rdma") is RDMA_FDR
+
+
+def test_get_interconnect_unknown_raises():
+    with pytest.raises(KeyError, match="unknown interconnect"):
+        get_interconnect("carrier-pigeon")
+
+
+def test_str():
+    assert str(ONE_GIGE) == "1GigE"

@@ -1,0 +1,124 @@
+"""Tests for the multi-rack topology extension."""
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.hadoop import cluster_a, run_simulated_job
+from repro.net import NetworkFabric
+from repro.net.interconnect import InterconnectSpec
+from repro.sim import Simulator
+
+SIMPLE = InterconnectSpec(
+    name="simple", raw_gbps=1, effective_bandwidth=100.0, latency=0.0,
+    fetch_setup=0.0, cpu_per_byte=0.0,
+)
+
+
+def make_racked_fabric(uplink):
+    sim = Simulator()
+    fabric = NetworkFabric(sim, SIMPLE, rack_uplink_bandwidth=uplink)
+    for i in range(4):
+        fabric.add_node(f"n{i}", rack=i % 2)  # racks: {n0,n2}, {n1,n3}
+    return sim, fabric
+
+
+class TestRackedFabric:
+    def test_same_rack_flow_unaffected_by_uplink(self):
+        sim, fabric = make_racked_fabric(uplink=10.0)
+        flow = fabric.start_flow("n0", "n2", 500.0)  # same rack
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(5.0)  # full NIC rate
+
+    def test_cross_rack_flow_limited_by_uplink(self):
+        sim, fabric = make_racked_fabric(uplink=10.0)
+        flow = fabric.start_flow("n0", "n1", 500.0)  # cross rack
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(50.0)  # 10 B/s uplink
+
+    def test_uplink_shared_by_cross_rack_flows(self):
+        sim, fabric = make_racked_fabric(uplink=10.0)
+        f1 = fabric.start_flow("n0", "n1", 250.0)
+        f2 = fabric.start_flow("n2", "n3", 250.0)  # same src rack uplink
+        sim.run_until_event(f1.done)
+        sim.run_until_event(f2.done)
+        # 500 B through a 10 B/s shared uplink.
+        assert sim.now == pytest.approx(50.0)
+
+    def test_generous_uplink_is_transparent(self):
+        sim, fabric = make_racked_fabric(uplink=1e9)
+        flow = fabric.start_flow("n0", "n1", 500.0)
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_no_uplink_means_single_switch(self):
+        sim = Simulator()
+        fabric = NetworkFabric(sim, SIMPLE, rack_uplink_bandwidth=None)
+        fabric.add_node("a", rack=0)
+        fabric.add_node("b", rack=1)
+        flow = fabric.start_flow("a", "b", 500.0)
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestClusterRackSpec:
+    def test_default_is_single_switch(self):
+        assert cluster_a().racks == 1
+
+    def test_with_racks(self):
+        c = cluster_a(8).with_racks(2, oversubscription=4.0)
+        assert c.racks == 2
+        assert c.nodes_per_rack == 4
+        assert c.rack_of(0) == 0 and c.rack_of(1) == 1 and c.rack_of(2) == 0
+
+    def test_uplink_bandwidth_formula(self):
+        c = cluster_a(8).with_racks(2, oversubscription=4.0)
+        assert c.rack_uplink_bandwidth(100e6) == pytest.approx(1e8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_a().with_racks(0)
+        with pytest.raises(ValueError):
+            cluster_a().with_racks(2, oversubscription=0.5)
+
+
+class TestRackedJobs:
+    def cfg(self):
+        # 1 GigE makes the uplink bottleneck visible against compute.
+        return BenchmarkConfig.from_shuffle_size(
+            8e9, num_maps=8, num_reduces=8, key_size=512, value_size=512,
+            network="1GigE")
+
+    def test_oversubscription_slows_the_shuffle(self):
+        flat = run_simulated_job(self.cfg(),
+                                 cluster=cluster_a(8)).execution_time
+        non_blocking = run_simulated_job(
+            self.cfg(), cluster=cluster_a(8).with_racks(2, 1.0)
+        ).execution_time
+        oversubscribed = run_simulated_job(
+            self.cfg(), cluster=cluster_a(8).with_racks(2, 8.0)
+        ).execution_time
+        assert non_blocking == pytest.approx(flat, rel=0.02)
+        assert oversubscribed > non_blocking * 1.05
+
+    def test_oversubscription_monotone(self):
+        times = [
+            run_simulated_job(
+                self.cfg(), cluster=cluster_a(8).with_racks(2, ratio)
+            ).execution_time
+            for ratio in (1.0, 4.0, 16.0)
+        ]
+        assert times[0] <= times[1] <= times[2]
+
+    def test_fast_network_masks_oversubscription_longer(self):
+        """With the same oversubscription *ratio*, the absolute uplink
+        of a faster NIC is larger; 1 GigE suffers relatively more."""
+        def rel_slowdown(network):
+            cfg = BenchmarkConfig.from_shuffle_size(
+                8e9, num_maps=8, num_reduces=8, key_size=512,
+                value_size=512, network=network)
+            base = run_simulated_job(cfg, cluster=cluster_a(8)).execution_time
+            racked = run_simulated_job(
+                cfg, cluster=cluster_a(8).with_racks(2, 8.0)).execution_time
+            return racked / base
+
+        assert rel_slowdown("1GigE") > rel_slowdown("ipoib-qdr") * 0.99

@@ -1,0 +1,39 @@
+"""Tests for shuffle transport models."""
+
+import pytest
+
+from repro.net import IPOIB_FDR, ONE_GIGE, RDMA_FDR, TransportModel, transport_for
+from repro.net.transport import HTTP_SHUFFLE_OVERLAP, RDMA_SHUFFLE_OVERLAP
+
+
+def test_tcp_interconnects_get_http_shuffle():
+    t = transport_for(ONE_GIGE)
+    assert "http-shuffle" in t.name
+    assert t.reads_map_output_from_disk
+    assert t.merge_overlap == HTTP_SHUFFLE_OVERLAP
+
+
+def test_ipoib_is_still_http():
+    """IPoIB is sockets-over-IB: stock Hadoop, stock HTTP shuffle."""
+    t = transport_for(IPOIB_FDR)
+    assert "http-shuffle" in t.name
+
+
+def test_rdma_interconnect_gets_rdma_shuffle():
+    t = transport_for(RDMA_FDR)
+    assert "rdma-shuffle" in t.name
+    assert not t.reads_map_output_from_disk
+    assert t.merge_overlap == RDMA_SHUFFLE_OVERLAP == 1.0
+
+
+def test_rdma_setup_cheaper_than_http():
+    assert transport_for(RDMA_FDR).fetch_setup < transport_for(ONE_GIGE).fetch_setup
+
+
+def test_transport_validation():
+    with pytest.raises(ValueError):
+        TransportModel("bad", fetch_setup=0.0, reads_map_output_from_disk=True,
+                       merge_overlap=1.5)
+    with pytest.raises(ValueError):
+        TransportModel("bad", fetch_setup=-1.0, reads_map_output_from_disk=True,
+                       merge_overlap=0.5)

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event kernel: clock, ordering, determinism."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(3.5)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_run_until_caps_clock():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_run_until_advances_clock_past_last_event():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run(until=9.0)
+    assert sim.now == 9.0
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+def test_negative_timeout_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_fifo_order_for_simultaneous_events():
+    """Ties in time are broken by insertion order (determinism)."""
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        ev = sim.timeout(1.0)
+        ev.add_callback(lambda _e, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_step_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    sim.timeout(2.0)
+    sim.timeout(7.0)
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_is_infinite():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_call_at_runs_function_at_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_call_at_in_past_raises():
+    sim = Simulator(start_time=3.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    ev = sim.timeout(2.0, value="payload")
+    assert sim.run_until_event(ev) == "payload"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_raises_on_drained_queue():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run_until_event(ev)
+
+
+def test_determinism_two_identical_runs():
+    """The kernel must produce identical traces for identical models."""
+
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+            yield sim.timeout(delay * 2)
+            trace.append((name, sim.now))
+
+        for i in range(20):
+            sim.process(worker(f"w{i}", 0.1 * (i % 7 + 1)))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

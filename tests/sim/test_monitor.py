@@ -1,0 +1,179 @@
+"""Tests for utilization trackers, byte counters and the monitor."""
+
+import pytest
+
+from repro.sim import (
+    ByteCounter,
+    FairShareResource,
+    ResourceMonitor,
+    Simulator,
+    UtilizationTracker,
+)
+
+
+class TestUtilizationTracker:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            UtilizationTracker(sim, capacity=0)
+
+    def test_integral_accumulates(self):
+        sim = Simulator()
+        tr = UtilizationTracker(sim, capacity=4)
+        tr.adjust(+2)
+        sim.timeout(10.0)
+        sim.run()
+        assert tr.integral() == pytest.approx(20.0)
+        assert tr.mean_utilization() == pytest.approx(0.5)
+
+    def test_level_changes_mid_run(self):
+        sim = Simulator()
+        tr = UtilizationTracker(sim, capacity=1)
+
+        def scenario():
+            tr.adjust(+1)
+            yield sim.timeout(3.0)
+            tr.adjust(-1)
+            yield sim.timeout(7.0)
+
+        sim.process(scenario())
+        sim.run()
+        assert tr.integral() == pytest.approx(3.0)
+        assert tr.mean_utilization() == pytest.approx(0.3)
+
+    def test_negative_level_raises(self):
+        sim = Simulator()
+        tr = UtilizationTracker(sim)
+        with pytest.raises(ValueError):
+            tr.adjust(-1)
+
+    def test_set_level(self):
+        sim = Simulator()
+        tr = UtilizationTracker(sim, capacity=8)
+        tr.set_level(6)
+        assert tr.level == 6
+
+
+class TestByteCounter:
+    def test_accumulates(self):
+        c = ByteCounter()
+        c.add(100)
+        c.add(50.5)
+        assert c.total == pytest.approx(150.5)
+
+    def test_negative_raises(self):
+        c = ByteCounter()
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+
+class TestResourceMonitor:
+    def test_interval_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ResourceMonitor(sim, interval=0)
+
+    def test_rate_sampling(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim, interval=1.0)
+        counter = ByteCounter()
+        monitor.register_rate("net_mb_s", counter, scale=1.0 / 1e6)
+        monitor.install()
+
+        def producer():
+            for _ in range(5):
+                counter.add(10e6)  # 10 MB per second
+                yield sim.timeout(1.0)
+
+        sim.process(producer())
+        sim.run(until=5.0)
+        times, values = monitor.series("net_mb_s")
+        assert len(values) == 5
+        for v in values:
+            assert v == pytest.approx(10.0)
+
+    def test_utilization_sampling(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim, interval=1.0)
+        tracker = UtilizationTracker(sim, capacity=2)
+        monitor.register_utilization("cpu", tracker)
+        monitor.install()
+
+        def load():
+            tracker.adjust(+2)  # 100% for 2s
+            yield sim.timeout(2.0)
+            tracker.adjust(-1)  # 50% for 2s
+            yield sim.timeout(2.0)
+            tracker.adjust(-1)
+
+        sim.process(load())
+        sim.run(until=4.0)
+        _times, values = monitor.series("cpu")
+        assert values[0] == pytest.approx(100.0)
+        assert values[1] == pytest.approx(100.0)
+        assert values[2] == pytest.approx(50.0)
+        assert values[3] == pytest.approx(50.0)
+
+    def test_gauge_sampling(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim, interval=2.0)
+        monitor.register_gauge("clock", lambda: sim.now)
+        monitor.install()
+        sim.run(until=6.0)
+        _times, values = monitor.series("clock")
+        assert values == [2.0, 4.0, 6.0]
+
+    def test_duplicate_metric_raises(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim)
+        monitor.register_gauge("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            monitor.register_gauge("x", lambda: 1.0)
+
+    def test_double_install_raises(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim)
+        monitor.install()
+        with pytest.raises(RuntimeError):
+            monitor.install()
+
+    def test_peak_and_mean(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim, interval=1.0)
+        counter = ByteCounter()
+        monitor.register_rate("rate", counter)
+        monitor.install()
+
+        def producer():
+            counter.add(10.0)
+            yield sim.timeout(1.0)
+            counter.add(30.0)
+            yield sim.timeout(1.0)
+
+        sim.process(producer())
+        sim.run(until=2.0)
+        assert monitor.peak("rate") == pytest.approx(30.0)
+        assert monitor.mean("rate") == pytest.approx(20.0)
+
+    def test_peak_empty_series(self):
+        sim = Simulator()
+        monitor = ResourceMonitor(sim)
+        monitor.register_gauge("never", lambda: 1.0)
+        assert monitor.peak("never") == 0.0
+        assert monitor.mean("never") == 0.0
+
+    def test_monitor_with_fair_share_resource(self):
+        """End-to-end: monitor a disk's throughput trace."""
+        sim = Simulator()
+        disk = FairShareResource(sim, capacity=100.0)
+        monitor = ResourceMonitor(sim, interval=1.0)
+        monitor.register_rate("disk_bytes", disk.bytes_served)
+        monitor.install()
+        disk.submit(300.0)
+        sim.run(until=5.0)
+        _t, values = monitor.series("disk_bytes")
+        # ~100 B/s for 3 seconds then idle
+        assert values[0] == pytest.approx(100.0)
+        assert values[1] == pytest.approx(100.0)
+        assert values[2] == pytest.approx(100.0)
+        assert values[3] == pytest.approx(0.0)

@@ -1,0 +1,176 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupt, Process, SimulationError, Simulator
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        return "result"
+
+    proc = sim.process(worker())
+    assert sim.run_until_event(proc) == "result"
+
+
+def test_process_is_alive_until_done():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(5.0)
+
+    proc = sim.process(worker())
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)
+
+
+def test_processes_can_wait_on_each_other():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 21
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    proc = sim.process(parent())
+    assert sim.run_until_event(proc) == 42
+    assert sim.now == 2.0
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+
+    sim.process(worker())
+    sim.run()
+    assert sim.now == 6.0
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("inner failure")
+
+    def waiter():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    proc = sim.process(waiter())
+    assert sim.run_until_event(proc) == "caught: inner failure"
+
+
+def test_unwaited_process_failure_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run_until_event(proc)
+
+
+def test_interrupt_wakes_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept full")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, sim.now))
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        proc.interrupt(cause="wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [("interrupted", "wake up", 3.0)]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+
+    def resilient():
+        total = 0.0
+        try:
+            yield sim.timeout(50.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(2.0)
+        total = sim.now
+        return total
+
+    proc = sim.process(resilient())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(interrupter())
+    assert sim.run_until_event(proc) == 3.0
+
+
+def test_many_concurrent_processes():
+    sim = Simulator()
+    finished = []
+
+    def worker(i):
+        yield sim.timeout(float(i))
+        finished.append(i)
+
+    for i in range(100):
+        sim.process(worker(i))
+    sim.run()
+    assert finished == sorted(finished)
+    assert len(finished) == 100
+    assert sim.now == 99.0

@@ -1,0 +1,115 @@
+"""Tests for Process.kill (deterministic termination of losers)."""
+
+import pytest
+
+from repro.sim import Simulator, SlotResource
+
+
+def test_kill_runs_finally_blocks_now():
+    sim = Simulator()
+    cleanup_times = []
+
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            cleanup_times.append(sim.now)
+
+    proc = sim.process(worker())
+
+    def killer():
+        yield sim.timeout(3.0)
+        proc.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert cleanup_times == [3.0]
+    # The orphaned timeout still drains harmlessly at t=100.
+    assert sim.now == pytest.approx(100.0)
+
+
+def test_killed_process_succeeds_with_none():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(50.0)
+        return "never"
+
+    proc = sim.process(worker())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert proc.processed and proc.ok
+    assert proc.value is None
+
+
+def test_kill_finished_process_is_noop():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.process(worker())
+    sim.run()
+    proc.kill()  # no exception
+    assert proc.value == 42
+
+
+def test_kill_releases_slots():
+    """The driver's use case: killing a speculative loser must free its
+    task slot for other work."""
+    sim = Simulator()
+    slots = SlotResource(sim, 1)
+    acquired = []
+
+    def holder():
+        grant = slots.request()
+        yield grant
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            slots.release()
+
+    def waiter():
+        grant = slots.request()
+        yield grant
+        acquired.append(sim.now)
+        slots.release()
+
+    proc = sim.process(holder())
+    sim.process(waiter())
+
+    def killer():
+        yield sim.timeout(5.0)
+        proc.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert acquired == [5.0]
+
+
+def test_waiter_on_killed_process_gets_none():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(50.0)
+
+    proc = sim.process(worker())
+
+    def observer():
+        value = yield proc
+        return ("saw", value)
+
+    obs = sim.process(observer())
+
+    def killer():
+        yield sim.timeout(2.0)
+        proc.kill()
+
+    sim.process(killer())
+    assert sim.run_until_event(obs) == ("saw", None)

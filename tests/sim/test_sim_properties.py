@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the simulation kernel and
+resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FairShareResource, SlotResource, Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=50))
+def test_kernel_processes_events_in_time_order(delays):
+    sim = Simulator()
+    seen = []
+    for delay in delays:
+        ev = sim.timeout(delay)
+        ev.add_callback(lambda _e, d=delay: seen.append(d))
+    sim.run()
+    assert seen == sorted(seen)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1,
+                max_size=20),
+       st.floats(min_value=0.1, max_value=1e3))
+def test_fair_share_serves_all_work(amounts, capacity):
+    """Total service time equals total work / capacity (work
+    conservation under processor sharing)."""
+    sim = Simulator()
+    server = FairShareResource(sim, capacity)
+    for amount in amounts:
+        server.submit(amount)
+    sim.run()
+    assert sim.now <= sum(amounts) / capacity * (1 + 1e-6) + 1e-9
+    assert sim.now >= sum(amounts) / capacity * (1 - 1e-6) - 1e-9
+    assert server.active_jobs == 0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1,
+                max_size=20))
+def test_fair_share_shorter_jobs_finish_first(amounts):
+    """Under equal sharing, jobs submitted together finish in size order."""
+    sim = Simulator()
+    server = FairShareResource(sim, 10.0)
+    finish = {}
+    for i, amount in enumerate(amounts):
+        ev = server.submit(amount)
+        ev.add_callback(lambda _e, i=i: finish.__setitem__(i, sim.now))
+    sim.run()
+    order = sorted(range(len(amounts)), key=lambda i: finish[i])
+    sizes_in_finish_order = [amounts[i] for i in order]
+    for a, b in zip(sizes_in_finish_order, sizes_in_finish_order[1:]):
+        assert a <= b + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                max_size=25))
+def test_slot_resource_bounds_concurrency(capacity, hold_times):
+    sim = Simulator()
+    slots = SlotResource(sim, capacity)
+    peak = {"value": 0}
+
+    def worker(hold):
+        yield slots.request()
+        peak["value"] = max(peak["value"], slots.in_use)
+        yield sim.timeout(hold)
+        slots.release()
+
+    for hold in hold_times:
+        sim.process(worker(hold))
+    sim.run()
+    assert peak["value"] <= capacity
+    assert slots.in_use == 0
+    # Makespan is at least the critical-path bound.
+    assert sim.now >= max(hold_times) - 1e-9
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=50.0),
+                          st.booleans()),
+                min_size=1, max_size=15))
+def test_storage_conserves_bytes(writes):
+    """StorageService: cache + disk service equals what was written
+    (persistent data twice: foreground + writeback)."""
+    from repro.hadoop.cluster import NodeSpec
+    from repro.hadoop.node import SimNode
+    from repro.net import NetworkFabric, ONE_GIGE
+
+    spec = NodeSpec(cores=4, clock_ghz=2.0, ram_bytes=1e4, disks=1,
+                    disk_bandwidth=100.0, cache_bandwidth=1000.0)
+    sim = Simulator()
+    node = SimNode(sim, "n0", spec, NetworkFabric(sim, ONE_GIGE))
+    for nbytes, transient in writes:
+        node.storage.write(nbytes, transient=transient)
+    sim.run()
+    persistent = sum(n for n, t in writes if not t)
+    # all persistent bytes eventually reach the platter
+    assert node.storage.disk.bytes_served.total >= persistent * (1 - 1e-6)
+    assert node.storage.dirty_bytes <= 1e-6

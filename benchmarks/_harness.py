@@ -13,6 +13,7 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Dict, Sequence
 
@@ -20,6 +21,11 @@ from repro import MicroBenchmarkSuite, cluster_a, cluster_b, JobConf
 from repro.analysis import format_table, improvement_pct
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes for sweep execution (``BENCH_JOBS=4 pytest ...``).
+#: Results are bit-identical regardless of the setting; the default of 1
+#: keeps single-core CI runs free of process-pool overhead.
+JOBS = max(1, int(os.environ.get("BENCH_JOBS", "1")))
 
 #: Cluster A experiments (Figs. 2, 4, 5, 6, 7): 16 maps / 8 reduces on
 #: 4 slaves, 1 KB key/value pairs, BytesWritable (Sect. 5.2).

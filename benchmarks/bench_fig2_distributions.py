@@ -13,6 +13,7 @@ vs 1 GigE; MR-RAND ~16 %/~22 %; MR-SKEW ~11 %/~12 %; IPoIB beats
 from _harness import (
     CLUSTER_A_NETWORKS,
     CLUSTER_A_PARAMS,
+    JOBS,
     SHUFFLE_SIZES_GB,
     improvement_summary,
     one_shot,
@@ -24,7 +25,7 @@ from _harness import (
 def _run_pattern(pattern_name, subfig):
     suite = suite_cluster_a()
     sweep = suite.sweep(pattern_name, SHUFFLE_SIZES_GB, CLUSTER_A_NETWORKS,
-                        **CLUSTER_A_PARAMS)
+                        jobs=JOBS, **CLUSTER_A_PARAMS)
     text = sweep.to_table(
         title=f"Fig. 2({subfig}) {pattern_name} job execution time (s), "
               f"Cluster A MRv1")

@@ -11,6 +11,7 @@ Paper shape: MR-AVG improves ~11 % (10 GigE) and ~18 % (IPoIB QDR) vs
 
 from _harness import (
     CLUSTER_A_NETWORKS,
+    JOBS,
     SHUFFLE_SIZES_GB,
     YARN_PARAMS,
     improvement_summary,
@@ -23,7 +24,7 @@ from _harness import (
 def _run_pattern(pattern_name, subfig):
     suite = suite_cluster_a(slaves=8, version="yarn")
     sweep = suite.sweep(pattern_name, SHUFFLE_SIZES_GB, CLUSTER_A_NETWORKS,
-                        **YARN_PARAMS)
+                        jobs=JOBS, **YARN_PARAMS)
     text = sweep.to_table(
         title=f"Fig. 3({subfig}) {pattern_name} job execution time (s), "
               f"Cluster A YARN (32M/16R, 8 slaves)")

@@ -1,0 +1,146 @@
+"""Wall-clock performance regression harness for the simulation substrate.
+
+Unlike the ``bench_fig*`` modules (which regenerate the paper's figures
+and assert their *shape*), this module guards the *speed* of the
+simulator itself: the grouped max-min solver and the end-to-end wall
+clock of the canonical Fig. 3 job. Measured values are recorded in
+``benchmarks/BENCH_fabric.json``.
+
+Workflow:
+
+* ``PERF_BASELINE=1 pytest benchmarks/bench_perf_regression.py`` —
+  re-measure and rewrite the committed baseline (do this on the machine
+  class the baseline should represent, after a deliberate perf change).
+* ``PERF_SMOKE=1 pytest benchmarks/bench_perf_regression.py`` — assert
+  no measurement regressed to more than ``PERF_SMOKE_FACTOR`` (default
+  2.0) times its committed baseline. CI runs this.
+* Neither variable set — just measure and print (no assertion), so the
+  benches stay safe on arbitrarily slow machines.
+
+The canonical job also pins its *simulated* time exactly: wall-clock
+optimizations must never change simulation results.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from _harness import YARN_PARAMS, one_shot, record, suite_cluster_a
+
+from repro.net.solver import compute_max_min, solve_max_min_grouped
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_fabric.json"
+
+#: Allowed wall-clock slack vs the committed baseline in smoke mode.
+SMOKE_FACTOR = float(os.environ.get("PERF_SMOKE_FACTOR", "2.0"))
+
+
+def _load_baselines() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {}
+
+
+def _check_or_record(name: str, measured: dict) -> None:
+    """Record ``measured`` under ``name`` or compare against baseline.
+
+    ``measured["seconds"]`` is the guarded wall-clock value; any other
+    keys are informational and stored alongside it.
+    """
+    baselines = _load_baselines()
+    if os.environ.get("PERF_BASELINE"):
+        baselines[name] = measured
+        BASELINE_PATH.write_text(json.dumps(baselines, indent=2,
+                                            sort_keys=True) + "\n")
+        return
+    baseline = baselines.get(name)
+    if baseline is None:
+        return
+    if os.environ.get("PERF_SMOKE"):
+        limit = SMOKE_FACTOR * baseline["seconds"]
+        assert measured["seconds"] <= limit, (
+            f"{name}: {measured['seconds']:.3f}s exceeds "
+            f"{SMOKE_FACTOR}x baseline ({baseline['seconds']:.3f}s)"
+        )
+
+
+class _SyntheticFlow:
+    __slots__ = ("links",)
+
+    def __init__(self, links):
+        self.links = links
+
+
+def _all_to_all_flows(hosts=16, per_pair=2, racks=2):
+    """~512 concurrent shuffle flows over a racked 16-host fabric."""
+    flows = []
+    for s in range(hosts):
+        for d in range(hosts):
+            if s == d:
+                links = (("loop", s),)
+            else:
+                links = (("out", s), ("in", d))
+                if s % racks != d % racks:
+                    links += (("rack-up", s % racks),
+                              ("rack-down", d % racks))
+            for _ in range(per_pair):
+                flows.append(_SyntheticFlow(links))
+    caps = {}
+    for flow in flows:
+        for link in flow.links:
+            kind = link[0]
+            caps[link] = (8000.0 if kind == "loop"
+                          else 1500.0 if kind.startswith("rack")
+                          else 117.0)
+    return flows, caps
+
+
+def bench_solver_grouped_512_flows(benchmark):
+    """Grouped solver throughput on a 512-flow all-to-all set."""
+    flows, caps = _all_to_all_flows()
+
+    def run():
+        repeats = 20
+        start = time.perf_counter()
+        for _ in range(repeats):
+            rates = solve_max_min_grouped(flows, caps)
+        elapsed = (time.perf_counter() - start) / repeats
+        assert len(rates) == len(flows)
+        return elapsed
+
+    per_solve = one_shot(benchmark, run)
+    reference = compute_max_min(flows, caps, lambda f: f.links)
+    grouped = solve_max_min_grouped(flows, caps)
+    assert all(grouped[f] == reference[f] for f in flows)
+    record("perf_solver",
+           f"grouped solver, {len(flows)} flows: {per_solve * 1e3:.2f} ms"
+           f"/solve ({1.0 / per_solve:.0f} solves/s)")
+    _check_or_record("solver_grouped_512_flows",
+                     {"seconds": per_solve, "flows": len(flows)})
+
+
+def bench_fig3_yarn_job_wallclock(benchmark):
+    """End-to-end wall clock of the canonical Fig. 3 point:
+    MR-AVG, 16 GB shuffle, 1 GigE, YARN, 32M/16R on 8 slaves."""
+    suite = suite_cluster_a(slaves=8, version="yarn")
+
+    def run():
+        start = time.perf_counter()
+        result = suite.run("MR-AVG", shuffle_gb=16, network="1GigE",
+                           memoize=False, **YARN_PARAMS)
+        return time.perf_counter() - start, result.execution_time
+
+    wall, sim_time = one_shot(benchmark, run)
+    record("perf_fig3_job",
+           f"Fig. 3 MR-AVG 16GB 1GigE YARN job: {wall:.3f}s wall, "
+           f"{sim_time:.4f}s simulated")
+    baseline = _load_baselines().get("fig3_yarn_mravg_16gb_1gige")
+    if baseline is not None:
+        # Perf work must never change simulation results.
+        assert sim_time == baseline["sim_time"], (
+            f"simulated time drifted: {sim_time!r} != "
+            f"{baseline['sim_time']!r}"
+        )
+    _check_or_record("fig3_yarn_mravg_16gb_1gige",
+                     {"seconds": wall, "sim_time": sim_time})

@@ -48,7 +48,8 @@ from repro.core.benchmarks import (
 )
 from repro.core.config import BenchmarkConfig
 from repro.core.report import render_report
-from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.core.suite import (MicroBenchmarkSuite, SweepResult, SweepRow,
+                              clear_result_cache, result_cache_stats)
 from repro.hadoop.cluster import ClusterSpec, cluster_a, cluster_b
 from repro.hadoop.job import JobConf
 from repro.hadoop.result import SimJobResult
@@ -71,11 +72,13 @@ __all__ = [
     "SimJobResult",
     "SweepResult",
     "SweepRow",
+    "clear_result_cache",
     "cluster_a",
     "cluster_b",
     "get_benchmark",
     "get_interconnect",
     "render_report",
+    "result_cache_stats",
     "run_simulated_job",
     "__version__",
 ]

@@ -36,7 +36,11 @@ from repro.core.formats import (
     NullOutputFormat,
     NullRecordWriter,
 )
-from repro.core.matrix import ShuffleMatrix, compute_shuffle_matrix
+from repro.core.matrix import (
+    ShuffleMatrix,
+    clear_matrix_cache,
+    compute_shuffle_matrix,
+)
 from repro.core.partitioners import (
     AveragePartitioner,
     HashPartitioner,
@@ -47,7 +51,8 @@ from repro.core.partitioners import (
     make_partitioner,
 )
 from repro.core.report import render_report
-from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.core.suite import (MicroBenchmarkSuite, SweepResult, SweepRow,
+                              clear_result_cache, result_cache_stats)
 from repro.core.validate import (
     ShapeCheck,
     ValidationReport,
@@ -85,11 +90,14 @@ __all__ = [
     "ValidationReport",
     "WORKLOADS",
     "WorkloadProfile",
+    "clear_matrix_cache",
+    "clear_result_cache",
     "compute_shuffle_matrix",
     "distribution_stats",
     "get_benchmark",
     "get_workload",
     "make_partitioner",
     "render_report",
+    "result_cache_stats",
     "validate_headline_shapes",
 ]

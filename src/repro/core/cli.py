@@ -81,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--networks", default=None, metavar="NET,NET,...",
                         help="networks for --sweep (default: the single "
                              "--network)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run sweep points on N worker processes "
+                             "(results are identical to -j 1)")
     parser.add_argument("--csv", default=None, metavar="PATH",
                         help="also write the sweep as CSV to PATH")
     parser.add_argument("--timeline", action="store_true",
@@ -171,7 +174,11 @@ def _run_sweep(suite: MicroBenchmarkSuite, args, common: dict) -> int:
     )
     # The benchmark name determines the pattern; sweep() applies it.
     sweep_kwargs = {k: v for k, v in common.items() if k != "pattern"}
-    sweep = suite.sweep(args.benchmark, sizes, networks, **sweep_kwargs)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    sweep = suite.sweep(args.benchmark, sizes, networks, jobs=args.jobs,
+                        **sweep_kwargs)
     print(sweep.to_table(
         title=f"{args.benchmark} job execution time (s) [{args.framework}]"))
     if args.csv:

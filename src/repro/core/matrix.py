@@ -78,12 +78,13 @@ def _exact_counts(config: BenchmarkConfig, map_id: int) -> np.ndarray:
     partitioner = make_partitioner(
         config.pattern, config.num_reduces, seed=config.seed + map_id
     )
+    if not partitioner.uses_keys:
+        # The pattern partitioners are index/PRNG driven, so the counts
+        # come from exact_counts' bit-identical replay of the draw
+        # sequence — no key/value objects are materialized.
+        return partitioner.exact_counts(config.pairs_for_map(map_id))
     gen = KeyValueGenerator(config, map_id)
     counts = np.zeros(config.num_reduces, dtype=np.int64)
-    # Payload content does not influence any of the suite's partitioners
-    # (they are index/PRNG driven), so partition by streaming the real
-    # key objects only when cheap; the generator is still consulted for
-    # key identity.
     value = None
     for key, value in gen:
         counts[partitioner.get_partition(key, value)] += 1
@@ -110,16 +111,34 @@ def _avg_counts(config: BenchmarkConfig, map_id: int) -> np.ndarray:
     return counts
 
 
+#: Record matrices keyed by the fields that determine them. The matrix
+#: is independent of the network/cluster, so sweep points that differ
+#: only in interconnect share one computation. Matrices are tiny
+#: (maps x reduces int64), so the cache is unbounded.
+_MATRIX_CACHE: dict = {}
+
+
+def clear_matrix_cache() -> None:
+    """Drop all cached shuffle matrices (mainly for tests)."""
+    _MATRIX_CACHE.clear()
+
+
 def compute_shuffle_matrix(
     config: BenchmarkConfig, exact_limit: int = EXACT_LIMIT
 ) -> ShuffleMatrix:
     """Build the (maps x reduces) record-count matrix for a config."""
-    rows = []
-    for map_id in range(config.num_maps):
-        if config.pattern == PATTERN_AVG:
-            rows.append(_avg_counts(config, map_id))
-        elif config.pairs_for_map(map_id) <= exact_limit:
-            rows.append(_exact_counts(config, map_id))
-        else:
-            rows.append(_sampled_counts(config, map_id))
-    return ShuffleMatrix(config, np.vstack(rows))
+    key = (config.pattern, config.num_maps, config.num_reduces,
+           config.num_pairs, config.seed, exact_limit)
+    records = _MATRIX_CACHE.get(key)
+    if records is None:
+        rows = []
+        for map_id in range(config.num_maps):
+            if config.pattern == PATTERN_AVG:
+                rows.append(_avg_counts(config, map_id))
+            elif config.pairs_for_map(map_id) <= exact_limit:
+                rows.append(_exact_counts(config, map_id))
+            else:
+                rows.append(_sampled_counts(config, map_id))
+        records = np.vstack(rows)
+        _MATRIX_CACHE[key] = records
+    return ShuffleMatrix(config, records)

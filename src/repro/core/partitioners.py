@@ -25,11 +25,52 @@ import abc
 import random
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.datatypes.writable import Writable
+
+#: ``random.Random.random()`` combines a 27-bit and a 26-bit word slice
+#: into a 53-bit double with this scale factor.
+_RANDOM_SCALE = 1.0 / 9007199254740992.0  # 2**-53
+
+
+def _mt_from(rng: random.Random) -> np.random.MT19937:
+    """A numpy MT19937 positioned at ``rng``'s exact generator state.
+
+    CPython's ``random.Random`` and numpy's ``MT19937`` share the same
+    core generator, so transplanting the 624-word state vector makes
+    ``mt.random_raw(n)`` reproduce the next ``n`` 32-bit words ``rng``
+    would draw — the basis of the vectorized ``exact_counts`` paths.
+    """
+    _version, internal, _gauss = rng.getstate()
+    mt = np.random.MT19937()
+    mt.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": np.array(internal[:-1], dtype=np.uint64),
+                  "pos": internal[-1]},
+    }
+    return mt
+
+
+def _advance_rng(rng: random.Random, nwords: int) -> None:
+    """Advance ``rng`` by exactly ``nwords`` 32-bit draws (in C speed)."""
+    version, internal, gauss = rng.getstate()
+    mt = _mt_from(rng)
+    if nwords:
+        mt.random_raw(nwords)
+    state = mt.state["state"]
+    rng.setstate((version,
+                  tuple(int(x) for x in state["key"]) + (int(state["pos"]),),
+                  gauss))
 
 
 class Partitioner(abc.ABC):
     """Assigns each intermediate pair to a reduce partition."""
+
+    #: True when :meth:`get_partition` inspects the key/value content
+    #: (only the hash baseline does); the pattern partitioners are
+    #: index/PRNG driven, which enables :meth:`exact_counts`.
+    uses_keys = False
 
     def __init__(self, num_reduces: int):
         if num_reduces < 1:
@@ -42,6 +83,22 @@ class Partitioner(abc.ABC):
 
     def reset(self) -> None:
         """Restore per-task state (call between map tasks)."""
+
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        """Per-reducer counts of the next ``n_pairs`` partition calls.
+
+        Exactly equivalent to tallying ``get_partition`` ``n_pairs``
+        times — same counts, same PRNG state afterwards — but without
+        materializing keys (valid because ``uses_keys`` is False; the
+        subclasses override this with vectorized implementations that
+        replay the identical draw sequence, property-tested in
+        ``tests/core/test_exact_counts.py``).
+        """
+        get_partition = self.get_partition
+        counts = [0] * self.num_reduces
+        for _ in range(n_pairs):
+            counts[get_partition(None, None)] += 1
+        return np.asarray(counts, dtype=np.int64)
 
     def expected_distribution(self) -> List[float]:
         """Long-run fraction of pairs per reducer (sums to 1).
@@ -69,6 +126,16 @@ class AveragePartitioner(Partitioner):
     def reset(self) -> None:
         self._next = 0
 
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        n = self.num_reduces
+        base, extra = divmod(n_pairs, n)
+        counts = np.full(n, base, dtype=np.int64)
+        # The round-robin pointer continues from its current position.
+        for offset in range(extra):
+            counts[(self._next + offset) % n] += 1
+        self._next = (self._next + n_pairs) % n
+        return counts
+
 
 class RandomPartitioner(Partitioner):
     """MR-RAND: uniform pseudo-random reducer per pair, seeded."""
@@ -83,6 +150,43 @@ class RandomPartitioner(Partitioner):
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        """Vectorized replay of ``randrange(n)`` rejection sampling.
+
+        ``randrange(n)`` is ``getrandbits(n.bit_length())`` redrawn
+        while the value is >= n; each ``getrandbits(k)`` consumes one
+        raw word, shifted down to its top k bits. The accepted values
+        of the raw stream, in order, ARE the randrange outputs — so
+        count them with numpy and advance the Python PRNG by exactly
+        the number of words consumed.
+        """
+        n = self.num_reduces
+        counts = np.zeros(n, dtype=np.int64)
+        if n_pairs <= 0:
+            return counts
+        k = n.bit_length()
+        shift = 32 - k
+        mt = _mt_from(self._rng)
+        consumed = 0
+        needed = n_pairs
+        while needed:
+            # Acceptance rate is n / 2**k; draw with a little headroom.
+            est = int(needed * (1 << k) / n * 1.05) + 64
+            draws = (mt.random_raw(est) >> shift).astype(np.int64)
+            accepted = draws < n
+            n_accepted = int(accepted.sum())
+            if n_accepted >= needed:
+                cut = int(np.nonzero(accepted)[0][needed - 1]) + 1
+                counts += np.bincount(draws[:cut][accepted[:cut]],
+                                      minlength=n)
+                consumed += cut
+                break
+            counts += np.bincount(draws[accepted], minlength=n)
+            consumed += est
+            needed -= n_accepted
+        _advance_rng(self._rng, consumed)
+        return counts
 
 
 class SkewedPartitioner(Partitioner):
@@ -116,6 +220,56 @@ class SkewedPartitioner(Partitioner):
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        """Replay of the head-or-tail draw over the raw word stream.
+
+        The per-pair word consumption is data-dependent (``random()``
+        always eats two words; a tail pair then runs ``randrange``'s
+        rejection loop), so this walks pairs in Python — but over a
+        pre-drawn word buffer with plain arithmetic, which is several
+        times cheaper than the method-dispatch loop it replaces.
+        """
+        n = self.num_reduces
+        if n_pairs <= 0:
+            return np.zeros(n, dtype=np.int64)
+        head = min(len(self._HEAD), n - 1)
+        thresholds = self._HEAD[:head]
+        k = n.bit_length()
+        shift = 32 - k
+        mt = _mt_from(self._rng)
+        counts = [0] * n
+        scale = _RANDOM_SCALE
+        tail_prob = 1.0 - (thresholds[-1] if head else 0.0)
+        words_per_pair = 2.0 + tail_prob * (1 << k) / n + 0.05
+        buf = mt.random_raw(int(n_pairs * words_per_pair) + 256).tolist()
+        retired = 0  # words in fully-consumed, discarded buffers
+        i = 0
+        size = len(buf)
+        for _ in range(n_pairs):
+            if i + 2 > size:
+                retired += i
+                buf = buf[i:] + mt.random_raw(4096).tolist()
+                i, size = 0, len(buf)
+            u = ((buf[i] >> 5) * 67108864 + (buf[i + 1] >> 6)) * scale
+            i += 2
+            for reducer, threshold in enumerate(thresholds):
+                if u < threshold:
+                    counts[reducer] += 1
+                    break
+            else:
+                while True:
+                    if i == size:
+                        retired += i
+                        buf = mt.random_raw(4096).tolist()
+                        i, size = 0, len(buf)
+                    r = buf[i] >> shift
+                    i += 1
+                    if r < n:
+                        counts[r] += 1
+                        break
+        _advance_rng(self._rng, retired + i)
+        return np.asarray(counts, dtype=np.int64)
 
     def expected_distribution(self) -> List[float]:
         n = self.num_reduces
@@ -173,6 +327,25 @@ class ZipfPartitioner(Partitioner):
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
 
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        """Vectorized CDF inversion: every pair consumes exactly two
+        raw words (one ``random()`` call), so the whole draw sequence
+        reconstructs in one shot."""
+        n = self.num_reduces
+        if n_pairs <= 0:
+            return np.zeros(n, dtype=np.int64)
+        mt = _mt_from(self._rng)
+        raw = mt.random_raw(2 * n_pairs)
+        u = ((raw[0::2] >> np.uint64(5)).astype(np.float64) * 67108864.0
+             + (raw[1::2] >> np.uint64(6)).astype(np.float64)) * _RANDOM_SCALE
+        # get_partition finds the smallest index with u <= cdf[i]; for
+        # the last bucket the loop bottoms out at n-1 without a compare,
+        # which searchsorted(side="left") reproduces (cdf[-1] is 1.0).
+        draws = np.searchsorted(np.asarray(self._cdf), u, side="left")
+        counts = np.bincount(draws, minlength=n).astype(np.int64)
+        _advance_rng(self._rng, 2 * n_pairs)
+        return counts
+
     def expected_distribution(self) -> List[float]:
         weights = [1.0 / (r + 1) ** self.exponent
                    for r in range(self.num_reduces)]
@@ -212,6 +385,21 @@ class SplitSkewedPartitioner(SkewedPartitioner):
         super().reset()
         self._spread = 0
 
+    def exact_counts(self, n_pairs: int) -> np.ndarray:
+        counts = SkewedPartitioner.exact_counts(self, n_pairs)
+        hot = int(counts[0])
+        counts[0] = 0
+        # Round-robin the hot pairs over the `split` tail reducers,
+        # continuing from the current spread pointer.
+        base, extra = divmod(hot, self.split)
+        start = self.num_reduces - self.split
+        add = np.full(self.split, base, dtype=np.int64)
+        for offset in range(extra):
+            add[(self._spread + offset) % self.split] += 1
+        counts[start:] += add
+        self._spread = (self._spread + hot) % self.split
+        return counts
+
     def expected_distribution(self) -> List[float]:
         base = super().expected_distribution()
         probs = list(base)
@@ -229,6 +417,8 @@ class HashPartitioner(Partitioner):
     near-even distribution but no guarantees; the paper's MR-AVG exists
     precisely to make evenness exact.
     """
+
+    uses_keys = True
 
     def get_partition(self, key: Writable, value: Writable) -> int:
         return hash(key) % self.num_reduces

@@ -6,10 +6,23 @@ benchmark-level parameters from Sect. 3, then run single jobs or
 parameter sweeps. Single-job runs return the simulated framework's
 :class:`~repro.hadoop.result.SimJobResult`; sweeps return a
 :class:`SweepResult` whose rows regenerate the paper's figures.
+
+Sweep points are independent simulations, so :meth:`~MicroBenchmarkSuite.sweep`
+and :meth:`~MicroBenchmarkSuite.run_trials` accept ``jobs=N`` to fan
+points out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Results are returned in the same deterministic order regardless of
+``jobs`` (and each point's simulation is seeded and self-contained, so
+the *times* are bit-identical too — asserted by the integration tests).
+
+Completed points are also memoized in a process-wide cache keyed by the
+full (config, cluster, jobconf, cost-model) tuple: the figure benchmarks
+re-run several sweep points when deriving ratios and summary tables, and
+those repeats are answered from the cache.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -25,6 +38,38 @@ from repro.hadoop.simulation import run_simulated_job
 from repro.net.transport import TransportModel
 
 BenchmarkLike = Union[str, MicroBenchmark]
+
+#: Process-wide (config, cluster, jobconf, cost model) -> SimJobResult
+#: memo. All key components are frozen dataclasses, and simulations are
+#: deterministic functions of the key, so sharing results is safe.
+_RESULT_CACHE: Dict[tuple, SimJobResult] = {}
+
+#: Cache bookkeeping for tests/diagnostics.
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_result_cache() -> None:
+    """Drop all memoized sweep results (mainly for tests)."""
+    _RESULT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def result_cache_stats() -> Dict[str, int]:
+    """Copy of the memo cache hit/miss counters."""
+    return dict(_CACHE_STATS, size=len(_RESULT_CACHE))
+
+
+def _run_point(payload: tuple) -> SimJobResult:
+    """Worker for parallel sweeps: simulate one fully-keyed point.
+
+    Top-level so it pickles; receives the same tuple used as the memo
+    cache key.
+    """
+    config, cluster, jobconf, cost_model = payload
+    return run_simulated_job(
+        config, cluster=cluster, jobconf=jobconf, cost_model=cost_model
+    )
 
 
 @dataclass
@@ -121,8 +166,26 @@ class MicroBenchmarkSuite:
         config: BenchmarkConfig,
         transport: Optional[TransportModel] = None,
         monitor_interval: Optional[float] = None,
+        memoize: bool = True,
     ) -> SimJobResult:
-        """Run one fully-specified configuration."""
+        """Run one fully-specified configuration.
+
+        Results are memoized on the full (config, cluster, jobconf,
+        cost model) key unless ``memoize=False``. Runs with a custom
+        ``transport`` or ``monitor_interval`` are never cached: the key
+        cannot capture a transport instance, and monitored results carry
+        run-specific trace state.
+        """
+        if memoize and transport is None and monitor_interval is None:
+            key = self._point_key(config)
+            cached = _RESULT_CACHE.get(key)
+            if cached is not None:
+                _CACHE_STATS["hits"] += 1
+                return cached
+            _CACHE_STATS["misses"] += 1
+            result = _run_point(key)
+            _RESULT_CACHE[key] = result
+            return result
         return run_simulated_job(
             config,
             cluster=self.cluster,
@@ -132,12 +195,17 @@ class MicroBenchmarkSuite:
             monitor_interval=monitor_interval,
         )
 
+    def _point_key(self, config: BenchmarkConfig) -> tuple:
+        """Hashable key fully determining one simulation point."""
+        return (config, self.cluster, self.jobconf, self.cost_model)
+
     def run(
         self,
         benchmark: BenchmarkLike,
         shuffle_gb: Optional[float] = None,
         transport: Optional[TransportModel] = None,
         monitor_interval: Optional[float] = None,
+        memoize: bool = True,
         **config_kwargs: object,
     ) -> SimJobResult:
         """Run a named benchmark.
@@ -153,7 +221,8 @@ class MicroBenchmarkSuite:
         else:
             config = bench.configure(**config_kwargs)
         return self.run_config(config, transport=transport,
-                               monitor_interval=monitor_interval)
+                               monitor_interval=monitor_interval,
+                               memoize=memoize)
 
     # -- sweeps ------------------------------------------------------------
 
@@ -162,25 +231,76 @@ class MicroBenchmarkSuite:
         benchmark: BenchmarkLike,
         shuffle_gbs: Sequence[float],
         networks: Sequence[str],
+        jobs: int = 1,
+        memoize: bool = True,
         **config_kwargs: object,
     ) -> SweepResult:
-        """Execution time across shuffle sizes x networks (Figs. 2-6)."""
+        """Execution time across shuffle sizes x networks (Figs. 2-6).
+
+        ``jobs > 1`` runs the grid points on a process pool; row order
+        (and every simulated time) is identical to the serial run.
+        """
         bench = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
-        rows: List[SweepRow] = []
-        for size in shuffle_gbs:
-            for network in networks:
-                config = BenchmarkConfig.from_shuffle_size(
-                    size * 1e9, pattern=bench.pattern, network=network,
-                    **config_kwargs)
-                result = self.run_config(config)
-                rows.append(SweepRow(
-                    benchmark=bench.name,
-                    network=result.interconnect_name,
-                    shuffle_gb=size,
-                    execution_time=result.execution_time,
-                    result=result,
-                ))
+        configs = [
+            BenchmarkConfig.from_shuffle_size(
+                size * 1e9, pattern=bench.pattern, network=network,
+                **config_kwargs)
+            for size in shuffle_gbs
+            for network in networks
+        ]
+        sizes = [size for size in shuffle_gbs for _network in networks]
+        results = self._run_points(configs, jobs=jobs, memoize=memoize)
+        rows = [
+            SweepRow(
+                benchmark=bench.name,
+                network=result.interconnect_name,
+                shuffle_gb=size,
+                execution_time=result.execution_time,
+                result=result,
+            )
+            for size, result in zip(sizes, results)
+        ]
         return SweepResult(rows)
+
+    def _run_points(
+        self,
+        configs: Sequence[BenchmarkConfig],
+        jobs: int = 1,
+        memoize: bool = True,
+    ) -> List[SimJobResult]:
+        """Run many fully-specified points, optionally on a process pool.
+
+        Results come back in ``configs`` order regardless of ``jobs``
+        (``executor.map`` preserves input order). Points already in the
+        memo cache are served locally; only the misses are dispatched.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        keys = [self._point_key(config) for config in configs]
+        if jobs == 1 or len(configs) < 2:
+            return [
+                self.run_config(config, memoize=memoize) for config in configs
+            ]
+        results: List[Optional[SimJobResult]] = [None] * len(keys)
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            cached = _RESULT_CACHE.get(key) if memoize else None
+            if cached is not None:
+                _CACHE_STATS["hits"] += 1
+                results[i] = cached
+            else:
+                if memoize:
+                    _CACHE_STATS["misses"] += 1
+                pending.append(i)
+        if pending:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                for i, result in zip(
+                    pending, pool.map(_run_point, [keys[i] for i in pending])
+                ):
+                    results[i] = result
+                    if memoize:
+                        _RESULT_CACHE[keys[i]] = result
+        return results  # type: ignore[return-value]
 
     def compare_patterns(
         self,
@@ -201,6 +321,8 @@ class MicroBenchmarkSuite:
         trials: int,
         shuffle_gb: Optional[float] = None,
         base_seed: int = 20140901,
+        jobs: int = 1,
+        memoize: bool = True,
         **config_kwargs: object,
     ) -> List[float]:
         """Run a benchmark ``trials`` times with varied seeds.
@@ -210,14 +332,21 @@ class MicroBenchmarkSuite:
         much that mapping matters by re-drawing it. For MR-AVG the
         variance is zero by construction (round-robin); for MR-RAND and
         MR-SKEW the spread reflects genuine placement luck. Returns the
-        execution times, one per trial.
+        execution times, one per trial (trial order; ``jobs > 1`` runs
+        trials on a process pool without changing order or values).
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        times = []
+        bench = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+        configs = []
         for trial in range(trials):
-            result = self.run(
-                benchmark, shuffle_gb=shuffle_gb,
-                seed=base_seed + trial * 9973, **config_kwargs)
-            times.append(result.execution_time)
-        return times
+            seed = base_seed + trial * 9973
+            if shuffle_gb is not None:
+                config = BenchmarkConfig.from_shuffle_size(
+                    shuffle_gb * 1e9, pattern=bench.pattern, seed=seed,
+                    **config_kwargs)
+            else:
+                config = bench.configure(seed=seed, **config_kwargs)
+            configs.append(config)
+        results = self._run_points(configs, jobs=jobs, memoize=memoize)
+        return [result.execution_time for result in results]

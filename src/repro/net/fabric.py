@@ -13,17 +13,43 @@ Node-local transfers (a reducer fetching from a mapper on the same
 host) do not touch the NIC; they ride a per-node loopback link with its
 own (memory-speed) capacity, which is why local fetches are equally
 fast on every interconnect — as in real Hadoop.
+
+Rate allocation is the simulation's hot loop (each job re-solves it on
+every flow arrival/departure), so the fabric keeps three fast paths,
+all bit-identical to the reference solver (see :mod:`repro.net.solver`):
+
+* each flow's traversed-link tuple is computed once at creation and
+  cached on the flow;
+* per-link active-flow counts are maintained incrementally, and when a
+  change point only touches links private to the changed flows (e.g. a
+  loopback fetch on an otherwise-idle host), the solver run is skipped
+  entirely — surviving flows provably keep their rates;
+* the full solve groups flows into link-tuple equivalence classes
+  (:func:`~repro.net.solver.solve_max_min_grouped`).
+
+``NetworkFabric(..., solver="reference")`` disables all three and runs
+the original O(flows^2)-ish recompute; the equivalence tests simulate
+identical workloads under both modes and assert bit-equal timings.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.net.interconnect import InterconnectSpec
+from repro.net.solver import compute_max_min, solve_max_min_grouped
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import ByteCounter, UtilizationTracker
+
+__all__ = [
+    "DEFAULT_LOOPBACK_BANDWIDTH",
+    "FabricNode",
+    "Flow",
+    "NetworkFabric",
+    "compute_max_min",
+]
 
 _EPS = 1e-6
 
@@ -32,63 +58,27 @@ _EPS = 1e-6
 DEFAULT_LOOPBACK_BANDWIDTH = 3.0e9
 
 
-def compute_max_min(
-    flows: Iterable["Flow"],
-    link_caps: Dict[Hashable, float],
-    links_of: Callable[["Flow"], Tuple[Hashable, ...]],
-) -> Dict["Flow", float]:
-    """Water-filling max-min fair allocation.
-
-    Every flow traverses the links ``links_of(flow)``; each link has
-    capacity ``link_caps[link]``. Repeatedly: find the most-contended
-    link (smallest remaining-capacity / active-flow-count), freeze all
-    its active flows at that fair share, subtract, repeat.
-
-    Returns a dict flow -> rate. The allocation is work-conserving and
-    never exceeds any link capacity (asserted by property tests).
-    """
-    flows = list(flows)
-    rates: Dict[Flow, float] = {}
-    remaining = dict(link_caps)
-    link_flows: Dict[Hashable, List[Flow]] = {}
-    for flow in flows:
-        for link in links_of(flow):
-            link_flows.setdefault(link, []).append(flow)
-    active = set(flows)
-    while active:
-        bottleneck = None
-        bottleneck_fair = None
-        for link, members in link_flows.items():
-            n = sum(1 for f in members if f in active)
-            if n == 0:
-                continue
-            fair = max(0.0, remaining[link]) / n
-            if bottleneck_fair is None or fair < bottleneck_fair:
-                bottleneck_fair = fair
-                bottleneck = link
-        if bottleneck is None:  # pragma: no cover - active implies a link
-            break
-        for flow in link_flows[bottleneck]:
-            if flow not in active:
-                continue
-            rates[flow] = bottleneck_fair
-            active.remove(flow)
-            for link in links_of(flow):
-                remaining[link] -= bottleneck_fair
-    return rates
-
-
 class Flow:
     """One in-flight transfer between two fabric nodes.
 
     ``done`` succeeds (with the flow as value) when the last byte has
     been delivered. ``rate`` is the current max-min share in bytes/s.
+    ``links`` is the tuple of fabric links the flow traverses, computed
+    once at creation; ``wire`` is False for node-local (loopback) flows
+    that never touch a NIC.
+
+    Flow ids are assigned per fabric (not per process), so event names
+    and id-keyed debugging output are identical from run to run no
+    matter what simulations ran earlier in the process.
     """
 
-    _ids = itertools.count()
+    __slots__ = (
+        "id", "fabric", "src", "dst", "nbytes", "remaining", "rate",
+        "started_at", "finished_at", "done", "links", "wire",
+    )
 
     def __init__(self, fabric: "NetworkFabric", src: str, dst: str, nbytes: float):
-        self.id = next(Flow._ids)
+        self.id = next(fabric._flow_ids)
         self.fabric = fabric
         self.src = src
         self.dst = dst
@@ -98,6 +88,8 @@ class Flow:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.done: Event = fabric.sim.event(name=f"flow#{self.id}:{src}->{dst}")
+        self.links = fabric._links_of(self)
+        self.wire = src != dst
 
     @property
     def is_local(self) -> bool:
@@ -112,6 +104,8 @@ class Flow:
 
 class _LiveDirectionalCounter(ByteCounter):
     """Byte counter including in-flight progress since the last change point."""
+
+    __slots__ = ("_node", "_direction")
 
     def __init__(self, node: "FabricNode", direction: str):
         super().__init__()
@@ -140,6 +134,9 @@ class FabricNode:
     capacity-limited.
     """
 
+    __slots__ = ("fabric", "name", "cores", "rack", "in_rate", "out_rate",
+                 "rx", "tx", "protocol_cpu")
+
     def __init__(self, fabric: "NetworkFabric", name: str, cores: int = 8,
                  rack: int = 0):
         self.fabric = fabric
@@ -165,18 +162,30 @@ class NetworkFabric:
         interconnect: InterconnectSpec,
         loopback_bandwidth: float = DEFAULT_LOOPBACK_BANDWIDTH,
         rack_uplink_bandwidth: Optional[float] = None,
+        solver: str = "incremental",
     ):
         """``rack_uplink_bandwidth`` caps each rack's aggregate traffic
         to/from the core switch (bytes/s, each direction). ``None``
-        models the paper's single non-blocking switch."""
+        models the paper's single non-blocking switch. ``solver`` picks
+        ``"incremental"`` (grouped fast solver + change-point skipping)
+        or ``"reference"`` (the plain water-filling recompute); both
+        produce bit-identical timings."""
+        if solver not in ("incremental", "reference"):
+            raise ValueError(f"unknown solver {solver!r}")
         self.sim = sim
         self.interconnect = interconnect
         self.loopback_bandwidth = loopback_bandwidth
         self.rack_uplink_bandwidth = rack_uplink_bandwidth
+        self.solver = solver
         self.nodes: Dict[str, FabricNode] = {}
         self._active: List[Flow] = []
         self._last = sim.now
         self._timer_id = 0
+        self._flow_ids = itertools.count()
+        #: link -> number of active flows traversing it (incremental).
+        self._link_counts: Dict[Hashable, int] = {}
+        #: link -> capacity, filled lazily (capacities are static).
+        self._caps: Dict[Hashable, float] = {}
 
     # -- topology --------------------------------------------------------
 
@@ -218,7 +227,16 @@ class NetworkFabric:
                 return
             self._advance()
             self._active.append(flow)
-            self._recompute()
+            counts = self._link_counts
+            caps = self._caps
+            for link in flow.links:
+                if link in counts:
+                    counts[link] += 1
+                else:
+                    counts[link] = 1
+                    if link not in caps:
+                        caps[link] = self._cap_of(link)
+            self._recompute(flow)
 
         if start_after > 0:
             self.sim.call_at(self.sim.now + start_after, activate)
@@ -233,7 +251,7 @@ class NetworkFabric:
     # -- rate bookkeeping ---------------------------------------------------
 
     def _links_of(self, flow: Flow) -> Tuple[Hashable, ...]:
-        if flow.is_local:
+        if flow.src == flow.dst:
             return (("loop", flow.src),)
         links: Tuple[Hashable, ...] = (("out", flow.src), ("in", flow.dst))
         if self.rack_uplink_bandwidth is not None:
@@ -245,18 +263,21 @@ class NetworkFabric:
                 )
         return links
 
+    def _cap_of(self, link: Hashable) -> float:
+        kind = link[0]
+        if kind == "loop":
+            return self.loopback_bandwidth
+        if kind in ("rack-up", "rack-down"):
+            return self.rack_uplink_bandwidth
+        return self.interconnect.sustained_bandwidth
+
     def _link_caps(self) -> Dict[Hashable, float]:
+        """Capacities of the links the active flows traverse (reference
+        solver path; the incremental path uses the ``_caps`` cache)."""
         caps: Dict[Hashable, float] = {}
-        bw = self.interconnect.sustained_bandwidth
         for flow in self._active:
-            for link in self._links_of(flow):
-                kind = link[0]
-                if kind == "loop":
-                    caps[link] = self.loopback_bandwidth
-                elif kind in ("rack-up", "rack-down"):
-                    caps[link] = self.rack_uplink_bandwidth
-                else:
-                    caps[link] = bw
+            for link in flow.links:
+                caps[link] = self._cap_of(link)
         return caps
 
     def _advance(self) -> None:
@@ -266,25 +287,35 @@ class NetworkFabric:
         if dt <= 0:
             self._last = now
             return
+        nodes = self.nodes
         for flow in self._active:
             moved = flow.rate * dt
             flow.remaining -= moved
-            if not flow.is_local:
+            if flow.wire:
                 # rx/tx counters model NIC statistics; loopback traffic
                 # never crosses the wire.
-                self.nodes[flow.src].tx._total += moved
-                self.nodes[flow.dst].rx._total += moved
+                nodes[flow.src].tx._total += moved
+                nodes[flow.dst].rx._total += moved
         self._last = now
 
-    def _recompute(self) -> None:
-        """Finish completed flows, re-run max-min, arm the next timer."""
+    def _recompute(self, new_flow: Optional[Flow] = None) -> None:
+        """Finish completed flows, re-run max-min, arm the next timer.
+
+        ``new_flow`` is the flow appended at this change point, if any;
+        it enables the private-links fast path (see class docstring).
+        """
+        counts = self._link_counts
+        departed: List[Flow] = []
         while True:
             finished = [f for f in self._active if f.remaining <= _EPS]
             if finished:
                 self._active = [f for f in self._active if f.remaining > _EPS]
+                departed.extend(finished)
                 for flow in finished:
                     flow.remaining = 0.0
                     flow.finished_at = self.sim.now
+                    for link in flow.links:
+                        counts[link] -= 1
                     flow.done.succeed(flow)
             if not self._active:
                 break
@@ -301,25 +332,25 @@ class NetworkFabric:
                 if flow.remaining <= threshold:
                     flow.remaining = 0.0
 
-        rates = compute_max_min(self._active, self._link_caps(), self._links_of)
-        in_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
-        out_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
-        for flow in self._active:
-            flow.rate = rates.get(flow, 0.0)
-            if not flow.is_local:
-                out_rate[flow.src] += flow.rate
-                in_rate[flow.dst] += flow.rate
-        cpu_per_byte = self.interconnect.cpu_per_byte
-        for name, node in self.nodes.items():
-            node.in_rate = in_rate[name]
-            node.out_rate = out_rate[name]
-            level = (in_rate[name] + out_rate[name]) * cpu_per_byte
-            node.protocol_cpu.set_level(min(float(node.cores), level))
+        active = self._active
+        if self.solver == "reference":
+            rates = compute_max_min(active, self._link_caps(),
+                                    lambda f: f.links)
+            self._apply_rates(active, rates)
+        elif self._links_private(departed, new_flow):
+            # Change-point skip: every link touched by the changed flows
+            # is now used by nobody (departures) or only by the new flow
+            # (arrival). Surviving flows keep their rates; only the
+            # changed endpoints need bookkeeping.
+            self._apply_private(departed, new_flow)
+        else:
+            rates = solve_max_min_grouped(active, self._caps)
+            self._apply_rates(active, rates)
 
         self._timer_id += 1
-        if not self._active:
+        if not active:
             return
-        positive = [f for f in self._active if f.rate > 0]
+        positive = [f for f in active if f.rate > 0]
         if not positive:  # pragma: no cover - capacities are positive
             return
         next_done = min(f.remaining / f.rate for f in positive)
@@ -332,3 +363,74 @@ class NetworkFabric:
             self._recompute()
 
         self.sim.call_at(self.sim.now + next_done, on_timer)
+
+    # -- allocation bookkeeping ------------------------------------------
+
+    def _links_private(self, departed: List[Flow],
+                       new_flow: Optional[Flow]) -> bool:
+        """True when no *surviving pre-existing* flow shares a link with
+        any changed flow, so the previous allocation provably stands."""
+        counts = self._link_counts
+        if new_flow is not None:
+            for link in new_flow.links:
+                if counts[link] != 1:
+                    return False
+        new_links = new_flow.links if new_flow is not None else ()
+        for flow in departed:
+            for link in flow.links:
+                if link not in new_links and counts[link] != 0:
+                    return False
+        return True
+
+    def _apply_rates(self, active: List[Flow], rates: Dict[Flow, float]) -> None:
+        """Full node-rate refresh after a solver run (reference order)."""
+        in_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
+        out_rate: Dict[str, float] = {name: 0.0 for name in self.nodes}
+        for flow in active:
+            flow.rate = rates.get(flow, 0.0)
+            if flow.wire:
+                out_rate[flow.src] += flow.rate
+                in_rate[flow.dst] += flow.rate
+        cpu_per_byte = self.interconnect.cpu_per_byte
+        for name, node in self.nodes.items():
+            node.in_rate = in_rate[name]
+            node.out_rate = out_rate[name]
+            level = (in_rate[name] + out_rate[name]) * cpu_per_byte
+            node.protocol_cpu.set_level(min(float(node.cores), level))
+
+    def _apply_private(self, departed: List[Flow],
+                       new_flow: Optional[Flow]) -> None:
+        """Endpoint-only bookkeeping for the private-links fast path.
+
+        A departed wire flow leaves its endpoints with *no* remaining
+        flows in that direction (its links' counts are zero), so the
+        directional rates collapse to exactly 0.0 — the same value a
+        fresh solver sum would produce. A new flow with private links
+        gets ``min(cap)`` — exactly what progressive filling assigns a
+        flow that shares no link — and its endpoints' directional rates
+        go from exactly 0.0 to exactly its rate.
+        """
+        nodes = self.nodes
+        touched: Dict[str, FabricNode] = {}
+        for flow in departed:
+            if flow.wire:
+                src, dst = nodes[flow.src], nodes[flow.dst]
+                src.out_rate = 0.0
+                dst.in_rate = 0.0
+                touched[flow.src] = src
+                touched[flow.dst] = dst
+        if new_flow is not None:
+            caps = self._caps
+            rate = min(caps[link] for link in new_flow.links)
+            new_flow.rate = rate
+            if new_flow.wire:
+                src, dst = nodes[new_flow.src], nodes[new_flow.dst]
+                src.out_rate = rate
+                dst.in_rate = rate
+                touched[new_flow.src] = src
+                touched[new_flow.dst] = dst
+        if touched:
+            cpu_per_byte = self.interconnect.cpu_per_byte
+            for node in touched.values():
+                level = (node.in_rate + node.out_rate) * cpu_per_byte
+                node.protocol_cpu.set_level(min(float(node.cores), level))

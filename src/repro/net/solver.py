@@ -1,0 +1,179 @@
+"""Max-min fair rate allocation: reference and grouped solvers.
+
+The all-to-all MapReduce shuffle drives up to M x R concurrent flows
+through the fabric, and the fabric re-solves the allocation on every
+flow arrival and departure. Two solvers live here:
+
+:func:`compute_max_min`
+    The reference progressive-filling (water-filling) solver. O(links x
+    memberships) per frozen-link iteration; kept as the specification
+    the fast solver is tested against, and selectable on the fabric via
+    ``solver="reference"``.
+
+:func:`solve_max_min_grouped`
+    The production solver. Flows that traverse the *same link tuple*
+    (same source host, same destination host, same rack path) receive
+    identical fair shares at every step of progressive filling, so they
+    form an equivalence class that can be frozen atomically. The solver
+    iterates over O(hosts^2) classes instead of O(M x R) flows, and per
+    link it maintains an active-flow *count* instead of rescanning
+    membership lists.
+
+Bit-identical results
+---------------------
+The grouped solver reproduces the reference solver's floating-point
+arithmetic exactly (property-tested in
+``tests/net/test_solver_equivalence.py``), which is what makes swapping
+it into the fabric safe for the paper's figures. Three properties make
+this work:
+
+1. **Link iteration order.** The reference scans candidate bottleneck
+   links in first-touch order (the order links are first reached while
+   walking the active-flow list). Ties in fair share are broken by that
+   order via a strict ``<`` comparison. The grouped solver builds its
+   link table in the identical order.
+2. **Identical fair-share expression.** Both compute
+   ``max(0, remaining) / active_count`` with the same operand values:
+   counts are maintained exactly, and ``remaining`` evolves through the
+   same sequence of subtractions (see 3).
+3. **Per-flow subtraction.** When a bottleneck freezes k flows of a
+   class, the reference subtracts the fair share from each traversed
+   link k separate times. Repeated subtraction of the same value is
+   order-insensitive but *not* equal to ``remaining - k * fair`` in
+   floating point, so the grouped solver performs the same k
+   subtractions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple
+
+__all__ = ["compute_max_min", "solve_max_min_grouped"]
+
+
+def compute_max_min(
+    flows: Iterable["Flow"],  # noqa: F821 - duck-typed; needs only identity
+    link_caps: Dict[Hashable, float],
+    links_of: Callable[["Flow"], Tuple[Hashable, ...]],  # noqa: F821
+) -> Dict["Flow", float]:  # noqa: F821
+    """Water-filling max-min fair allocation (reference implementation).
+
+    Every flow traverses the links ``links_of(flow)``; each link has
+    capacity ``link_caps[link]``. Repeatedly: find the most-contended
+    link (smallest remaining-capacity / active-flow-count), freeze all
+    its active flows at that fair share, subtract, repeat.
+
+    Returns a dict flow -> rate. The allocation is work-conserving and
+    never exceeds any link capacity (asserted by property tests).
+    """
+    flows = list(flows)
+    rates: Dict["Flow", float] = {}  # noqa: F821
+    remaining = dict(link_caps)
+    link_flows: Dict[Hashable, List["Flow"]] = {}  # noqa: F821
+    for flow in flows:
+        for link in links_of(flow):
+            link_flows.setdefault(link, []).append(flow)
+    active = set(flows)
+    while active:
+        bottleneck = None
+        bottleneck_fair = None
+        for link, members in link_flows.items():
+            n = sum(1 for f in members if f in active)
+            if n == 0:
+                continue
+            fair = max(0.0, remaining[link]) / n
+            if bottleneck_fair is None or fair < bottleneck_fair:
+                bottleneck_fair = fair
+                bottleneck = link
+        if bottleneck is None:  # pragma: no cover - active implies a link
+            break
+        for flow in link_flows[bottleneck]:
+            if flow not in active:
+                continue
+            rates[flow] = bottleneck_fair
+            active.remove(flow)
+            for link in links_of(flow):
+                remaining[link] -= bottleneck_fair
+    return rates
+
+
+def solve_max_min_grouped(
+    flows: List["Flow"],  # noqa: F821 - needs .links (tuple of hashables)
+    link_caps: Dict[Hashable, float],
+) -> Dict["Flow", float]:  # noqa: F821
+    """Grouped water-filling over link-tuple equivalence classes.
+
+    ``flows`` must carry their traversed links as a pre-computed
+    ``links`` tuple (the fabric caches it at flow creation). Flows with
+    the same tuple are interchangeable under progressive filling — they
+    see identical fair shares on every link and freeze together — so
+    the solver manipulates one class per distinct tuple.
+
+    Returns rates bit-identical to
+    ``compute_max_min(flows, link_caps, lambda f: f.links)``.
+    """
+    rates: Dict["Flow", float] = {}  # noqa: F821
+    if not flows:
+        return rates
+
+    # One pass over the active flows (in list order) builds, in the
+    # reference solver's first-touch order: the per-link active counts,
+    # the working remaining-capacity table, and the class membership.
+    groups: Dict[Tuple[Hashable, ...], List["Flow"]] = {}  # noqa: F821
+    counts: Dict[Hashable, int] = {}
+    remaining: Dict[Hashable, float] = {}
+    link_groups: Dict[Hashable, List[Tuple[Hashable, ...]]] = {}
+    for flow in flows:
+        links = flow.links
+        members = groups.get(links)
+        if members is None:
+            groups[links] = [flow]
+            for link in links:
+                if link in counts:
+                    counts[link] += 1
+                    link_groups[link].append(links)
+                else:
+                    counts[link] = 1
+                    remaining[link] = link_caps[link]
+                    link_groups[link] = [links]
+        else:
+            members.append(flow)
+            for link in links:
+                counts[link] += 1
+
+    unfrozen = len(groups)
+    frozen = set()
+    while unfrozen:
+        bottleneck = None
+        bottleneck_fair = None
+        for link, n in counts.items():
+            if n == 0:
+                continue
+            r = remaining[link]
+            fair = (r if r > 0.0 else 0.0) / n
+            if bottleneck_fair is None or fair < bottleneck_fair:
+                bottleneck_fair = fair
+                bottleneck = link
+        if bottleneck is None:  # pragma: no cover - unfrozen implies a link
+            break
+        for key in link_groups[bottleneck]:
+            if key in frozen:
+                continue
+            frozen.add(key)
+            unfrozen -= 1
+            members = groups[key]
+            k = len(members)
+            for flow in members:
+                rates[flow] = bottleneck_fair
+            for link in key:
+                # k sequential subtractions, matching the reference's
+                # per-flow updates exactly (see module docstring).
+                r = remaining[link]
+                if k == 1:
+                    r -= bottleneck_fair
+                else:
+                    for _ in range(k):
+                        r -= bottleneck_fair
+                remaining[link] = r
+                counts[link] -= k
+    return rates

@@ -45,6 +45,12 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
+    #: Events are the most-allocated objects in a simulation (every
+    #: timeout, flow completion and resource grant is one), so they are
+    #: slotted. ``_defused`` is intentionally *unset* until a failure is
+    #: observed — ``hasattr`` checks rely on that.
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, sim: "Simulator", name: Optional[str] = None):  # noqa: F821
         self.sim = sim
         self.name = name
@@ -143,6 +149,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds ``delay`` simulated seconds after creation."""
 
+    __slots__ = ()
+
     def __init__(
         self,
         sim: "Simulator",  # noqa: F821
@@ -164,6 +172,8 @@ class _Condition(Event):
     The condition's value is a dict mapping each *triggered* constituent
     event to its value at the moment the condition fired.
     """
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Sequence[Event]):  # noqa: F821
         super().__init__(sim)
@@ -204,6 +214,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when *all* constituent events have succeeded."""
 
+    __slots__ = ()
+
     def _check(self, initial: bool) -> None:
         remaining = sum(1 for ev in self._events if not ev.processed)
         if remaining == 0 and all(ev.ok for ev in self._events if ev.triggered):
@@ -216,6 +228,8 @@ class AnyOf(_Condition):
     An empty event list succeeds immediately (vacuously true), mirroring
     SimPy semantics.
     """
+
+    __slots__ = ()
 
     def _check(self, initial: bool) -> None:
         if not self._events:

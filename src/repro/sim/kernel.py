@@ -20,6 +20,33 @@ URGENT = 0
 NORMAL = 1
 
 
+def _run_call(event: "_Call") -> None:
+    event._fn()
+
+
+class _Call(Event):
+    """A pre-triggered event that invokes a plain function when processed.
+
+    :meth:`Simulator.call_at` used to build a :class:`Timeout` plus a
+    wrapping lambda per timer; fabric and fair-share resources arm a
+    timer on *every* flow/job change point, making this the kernel's
+    hottest allocation site. ``_Call`` carries the function directly —
+    one slotted object and one callback list, no closure cells.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, sim: "Simulator", delay: float, fn: Callable[[], None]):
+        # Bypasses Event.__init__ (hot path); keep field init in sync.
+        self.sim = sim
+        self.name = None
+        self._value = None
+        self._ok = True
+        self._fn = fn
+        self.callbacks = [_run_call]
+        sim._schedule(self, delay)
+
+
 class Simulator:
     """Event loop with a virtual clock.
 
@@ -80,9 +107,7 @@ class Simulator:
         """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
         if when < self._now:
             raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
-        ev = self.timeout(when - self._now)
-        ev.add_callback(lambda _ev: fn())
-        return ev
+        return _Call(self, when - self._now, fn)
 
     # -- running -----------------------------------------------------------
 
@@ -114,10 +139,28 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self.peek() > until:
-                break
-            self.step()
+        # Inlined event loop: identical to repeated step()/peek() calls,
+        # minus the per-event method dispatch (this loop processes every
+        # event of every simulation).
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                count += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks or ():
+                    callback(event)
+                if event._ok is False and not getattr(event, "_defused", True):
+                    # A failure nobody waited for must not pass silently.
+                    raise event.value
+        finally:
+            self._event_count += count
         if until is not None and self._now < until:
             self._now = until
 
@@ -127,12 +170,23 @@ class Simulator:
         Raises the event's exception if it failed, or
         :class:`SimulationError` if the queue drains first.
         """
-        done = {"flag": False}
-        event.add_callback(lambda _ev: done.__setitem__("flag", True))
-        while not done["flag"]:
-            if not self._heap:
-                raise SimulationError(f"queue drained before {event!r} fired")
-            self.step()
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
+        try:
+            while event.callbacks is not None:  # i.e. not yet processed
+                if not heap:
+                    raise SimulationError(f"queue drained before {event!r} fired")
+                when, _prio, _seq, popped = pop(heap)
+                self._now = when
+                count += 1
+                callbacks, popped.callbacks = popped.callbacks, None
+                for callback in callbacks or ():
+                    callback(popped)
+                if popped._ok is False and not getattr(popped, "_defused", True):
+                    raise popped.value
+        finally:
+            self._event_count += count
         if not event.ok:
             if hasattr(event, "_defused"):
                 event._defused = True  # type: ignore[attr-defined]

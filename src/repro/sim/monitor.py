@@ -21,6 +21,8 @@ class UtilizationTracker:
     sampler derives average utilization between two samples.
     """
 
+    __slots__ = ("sim", "capacity", "_level", "_integral", "_last")
+
     def __init__(self, sim: "Simulator", capacity: float = 1.0):  # noqa: F821
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -70,6 +72,8 @@ class UtilizationTracker:
 
 class ByteCounter:
     """Monotone byte accumulator (NIC receive/send, disk bytes...)."""
+
+    __slots__ = ("_total",)
 
     def __init__(self) -> None:
         self._total = 0.0

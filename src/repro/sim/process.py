@@ -21,6 +21,8 @@ class Process(Event):
     processes from the same generator.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(
         self,
         sim: "Simulator",  # noqa: F821

@@ -83,6 +83,8 @@ class _LiveServedCounter(ByteCounter):
     """Byte counter whose total includes service accrued since the last
     change point, so monitor samples between events see live progress."""
 
+    __slots__ = ("_resource",)
+
     def __init__(self, resource: "FairShareResource"):
         super().__init__()
         self._resource = resource

@@ -1,0 +1,88 @@
+"""Bit-exact equivalence of the vectorized ``exact_counts`` paths
+against the per-record ``get_partition`` loop.
+
+``exact_counts`` must produce (a) the identical per-reducer counts and
+(b) the identical PRNG state afterwards, for every pattern, reducer
+count (powers of two take no rejection draws; others do) and pair count
+(including refill-boundary sizes).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioners import make_partitioner
+
+PATTERNS = ("avg", "rand", "skew", "zipf", "skew-split")
+
+
+def _loop_counts(partitioner, n_pairs):
+    counts = [0] * partitioner.num_reduces
+    for _ in range(n_pairs):
+        counts[partitioner.get_partition(None, None)] += 1
+    return counts
+
+
+def _state(partitioner):
+    rng = getattr(partitioner, "_rng", None)
+    pieces = [rng.getstate() if rng is not None else None,
+              getattr(partitioner, "_next", None),
+              getattr(partitioner, "_spread", None)]
+    return pieces
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("num_reduces", [1, 2, 3, 8, 9, 12, 16, 31])
+def test_counts_and_state_match_loop(pattern, num_reduces):
+    n_pairs = 5_000
+    fast = make_partitioner(pattern, num_reduces, seed=20140901)
+    slow = make_partitioner(pattern, num_reduces, seed=20140901)
+    got = fast.exact_counts(n_pairs)
+    want = _loop_counts(slow, n_pairs)
+    assert got.tolist() == want
+    assert _state(fast) == _state(slow)
+    # The next draws must also agree (state really is in sync).
+    assert fast.get_partition(None, None) == slow.get_partition(None, None)
+
+
+@given(
+    pattern=st.sampled_from(PATTERNS),
+    num_reduces=st.integers(1, 24),
+    n_pairs=st.integers(0, 2_000),
+    seed=st.integers(0, 2**32),
+)
+@settings(max_examples=150, deadline=None)
+def test_counts_match_loop_property(pattern, num_reduces, n_pairs, seed):
+    fast = make_partitioner(pattern, num_reduces, seed=seed)
+    slow = make_partitioner(pattern, num_reduces, seed=seed)
+    assert fast.exact_counts(n_pairs).tolist() == _loop_counts(slow, n_pairs)
+    assert _state(fast) == _state(slow)
+
+
+@pytest.mark.parametrize("pattern", ("rand", "skew"))
+def test_sequential_calls_continue_the_stream(pattern):
+    """Two exact_counts calls == one loop over the combined pairs."""
+    fast = make_partitioner(pattern, 16, seed=7)
+    slow = make_partitioner(pattern, 16, seed=7)
+    total = fast.exact_counts(1_000) + fast.exact_counts(2_000)
+    assert total.tolist() == _loop_counts(slow, 3_000)
+
+
+def test_refill_boundaries_rand():
+    """Pair counts straddling the internal chunk sizes."""
+    for n_pairs in (4095, 4096, 4097, 8192, 20_000):
+        fast = make_partitioner("rand", 9, seed=3)  # 9 -> rejection path
+        slow = make_partitioner("rand", 9, seed=3)
+        assert fast.exact_counts(n_pairs).tolist() == \
+            _loop_counts(slow, n_pairs)
+
+
+def test_avg_continues_round_robin_pointer():
+    fast = make_partitioner("avg", 8)
+    slow = make_partitioner("avg", 8)
+    for chunk in (3, 13, 70):
+        assert fast.exact_counts(chunk).tolist() == _loop_counts(slow, chunk)
+    assert fast._next == slow._next

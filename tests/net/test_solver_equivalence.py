@@ -1,0 +1,167 @@
+"""Bit-exact equivalence of the grouped/incremental solver vs the
+reference water-filling solver.
+
+Three layers:
+
+* property tests — random fabric-shaped flow sets: the grouped solver's
+  rates equal the reference's with ``==``, not approx;
+* fabric level — identical workloads on ``solver="reference"`` vs
+  ``solver="incremental"`` fabrics produce bit-equal completion times
+  (this also exercises the private-links change-point skip);
+* suite level — parallel sweeps (``jobs=4``) reproduce the serial
+  sweep's simulated job times bit-exactly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.suite import MicroBenchmarkSuite, clear_result_cache
+from repro.hadoop.cluster import cluster_a
+from repro.hadoop.job import JobConf
+from repro.net import NetworkFabric
+from repro.net.interconnect import InterconnectSpec
+from repro.net.solver import compute_max_min, solve_max_min_grouped
+from repro.sim import Simulator
+
+
+class _FakeFlow:
+    __slots__ = ("links",)
+
+    def __init__(self, links):
+        self.links = links
+
+    def __repr__(self):
+        return f"flow{self.links!r}"
+
+
+def _fabric_links(src, dst, racks):
+    """Link tuple shaped exactly like NetworkFabric._links_of."""
+    if src == dst:
+        return (("loop", src),)
+    links = (("out", src), ("in", dst))
+    if racks is not None and racks[src] != racks[dst]:
+        links += (("rack-up", racks[src]), ("rack-down", racks[dst]))
+    return links
+
+
+# Up to 40 flows over 6 hosts split across 2 racks; loopback allowed.
+_pairs = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=40
+)
+_rack_split = st.one_of(st.none(), st.integers(1, 5))
+_caps = st.floats(min_value=0.5, max_value=1e9)
+
+
+@given(_pairs, _rack_split, _caps, _caps, _caps)
+@settings(max_examples=200, deadline=None)
+def test_grouped_solver_matches_reference_bitwise(pairs, split, nic_cap,
+                                                  loop_cap, rack_cap):
+    racks = None if split is None else {h: int(h >= split) for h in range(6)}
+    flows = [_FakeFlow(_fabric_links(s, d, racks)) for s, d in pairs]
+    caps = {}
+    for flow in flows:
+        for link in flow.links:
+            kind = link[0]
+            caps[link] = (loop_cap if kind == "loop"
+                          else rack_cap if kind.startswith("rack")
+                          else nic_cap)
+    reference = compute_max_min(flows, caps, lambda f: f.links)
+    grouped = solve_max_min_grouped(flows, caps)
+    assert set(grouped) == set(reference)
+    for flow in flows:
+        # Bit-exact, not approx: the fabric swap relies on it.
+        assert grouped[flow] == reference[flow], flow
+
+
+@given(_pairs, _caps)
+@settings(max_examples=100, deadline=None)
+def test_grouped_solver_uneven_caps(pairs, base_cap):
+    """Per-link capacity perturbations (deterministic in the link) so
+    classes hit different bottlenecks than their neighbours."""
+    flows = [_FakeFlow(_fabric_links(s, d, None)) for s, d in pairs]
+    caps = {}
+    for flow in flows:
+        for link in flow.links:
+            caps[link] = base_cap * (1.0 + 0.1 * (hash(link) % 7))
+    reference = compute_max_min(flows, caps, lambda f: f.links)
+    grouped = solve_max_min_grouped(flows, caps)
+    for flow in flows:
+        assert grouped[flow] == reference[flow]
+
+
+# -- fabric level -------------------------------------------------------
+
+_SPEC = InterconnectSpec(
+    name="equiv-test",
+    raw_gbps=1,
+    effective_bandwidth=117.0,  # non-round: exercises float paths
+    latency=0.001,
+    fetch_setup=0.0,
+    cpu_per_byte=0.001,
+)
+
+
+def _run_workload(solver, racked):
+    """A staggered many-flow workload; returns all completion times."""
+    sim = Simulator()
+    fabric = NetworkFabric(
+        sim, _SPEC, loopback_bandwidth=990.0,
+        rack_uplink_bandwidth=250.0 if racked else None,
+        solver=solver,
+    )
+    for i in range(6):
+        fabric.add_node(f"n{i}", cores=8, rack=i % 2)
+    rng = random.Random(20140901)
+    flows = []
+    for _ in range(60):
+        src = f"n{rng.randrange(6)}"
+        dst = f"n{rng.randrange(6)}"  # loopback allowed
+        nbytes = rng.uniform(1.0, 5000.0)
+        delay = rng.uniform(0.0, 30.0)
+        flows.append(fabric.start_flow(src, dst, nbytes, delay=delay))
+    sim.run()
+    assert all(f.finished_at is not None for f in flows)
+    return [f.finished_at for f in flows]
+
+
+def test_fabric_reference_vs_incremental_flat():
+    assert _run_workload("incremental", racked=False) == \
+        _run_workload("reference", racked=False)
+
+
+def test_fabric_reference_vs_incremental_racked():
+    assert _run_workload("incremental", racked=True) == \
+        _run_workload("reference", racked=True)
+
+
+# -- suite level --------------------------------------------------------
+
+def _sweep_times(jobs):
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4),
+                                jobconf=JobConf(version="mrv1"))
+    clear_result_cache()  # a cache hit would make the comparison vacuous
+    sweep = suite.sweep(
+        "MR-RAND", [1.0, 2.0], ["1GigE", "ipoib-qdr"],
+        jobs=jobs, memoize=False,
+        num_maps=16, num_reduces=8, key_size=512, value_size=512,
+        data_type="BytesWritable",
+    )
+    return [(r.network, r.shuffle_gb, r.execution_time) for r in sweep.rows]
+
+
+def test_parallel_sweep_times_bit_identical():
+    serial = _sweep_times(jobs=1)
+    parallel = _sweep_times(jobs=4)
+    assert serial == parallel  # float equality on execution times
+
+
+def test_parallel_trials_bit_identical():
+    suite = MicroBenchmarkSuite(cluster=cluster_a(4),
+                                jobconf=JobConf(version="yarn"))
+    kwargs = dict(shuffle_gb=1.0, num_maps=8, num_reduces=4,
+                  memoize=False)
+    serial = suite.run_trials("MR-SKEW", trials=3, jobs=1, **kwargs)
+    parallel = suite.run_trials("MR-SKEW", trials=3, jobs=4, **kwargs)
+    assert serial == parallel

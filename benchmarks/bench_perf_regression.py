@@ -28,12 +28,22 @@ import time
 
 from _harness import YARN_PARAMS, one_shot, record, suite_cluster_a
 
+from repro.core.config import BenchmarkConfig
+from repro.hadoop.cluster import cluster_a
+from repro.hadoop.simulation import run_simulated_job
 from repro.net.solver import compute_max_min, solve_max_min_grouped
+from repro.sim.trace import Tracer
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_fabric.json"
 
 #: Allowed wall-clock slack vs the committed baseline in smoke mode.
 SMOKE_FACTOR = float(os.environ.get("PERF_SMOKE_FACTOR", "2.0"))
+
+#: The trace bus promises zero overhead when disabled: emit sites are a
+#: single attribute check. This is the allowed regression of the
+#: tracing-disabled wall clock vs its committed baseline (tightest when
+#: ``PERF_SMOKE_FACTOR`` <= 1.02, i.e. on the baseline machine class).
+TRACE_OVERHEAD_LIMIT = 1.02
 
 
 def _load_baselines() -> dict:
@@ -144,3 +154,66 @@ def bench_fig3_yarn_job_wallclock(benchmark):
         )
     _check_or_record("fig3_yarn_mravg_16gb_1gige",
                      {"seconds": wall, "sim_time": sim_time})
+
+
+def bench_trace_overhead_disabled(benchmark):
+    """Guard the zero-overhead-when-disabled promise of the trace bus.
+
+    With no tracer attached every emit site must cost one attribute
+    check, so the disabled-path wall clock may not regress more than
+    ~2% (``TRACE_OVERHEAD_LIMIT``) beyond its committed baseline. The
+    smoke limit is ``max(TRACE_OVERHEAD_LIMIT, PERF_SMOKE_FACTOR)`` so
+    the 2% bound binds on the baseline machine class while arbitrary CI
+    hosts keep the usual slack. Independently of wall clock, a traced
+    run must reproduce the untraced simulated time bit-for-bit.
+    """
+    config = BenchmarkConfig.from_shuffle_size(
+        1e9, pattern="avg", network="ipoib-qdr",
+        num_maps=8, num_reduces=4, key_size=256, value_size=256)
+    cluster = cluster_a(2)
+
+    def run():
+        best = float("inf")
+        sim_time = None
+        for _ in range(3):  # min-of-3 to shave scheduler noise
+            start = time.perf_counter()
+            result = run_simulated_job(config, cluster=cluster)
+            best = min(best, time.perf_counter() - start)
+            sim_time = result.execution_time
+        return best, sim_time
+
+    wall, sim_time = one_shot(benchmark, run)
+
+    traced = run_simulated_job(config, cluster=cluster, tracer=Tracer())
+    assert traced.execution_time == sim_time, (
+        "tracing perturbed the simulation: "
+        f"{traced.execution_time!r} != {sim_time!r}"
+    )
+    assert len(traced.trace) > 0
+
+    record("perf_trace_overhead",
+           f"tracing-disabled MR-AVG 1GB ipoib-qdr job: {wall:.3f}s wall, "
+           f"{sim_time:.4f}s simulated ({len(traced.trace)} trace events "
+           "when enabled)")
+
+    baselines = _load_baselines()
+    if os.environ.get("PERF_BASELINE"):
+        baselines["trace_overhead_disabled"] = {
+            "seconds": wall, "sim_time": sim_time,
+        }
+        BASELINE_PATH.write_text(json.dumps(baselines, indent=2,
+                                            sort_keys=True) + "\n")
+        return
+    baseline = baselines.get("trace_overhead_disabled")
+    if baseline is None:
+        return
+    assert sim_time == baseline["sim_time"], (
+        f"simulated time drifted: {sim_time!r} != {baseline['sim_time']!r}"
+    )
+    if os.environ.get("PERF_SMOKE"):
+        factor = max(TRACE_OVERHEAD_LIMIT, SMOKE_FACTOR)
+        limit = factor * baseline["seconds"]
+        assert wall <= limit, (
+            f"tracing-disabled wall clock regressed: {wall:.3f}s exceeds "
+            f"{factor}x baseline ({baseline['seconds']:.3f}s)"
+        )

@@ -2,9 +2,12 @@
 
 from repro.analysis.charts import bar_chart, line_chart, sweep_chart
 from repro.analysis.export import (
+    chrome_trace_json,
     parse_csv_floats,
     results_to_csv,
     sweep_to_csv,
+    trace_to_chrome,
+    write_chrome_trace,
     write_csv,
 )
 from repro.analysis.stats import (
@@ -19,6 +22,7 @@ from repro.analysis.tables import format_cell, format_table
 
 __all__ = [
     "bar_chart",
+    "chrome_trace_json",
     "format_cell",
     "line_chart",
     "sweep_chart",
@@ -32,5 +36,7 @@ __all__ = [
     "results_to_csv",
     "speedup",
     "sweep_to_csv",
+    "trace_to_chrome",
+    "write_chrome_trace",
     "write_csv",
 ]

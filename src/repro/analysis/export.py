@@ -1,15 +1,19 @@
-"""Result export: CSV serialization of runs and sweeps.
+"""Result export: CSV serialization of runs and sweeps, trace JSON.
 
 The real suite's output is scraped into spreadsheets; this module
 provides the equivalent: flat CSV rows for single results and sweep
-grids, suitable for plotting the paper's figures externally.
+grids, suitable for plotting the paper's figures externally — plus a
+Chrome ``trace_event`` exporter that turns a
+:class:`~repro.sim.trace.Tracer` into JSON loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, List, Optional, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 #: Column order for single-job summary rows.
 RESULT_FIELDS = (
@@ -47,6 +51,64 @@ def write_csv(path: str, text: str) -> None:
     """Write CSV text to a file (tiny helper for CLI/--csv)."""
     with open(path, "w", newline="") as handle:
         handle.write(text)
+
+
+def trace_to_chrome(tracer: "Tracer") -> Dict[str, Any]:  # noqa: F821
+    """Convert a trace to the Chrome ``trace_event`` object format.
+
+    Tracks (node names, ``net``, ``job``) map to Chrome *processes* and
+    lanes (``map3``, ``reduce1``...) to *threads*; ``M`` metadata events
+    name them so the viewer shows readable rows. Spans become ``X``
+    (complete) events, instants become ``i`` events. Chrome timestamps
+    are microseconds; simulated seconds are scaled accordingly.
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+    for ev in tracer.events:
+        pid = pids.get(ev.track)
+        if pid is None:
+            pid = pids[ev.track] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": ev.track},
+            })
+        key = (ev.track, ev.lane)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for k in tids if k[0] == ev.track) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": ev.lane},
+            })
+        record: Dict[str, Any] = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev.start * 1e6,
+        }
+        if ev.is_instant:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        else:
+            record["ph"] = "X"
+            record["dur"] = ev.duration * 1e6
+        if ev.args:
+            record["args"] = dict(ev.args)
+        events.append(record)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: "Tracer") -> str:  # noqa: F821
+    """Chrome ``trace_event`` JSON text for a recorded trace."""
+    return json.dumps(trace_to_chrome(tracer), indent=1)
+
+
+def write_chrome_trace(path: str, tracer: "Tracer") -> None:  # noqa: F821
+    """Write a trace as Chrome JSON, viewable in Perfetto."""
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer))
 
 
 def parse_csv_floats(text: str) -> List[List[Optional[float]]]:

@@ -26,7 +26,10 @@ from repro.core.config import (
     PATTERN_AVG,
     PATTERN_RAND,
     PATTERN_SKEW,
+    PATTERN_SKEW_SPLIT,
+    PATTERN_ZIPF,
     PATTERNS,
+    SUPPORTED_DATA_TYPES,
 )
 from repro.core.datagen import KeyValueGenerator
 from repro.core.formats import (
@@ -50,7 +53,7 @@ from repro.core.partitioners import (
     distribution_stats,
     make_partitioner,
 )
-from repro.core.report import render_report
+from repro.core.report import render_phase_table, render_report
 from repro.core.suite import (MicroBenchmarkSuite, SweepResult, SweepRow,
                               clear_result_cache, result_cache_stats)
 from repro.core.validate import (
@@ -80,6 +83,8 @@ __all__ = [
     "PATTERN_AVG",
     "PATTERN_RAND",
     "PATTERN_SKEW",
+    "PATTERN_SKEW_SPLIT",
+    "PATTERN_ZIPF",
     "Partitioner",
     "RandomPartitioner",
     "ShapeCheck",
@@ -96,7 +101,9 @@ __all__ = [
     "distribution_stats",
     "get_benchmark",
     "get_workload",
+    "SUPPORTED_DATA_TYPES",
     "make_partitioner",
+    "render_phase_table",
     "render_report",
     "result_cache_stats",
     "validate_headline_shapes",

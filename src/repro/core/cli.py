@@ -18,11 +18,13 @@ import sys
 from typing import List, Optional
 
 from repro.core.benchmarks import EXTENDED_BENCHMARKS
-from repro.core.config import BenchmarkConfig
-from repro.core.report import render_report
+from repro.core.config import SUPPORTED_DATA_TYPES, BenchmarkConfig
+from repro.core.report import render_phase_table, render_report
 from repro.core.suite import MicroBenchmarkSuite
 from repro.hadoop.cluster import cluster_a, cluster_b
 from repro.hadoop.job import JobConf
+from repro.hadoop.runtime import available_runtimes
+from repro.net.interconnect import INTERCONNECTS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,8 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
              "key/value sizes and data type",
     )
     parser.add_argument("--network", default="1GigE",
-                        help="interconnect (1GigE, 10GigE, ipoib-qdr, "
-                             "ipoib-fdr, rdma)")
+                        help="interconnect, by canonical name or alias "
+                             f"({', '.join(sorted(INTERCONNECTS))})")
     size = parser.add_mutually_exclusive_group()
     size.add_argument("--shuffle-gb", type=float, default=None,
                       help="total intermediate shuffle data size in GB")
@@ -58,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--value-size", type=int, default=512,
                         help="value payload bytes")
     parser.add_argument("--data-type", default="BytesWritable",
-                        choices=("BytesWritable", "Text"))
+                        choices=SUPPORTED_DATA_TYPES,
+                        help="Writable type for keys and values")
     parser.add_argument("--maps", type=int, default=16,
                         help="number of map tasks")
     parser.add_argument("--reduces", type=int, default=8,
@@ -69,8 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slaves", type=int, default=None,
                         help="number of slave nodes (default: paper setup)")
     parser.add_argument("--framework", default="mrv1",
-                        choices=("mrv1", "yarn"),
-                        help="Hadoop generation (1.x slots or 2.x YARN)")
+                        choices=available_runtimes(),
+                        help="Hadoop runtime generation (1.x slots or "
+                             "2.x YARN), from the runtime registry")
     parser.add_argument("--monitor", type=float, default=None, metavar="SEC",
                         help="sample CPU/network utilization every SEC "
                              "simulated seconds")
@@ -90,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print an ASCII Gantt chart of all tasks")
     parser.add_argument("--history-json", default=None, metavar="PATH",
                         help="write the job history record as JSON to PATH")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record the structured phase trace and write "
+                             "it as Chrome trace_event JSON to PATH "
+                             "(viewable in Perfetto)")
+    parser.add_argument("--phase-report", action="store_true",
+                        help="print the per-node phase breakdown table "
+                             "(map / spill-merge / shuffle / merge / reduce)")
     return parser
 
 
@@ -111,6 +122,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         data_type=args.data_type,
         seed=args.seed,
     )
+    tracer = None
+    if args.trace is not None:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
     try:
         if args.workload is not None:
             from repro.core.workloads import get_workload
@@ -124,28 +140,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 network=args.network,
                 seed=args.seed,
             )
-            result = suite.run_config(config, monitor_interval=args.monitor)
-            print(render_report(result))
-            if args.timeline:
-                from repro.hadoop.history import render_timeline
-
-                print("\nTask timeline:")
-                print(render_timeline(result))
-            return 0
-        if args.sweep is not None:
+        elif args.sweep is not None:
             return _run_sweep(suite, args, common)
-        if args.num_pairs is not None:
+        elif args.num_pairs is not None:
             config = BenchmarkConfig(num_pairs=args.num_pairs,
                                      network=args.network, **common)
         else:
             shuffle_gb = args.shuffle_gb if args.shuffle_gb is not None else 4.0
             config = BenchmarkConfig.from_shuffle_size(
                 shuffle_gb * 1e9, network=args.network, **common)
-        result = suite.run_config(config, monitor_interval=args.monitor)
+        result = suite.run_config(config, monitor_interval=args.monitor,
+                                  tracer=tracer)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(result))
+    if args.phase_report:
+        print()
+        print(render_phase_table(result))
     if args.timeline:
         from repro.hadoop.history import render_timeline
 
@@ -157,6 +169,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.history_json, "w") as handle:
             handle.write(history_json(result))
         print(f"\njob history written to {args.history_json}")
+    if args.trace is not None:
+        from repro.analysis.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.trace)
+        print(f"\nchrome trace written to {args.trace}")
     return 0
 
 

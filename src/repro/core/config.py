@@ -37,8 +37,9 @@ class BenchmarkConfig:
     Attributes mirror the CLI options of the paper's suite:
 
     ``pattern``
-        Intermediate data distribution: ``avg`` (MR-AVG), ``rand``
-        (MR-RAND) or ``skew`` (MR-SKEW).
+        Intermediate data distribution, one of :data:`PATTERNS`:
+        ``avg`` (MR-AVG), ``rand`` (MR-RAND), ``skew`` (MR-SKEW), plus
+        the ``zipf`` and ``skew-split`` extensions.
     ``key_size`` / ``value_size``
         Payload bytes per key and per value. The paper's "key/value
         pair size of 1 KB" splits evenly: 512 B keys + 512 B values.
@@ -180,6 +181,8 @@ __all__ = [
     "PATTERN_AVG",
     "PATTERN_RAND",
     "PATTERN_SKEW",
+    "PATTERN_SKEW_SPLIT",
+    "PATTERN_ZIPF",
     "SUPPORTED_DATA_TYPES",
     "Text",
 ]

@@ -13,7 +13,7 @@ from typing import List
 
 from repro.analysis.tables import format_table
 from repro.hadoop.counters import format_counters, job_counters
-from repro.hadoop.result import SimJobResult
+from repro.hadoop.result import PHASES, SimJobResult
 
 
 def _config_section(result: SimJobResult) -> str:
@@ -77,6 +77,42 @@ def _utilization_section(result: SimJobResult) -> str:
                 f"mean {monitor.mean(metric):8.1f} {unit}"
             )
     return "\n".join(lines)
+
+
+def render_phase_table(result: SimJobResult, per_task: bool = False) -> str:
+    """Paper-style per-phase table from the structured breakdown.
+
+    One row per node (or per task with ``per_task=True``), one column
+    per phase (map, spill-merge, shuffle, merge, reduce), in
+    task-seconds, plus a totals row. Phase seconds per task sum to that
+    task's wall duration; the job's wall-clock windows are appended
+    under the table.
+    """
+    breakdown = result.phase_breakdown()
+    headers = (["task", "node"] if per_task else ["node"])
+    headers += [phase.replace("_", "-") for phase in PHASES] + ["total"]
+    rows: List[List[object]] = []
+    if per_task:
+        for row in breakdown.rows:
+            rows.append([row.task, row.node]
+                        + [round(row.phases[p], 2) for p in PHASES]
+                        + [round(row.total, 2)])
+    else:
+        for node, phases in breakdown.by_node().items():
+            rows.append([node] + [round(phases[p], 2) for p in PHASES]
+                        + [round(sum(phases.values()), 2)])
+    totals = breakdown.totals()
+    rows.append((["TOTAL", ""] if per_task else ["TOTAL"])
+                + [round(totals[p], 2) for p in PHASES]
+                + [round(sum(totals.values()), 2)])
+    table = format_table(headers, rows,
+                         title="Phase breakdown (task-seconds)")
+    footer = (
+        f"  map phase end      : {breakdown.map_phase_end:.2f} s\n"
+        f"  first reduce start : {breakdown.first_reduce_start:.2f} s\n"
+        f"  job execution time : {breakdown.execution_time:.2f} s"
+    )
+    return f"{table}\n{footer}"
 
 
 def render_report(result: SimJobResult) -> str:

@@ -36,6 +36,7 @@ from repro.hadoop.job import JobConf
 from repro.hadoop.result import SimJobResult
 from repro.hadoop.simulation import run_simulated_job
 from repro.net.transport import TransportModel
+from repro.sim.trace import Tracer
 
 BenchmarkLike = Union[str, MicroBenchmark]
 
@@ -167,16 +168,18 @@ class MicroBenchmarkSuite:
         transport: Optional[TransportModel] = None,
         monitor_interval: Optional[float] = None,
         memoize: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> SimJobResult:
         """Run one fully-specified configuration.
 
         Results are memoized on the full (config, cluster, jobconf,
         cost model) key unless ``memoize=False``. Runs with a custom
-        ``transport`` or ``monitor_interval`` are never cached: the key
-        cannot capture a transport instance, and monitored results carry
-        run-specific trace state.
+        ``transport``, ``monitor_interval`` or ``tracer`` are never
+        cached: the key cannot capture a transport instance, and
+        monitored/traced results carry run-specific trace state.
         """
-        if memoize and transport is None and monitor_interval is None:
+        if (memoize and transport is None and monitor_interval is None
+                and tracer is None):
             key = self._point_key(config)
             cached = _RESULT_CACHE.get(key)
             if cached is not None:
@@ -193,6 +196,7 @@ class MicroBenchmarkSuite:
             cost_model=self.cost_model,
             transport=transport,
             monitor_interval=monitor_interval,
+            tracer=tracer,
         )
 
     def _point_key(self, config: BenchmarkConfig) -> tuple:
@@ -206,6 +210,7 @@ class MicroBenchmarkSuite:
         transport: Optional[TransportModel] = None,
         monitor_interval: Optional[float] = None,
         memoize: bool = True,
+        tracer: Optional[Tracer] = None,
         **config_kwargs: object,
     ) -> SimJobResult:
         """Run a named benchmark.
@@ -222,7 +227,7 @@ class MicroBenchmarkSuite:
             config = bench.configure(**config_kwargs)
         return self.run_config(config, transport=transport,
                                monitor_interval=monitor_interval,
-                               memoize=memoize)
+                               memoize=memoize, tracer=tracer)
 
     # -- sweeps ------------------------------------------------------------
 

@@ -11,8 +11,10 @@ substitutes a discrete-event model of those systems:
   aware storage.
 * :mod:`repro.hadoop.maptask` / :mod:`repro.hadoop.shuffle` /
   :mod:`repro.hadoop.reducetask` — the task pipeline.
+* :mod:`repro.hadoop.runtime` — the shared :class:`Runtime` protocol
+  (task lifecycle, waves, speculation) and the runtime registry.
 * :mod:`repro.hadoop.jobtracker` / :mod:`repro.hadoop.yarn` — MRv1
-  slots vs YARN containers.
+  slots vs YARN containers, as thin :class:`Runtime` policies.
 * :mod:`repro.hadoop.rdma` — the MRoIB case-study transport + ablations.
 * :mod:`repro.hadoop.simulation` — :func:`run_simulated_job`.
 """
@@ -47,6 +49,13 @@ from repro.hadoop.multijob import (
     JobRequest,
     run_concurrent_jobs,
 )
+from repro.hadoop.runtime import (
+    JobExecution,
+    Runtime,
+    available_runtimes,
+    create_runtime,
+    register_runtime,
+)
 from repro.hadoop.jobtracker import JobTrackerScheduler
 from repro.hadoop.yarn import YarnScheduler
 
@@ -60,6 +69,7 @@ __all__ = [
     "JobConf",
     "JobEvent",
     "JobEventLog",
+    "JobExecution",
     "JobRequest",
     "JobTrackerScheduler",
     "MRV1",
@@ -71,6 +81,7 @@ __all__ = [
     "ReduceTask",
     "ReduceTaskStats",
     "ReducerShuffle",
+    "Runtime",
     "STAMPEDE_NODE",
     "ShuffleStats",
     "SimJobResult",
@@ -81,9 +92,11 @@ __all__ = [
     "WESTMERE_NODE",
     "YARN",
     "YarnScheduler",
+    "available_runtimes",
     "cluster_a",
     "cluster_b",
     "counters_dict",
+    "create_runtime",
     "format_counters",
     "grid_search",
     "history_json",
@@ -91,6 +104,7 @@ __all__ = [
     "job_history",
     "mroib_transport",
     "overlap_only_transport",
+    "register_runtime",
     "render_timeline",
     "run_concurrent_jobs",
     "run_simulated_job",

@@ -1,82 +1,48 @@
-"""MRv1 scheduling: JobTracker/TaskTracker fixed slots.
+"""MRv1 scheduling policy: JobTracker/TaskTracker fixed slots.
 
 Hadoop 1.x runs a fixed number of map slots and reduce slots per
 TaskTracker; tasks are handed out on heartbeats. The micro-benchmarks
 on Cluster A (16 maps / 8 reduces on 4 slaves) run as one map wave of
 4 per node and 2 reducers per node with the defaults derived from the
 8-core Westmere nodes.
+
+All lifecycle mechanics live in :class:`repro.hadoop.runtime.Runtime`;
+this class only binds map and reduce tasks to their dedicated slot
+pools.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.hadoop.costmodel import CostModel
-from repro.hadoop.job import JobConf, MRV1
+from repro.hadoop.job import MRV1
 from repro.hadoop.node import SimNode
-from repro.sim.events import Event
-from repro.sim.kernel import Simulator
+from repro.hadoop.runtime import Runtime, register_runtime
 from repro.sim.resources import SlotResource
 
 
-class JobTrackerScheduler:
+@register_runtime
+class JobTrackerScheduler(Runtime):
     """Slot-based task placement, round-robin across TaskTrackers."""
 
-    version = MRV1
+    name = MRV1
 
-    def __init__(
-        self,
-        sim: Simulator,
-        nodes: List[SimNode],
-        jobconf: JobConf,
-        costs: CostModel,
-    ):
-        self.sim = sim
-        self.nodes = nodes
-        self.jobconf = jobconf
-        self.costs = costs
+    def _build_pools(self) -> None:
         self._map_slots: Dict[str, SlotResource] = {}
         self._reduce_slots: Dict[str, SlotResource] = {}
-        for node in nodes:
+        for node in self.nodes:
             cores = node.spec.cores
             self._map_slots[node.name] = SlotResource(
-                sim, jobconf.map_slots(cores), name=f"{node.name}:map-slots"
+                self.sim, self.jobconf.map_slots(cores),
+                name=f"{node.name}:map-slots"
             )
             self._reduce_slots[node.name] = SlotResource(
-                sim, jobconf.reduce_slots(cores), name=f"{node.name}:reduce-slots"
+                self.sim, self.jobconf.reduce_slots(cores),
+                name=f"{node.name}:reduce-slots"
             )
 
-    #: extra per-task start latency this framework generation adds.
-    @property
-    def task_start_extra(self) -> float:
-        return 0.0
+    def map_pool(self, node: SimNode) -> SlotResource:
+        return self._map_slots[node.name]
 
-    def map_node(self, map_id: int) -> SimNode:
-        """Round-robin map placement (no data locality: no HDFS)."""
-        return self.nodes[map_id % len(self.nodes)]
-
-    def reduce_node(self, reduce_id: int) -> SimNode:
-        return self.nodes[reduce_id % len(self.nodes)]
-
-    def acquire_map(self, node: SimNode) -> Event:
-        return self._map_slots[node.name].request()
-
-    def release_map(self, node: SimNode) -> None:
-        self._map_slots[node.name].release()
-
-    def acquire_reduce(self, node: SimNode) -> Event:
-        return self._reduce_slots[node.name].request()
-
-    def release_reduce(self, node: SimNode) -> None:
-        self._reduce_slots[node.name].release()
-
-    def job_started(self) -> None:
-        """Hook for framework bring-up (nothing extra in MRv1)."""
-
-    def job_finished(self) -> None:
-        """Hook for framework teardown (nothing extra in MRv1)."""
-
-    def map_wave_count(self, num_maps: int) -> int:
-        """How many slot waves the map phase needs (diagnostics)."""
-        total_slots = sum(r.capacity for r in self._map_slots.values())
-        return -(-num_maps // total_slots)
+    def reduce_pool(self, node: SimNode) -> SlotResource:
+        return self._reduce_slots[node.name]

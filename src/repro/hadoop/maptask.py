@@ -25,6 +25,7 @@ import numpy as np
 from repro.hadoop.costmodel import CostModel
 from repro.hadoop.job import JobConf
 from repro.hadoop.node import SimNode
+from repro.sim.trace import CAT_PHASE, CAT_TASK
 
 
 @dataclass
@@ -72,6 +73,10 @@ class MapTaskStats:
     node: str
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: when the map-side spill merge began (== ``finished_at`` when a
+    #: single spill needed no merge); splits the task into the ``map``
+    #: and ``spill_merge`` phases of the breakdown.
+    merge_started_at: float = 0.0
     spills: int = 0
     merge_passes: int = 0
 
@@ -117,6 +122,13 @@ class MapTask:
         costs = self.costs
         jobconf = self.jobconf
         self.stats.started_at = sim.now
+        tracer = sim.tracer
+        lane = f"map{self.map_id}"
+        task_span = (
+            tracer.begin("map-task", CAT_TASK, self.node.name, lane,
+                         map_id=self.map_id)
+            if tracer.enabled else None
+        )
 
         yield from self.node.cpu_burst(costs.map_task_start + self.start_extra)
 
@@ -134,6 +146,11 @@ class MapTask:
         recs_per_spill = records / nspills
         bytes_per_spill = nbytes / nspills
 
+        collect_span = (
+            tracer.begin("collect-spill", CAT_PHASE, self.node.name, lane,
+                         spills=nspills)
+            if tracer.enabled else None
+        )
         for _spill in range(nspills):
             # Fill the buffer: generate + partition + collect (full,
             # pre-combine record stream).
@@ -165,8 +182,15 @@ class MapTask:
             yield self.node.storage.write(
                 bytes_per_spill, transient=(nspills > 1)
             )
+        if collect_span is not None:
+            collect_span.end()
+        self.stats.merge_started_at = sim.now
 
         if nspills > 1:
+            merge_span = (
+                tracer.begin("spill-merge", CAT_PHASE, self.node.name, lane)
+                if tracer.enabled else None
+            )
             # Hadoop merges intermediate rounds only while more than
             # ``io.sort.factor`` runs remain; the extra I/O is the slice
             # of data that participates in those early rounds.
@@ -189,8 +213,12 @@ class MapTask:
             yield read_done
             yield inter_done
             yield write_done
+            if merge_span is not None:
+                merge_span.end()
 
         self.stats.finished_at = sim.now
+        if task_span is not None:
+            task_span.end(spills=self.stats.spills)
         scale = jobconf.combine_fraction
         self.output = MapOutput(
             map_id=self.map_id,

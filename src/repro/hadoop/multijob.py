@@ -7,33 +7,36 @@ NICs, same disks — and reports each job's latency, so the suite can
 quantify shuffle interference ("how much slower is my job when a
 skewed neighbour is shuffling?").
 
-Kept deliberately simpler than the single-job driver: no failure
-injection or speculation here; the paper-grade fidelity lives in
-:func:`repro.hadoop.simulation.run_simulated_job`.
+Each job drives the same :class:`~repro.hadoop.runtime.JobExecution`
+lifecycle engine as the dedicated driver (wave scheduling, failure
+retries, speculation, slowstart), with its round-robin placement offset
+by the job index so batches do not pile onto the same first node. The
+runtime (MRv1 slots vs YARN containers) is selected by name from the
+:mod:`repro.hadoop.runtime` registry. The shared runtime's
+``job_started``/``job_finished`` hooks are *not* invoked per job: the
+batch models one long-lived tenant framework, not per-job AppMasters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import compute_shuffle_matrix
 from repro.hadoop.cluster import ClusterSpec, cluster_a
 from repro.hadoop.costmodel import DEFAULT_COST_MODEL, CostModel
-from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf, MRV1
-from repro.hadoop.jobtracker import JobTrackerScheduler
-from repro.hadoop.maptask import MapTask
+from repro.hadoop.events_log import JobEventLog
+from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf
 from repro.hadoop.node import SimNode
-from repro.hadoop.reducetask import ReduceTask
-from repro.hadoop.shuffle import MapOutputRegistry
+from repro.hadoop.runtime import JobExecution, create_runtime
 from repro.hadoop.simulation import JOB_OVERHEAD
-from repro.hadoop.yarn import YarnScheduler
 from repro.net.fabric import NetworkFabric
 from repro.net.interconnect import get_interconnect
 from repro.net.transport import transport_for
 from repro.sim.events import AllOf
 from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,8 @@ class ConcurrentJobResult:
     submit_at: float
     started_at: float
     finished_at: float
+    #: This job's lifecycle event log (slowstart, task starts/finishes).
+    events: JobEventLog = field(default_factory=JobEventLog)
 
     @property
     def execution_time(self) -> float:
@@ -72,13 +77,16 @@ def run_concurrent_jobs(
     cluster: Optional[ClusterSpec] = None,
     jobconf: Optional[JobConf] = None,
     cost_model: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[ConcurrentJobResult]:
     """Run several jobs on one shared cluster; returns per-job results.
 
     All jobs must name the same network (they share one fabric). Jobs
     contend for slots/containers, NIC bandwidth, and disks; nothing is
     partitioned between them — pure FIFO free-for-all, like a default
-    Hadoop scheduler.
+    Hadoop scheduler. Pass a :class:`~repro.sim.trace.Tracer` to record
+    the batch's structured phase trace (lanes are prefixed ``job0:``,
+    ``job1:``, ... per job).
     """
     if not requests:
         raise ValueError("run_concurrent_jobs needs at least one request")
@@ -97,6 +105,8 @@ def run_concurrent_jobs(
     transport = transport_for(interconnect)
 
     sim = Simulator()
+    if tracer is not None:
+        sim.tracer = tracer.bind(sim)
     uplink = None
     if cluster.racks > 1:
         uplink = cluster.rack_uplink_bandwidth(interconnect.sustained_bandwidth)
@@ -105,10 +115,7 @@ def run_concurrent_jobs(
         SimNode(sim, name, cluster.node, fabric, rack=cluster.rack_of(i))
         for i, name in enumerate(cluster.slave_names())
     ]
-    if jobconf.version == MRV1:
-        scheduler = JobTrackerScheduler(sim, nodes, jobconf, costs)
-    else:
-        scheduler = YarnScheduler(sim, nodes, jobconf, costs)
+    runtime = create_runtime(jobconf.version, sim, nodes, jobconf, costs)
 
     results: List[ConcurrentJobResult] = []
     job_procs = []
@@ -123,7 +130,7 @@ def run_concurrent_jobs(
         results.append(result)
         job_procs.append(
             sim.process(
-                _run_one_job(sim, scheduler, fabric, transport, jobconf,
+                _run_one_job(sim, runtime, fabric, transport, jobconf,
                              costs, request, result, job_index),
                 name=f"job{job_index}",
             )
@@ -133,7 +140,7 @@ def run_concurrent_jobs(
     return results
 
 
-def _run_one_job(sim, scheduler, fabric, transport, jobconf, costs,
+def _run_one_job(sim, runtime, fabric, transport, jobconf, costs,
                  request: JobRequest, result: ConcurrentJobResult,
                  job_index: int):
     """One job's orchestration inside the shared world."""
@@ -142,60 +149,18 @@ def _run_one_job(sim, scheduler, fabric, transport, jobconf, costs,
         yield sim.timeout(request.submit_at)
     result.started_at = sim.now
 
-    matrix = compute_shuffle_matrix(config)
-    registry = MapOutputRegistry(sim, config.num_maps)
-    slowstart_target = max(
-        0, int(round(jobconf.reduce_slowstart * config.num_maps))
+    execution = JobExecution(
+        sim=sim,
+        runtime=runtime,
+        config=config,
+        jobconf=jobconf,
+        costs=costs,
+        fabric=fabric,
+        transport=transport,
+        matrix=compute_shuffle_matrix(config),
+        events=result.events,
+        placement_offset=job_index,
+        label=f"job{job_index}:",
     )
-    slowstart = sim.event(name=f"job{job_index}:slowstart")
-    if slowstart_target == 0:
-        slowstart.succeed()
-    done = {"maps": 0}
-
-    def run_map(map_id: int):
-        node = scheduler.map_node(map_id + job_index)  # offset placement
-        grant = scheduler.acquire_map(node)
-        yield grant
-        yield sim.timeout(costs.heartbeat_interval * 0.5)
-        task = MapTask(
-            map_id=map_id,
-            node=node,
-            segment_bytes=matrix.bytes[map_id],
-            segment_records=matrix.records[map_id],
-            jobconf=jobconf,
-            costs=costs,
-            start_extra=scheduler.task_start_extra,
-        )
-        try:
-            output = yield sim.process(task.run())
-        finally:
-            scheduler.release_map(node)
-        registry.register(output)
-        done["maps"] += 1
-        if done["maps"] == slowstart_target and not slowstart.triggered:
-            slowstart.succeed()
-
-    def run_reduce(reduce_id: int):
-        yield slowstart
-        node = scheduler.reduce_node(reduce_id + job_index)
-        grant = scheduler.acquire_reduce(node)
-        yield grant
-        task = ReduceTask(
-            reduce_id=reduce_id,
-            node=node,
-            registry=registry,
-            fabric=fabric,
-            transport=transport,
-            jobconf=jobconf,
-            costs=costs,
-            start_extra=scheduler.task_start_extra,
-        )
-        try:
-            yield sim.process(task.run())
-        finally:
-            scheduler.release_reduce(node)
-
-    procs = [sim.process(run_map(m)) for m in range(config.num_maps)]
-    procs += [sim.process(run_reduce(r)) for r in range(config.num_reduces)]
-    yield AllOf(sim, procs)
+    yield execution.start()
     result.finished_at = sim.now

@@ -16,6 +16,7 @@ from repro.hadoop.node import SimNode
 from repro.hadoop.shuffle import MapOutputRegistry, ReducerShuffle, ShuffleStats
 from repro.net.fabric import NetworkFabric
 from repro.net.transport import TransportModel
+from repro.sim.trace import CAT_PHASE, CAT_TASK
 
 
 @dataclass
@@ -27,6 +28,12 @@ class ReduceTaskStats:
     started_at: float = 0.0
     shuffle_finished_at: float = 0.0
     finished_at: float = 0.0
+    #: when the last segment fetch completed (start of the exposed
+    #: merge); splits the task into the breakdown's ``shuffle`` phase.
+    fetch_finished_at: float = 0.0
+    #: when the reduce-side merge (exposed merge + sort + final merge)
+    #: completed; what follows is the ``reduce`` function proper.
+    merge_finished_at: float = 0.0
     bytes_fetched: float = 0.0
     records: int = 0
     bytes_spilled: float = 0.0
@@ -73,6 +80,13 @@ class ReduceTask:
         """The reduce task process (generator for the sim kernel)."""
         sim = self.node.sim
         self.stats.started_at = sim.now
+        tracer = sim.tracer
+        lane = f"reduce{self.reduce_id}"
+        task_span = (
+            tracer.begin("reduce-task", CAT_TASK, self.node.name, lane,
+                         reduce_id=self.reduce_id)
+            if tracer.enabled else None
+        )
 
         yield from self.node.cpu_burst(
             self.costs.reduce_task_start + self.start_extra
@@ -91,6 +105,8 @@ class ReduceTask:
             shuffle.run(), name=f"shuffle-r{self.reduce_id}"
         )
         self.stats.shuffle_finished_at = sim.now
+        self.stats.fetch_finished_at = shuffle_stats.fetch_finished_at
+        self.stats.merge_finished_at = shuffle_stats.merge_finished_at
         self.stats.bytes_fetched = shuffle_stats.bytes_fetched
         self.stats.records = shuffle_stats.records_fetched
         self.stats.bytes_spilled = shuffle_stats.bytes_spilled
@@ -124,6 +140,15 @@ class ReduceTask:
                 - shuffle_stats.shuffle_started_at
             )
             reduce_work = max(0.0, max(merge_work, reduce_work) - window)
+        reduce_span = (
+            tracer.begin("reduce-fn", CAT_PHASE, self.node.name, lane,
+                         records=shuffle_stats.records_fetched)
+            if tracer.enabled else None
+        )
         yield from self.node.cpu_burst(reduce_work)
         self.stats.finished_at = sim.now
+        if reduce_span is not None:
+            reduce_span.end()
+        if task_span is not None:
+            task_span.end(bytes_fetched=self.stats.bytes_fetched)
         return self.stats

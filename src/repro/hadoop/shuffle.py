@@ -30,6 +30,7 @@ from repro.net.transport import TransportModel
 from repro.sim.events import AllOf, Event
 from repro.sim.kernel import Simulator
 from repro.sim.resources import SlotResource
+from repro.sim.trace import CAT_PHASE
 
 
 class MapOutputRegistry:
@@ -169,6 +170,12 @@ class ReducerShuffle:
         """Shuffle + merge process; returns ShuffleStats."""
         sim = self.node.sim
         self.stats.shuffle_started_at = sim.now
+        tracer = sim.tracer
+        lane = f"reduce{self.reduce_id}"
+        fetch_span = (
+            tracer.begin("shuffle-fetch", CAT_PHASE, self.node.name, lane)
+            if tracer.enabled else None
+        )
         fetch_procs = []
         next_idx = 0
         # Hadoop's fetcher shuffles its host list so the reducers do not
@@ -188,6 +195,16 @@ class ReducerShuffle:
         if fetch_procs:
             yield AllOf(sim, fetch_procs)
         self.stats.fetch_finished_at = sim.now
+        if fetch_span is not None:
+            fetch_span.end(
+                bytes=self.stats.bytes_fetched,
+                local=self.stats.local_fetches,
+                remote=self.stats.remote_fetches,
+            )
+        merge_span = (
+            tracer.begin("shuffle-merge", CAT_PHASE, self.node.name, lane)
+            if tracer.enabled else None
+        )
 
         # Merge work that fetching could not hide runs now. The merge
         # thread had one core for the whole fetch window; the transport
@@ -231,4 +248,9 @@ class ReducerShuffle:
             if final_merge > 0:
                 yield from self.node.cpu_burst(final_merge)
         self.stats.merge_finished_at = sim.now
+        if merge_span is not None:
+            merge_span.end(
+                exposed_cpu=self.stats.merge_work_exposed,
+                spilled=self.stats.bytes_spilled,
+            )
         return self.stats

@@ -3,68 +3,54 @@
 :func:`run_simulated_job` is the package's main performance entry
 point: given a :class:`~repro.core.config.BenchmarkConfig` (which names
 the network), a cluster, and a :class:`~repro.hadoop.job.JobConf`, it
-builds the discrete-event world (fabric, nodes, scheduler), runs the
-job, and returns a :class:`~repro.hadoop.result.SimJobResult` whose
-``execution_time`` is the paper's reported metric.
+builds the discrete-event world (fabric, nodes, runtime), drives the
+job's task lifecycle through a
+:class:`~repro.hadoop.runtime.JobExecution`, and returns a
+:class:`~repro.hadoop.result.SimJobResult` whose ``execution_time`` is
+the paper's reported metric.
 
-Beyond the paper's baseline behaviour the driver also supports the
-JobConf's fault-tolerance knobs:
+The framework generation (MRv1 slots vs YARN containers) is selected
+*by name* from the :mod:`repro.hadoop.runtime` registry — the driver
+never branches on scheduler classes. The lifecycle itself (waves,
+failure injection, speculative execution, slowstart) lives in
+:class:`~repro.hadoop.runtime.JobExecution`.
 
-* **failure injection** (``task_failure_probability``) — a seeded,
-  per-(task, attempt) coin decides whether an attempt's output is lost;
-  failed attempts are re-executed up to ``max_task_attempts``;
-* **speculative execution** — once most maps have finished, stragglers
-  get a backup attempt on another node; the first finisher wins and the
-  loser is killed (its slot and CPU released deterministically).
+Pass a :class:`~repro.sim.trace.Tracer` to record the structured
+phase trace (task spans, shuffle sub-phases, fabric flows); tracing is
+guaranteed not to perturb the simulation — traced and untraced runs
+produce bit-identical times.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import ShuffleMatrix, compute_shuffle_matrix
 from repro.hadoop.cluster import ClusterSpec, cluster_a
 from repro.hadoop.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.hadoop.events_log import JobEventLog
-from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf, MRV1
-from repro.hadoop.jobtracker import JobTrackerScheduler
-from repro.hadoop.maptask import MapTask
+from repro.hadoop.job import DEFAULT_JOB_CONF, JobConf
 from repro.hadoop.node import SimNode
-from repro.hadoop.reducetask import ReduceTask
 from repro.hadoop.result import SimJobResult
-from repro.hadoop.shuffle import MapOutputRegistry
-from repro.hadoop.yarn import YarnScheduler
+from repro.hadoop.runtime import (  # noqa: F401 - re-exported compat names
+    SPECULATION_SLOWDOWN,
+    SPECULATION_THRESHOLD,
+    JobExecution,
+    TaskFailedError,
+    attempt_fails as _attempt_fails,
+    create_runtime,
+)
 from repro.net.fabric import NetworkFabric
 from repro.net.interconnect import get_interconnect
 from repro.net.transport import TransportModel, transport_for
-from repro.sim.events import AllOf
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import ResourceMonitor
+from repro.sim.trace import CAT_JOB, Tracer
 
 #: Fixed job bring-up/teardown overhead (submission, setup/cleanup
 #: tasks) added to the reported execution time, seconds.
 JOB_OVERHEAD = 4.0
-
-#: Speculation policy: consider backups once this fraction of maps is
-#: done, for tasks running this factor beyond the mean duration.
-SPECULATION_THRESHOLD = 0.75
-SPECULATION_SLOWDOWN = 1.25
-
-
-class TaskFailedError(RuntimeError):
-    """A task exhausted ``max_task_attempts``."""
-
-
-def _attempt_fails(jobconf: JobConf, seed: int, kind: str, task_id: int,
-                   attempt: int) -> bool:
-    """Seeded per-(task, attempt) failure coin (order-independent)."""
-    if jobconf.task_failure_probability <= 0.0:
-        return False
-    key = (seed * 1_000_003 + task_id * 101 + attempt * 7
-           + (0 if kind == "map" else 499_979))
-    return random.Random(key).random() < jobconf.task_failure_probability
 
 
 def run_simulated_job(
@@ -75,6 +61,7 @@ def run_simulated_job(
     transport: Optional[TransportModel] = None,
     monitor_interval: Optional[float] = None,
     matrix: Optional[ShuffleMatrix] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SimJobResult:
     """Simulate one micro-benchmark job end to end.
 
@@ -97,6 +84,9 @@ def run_simulated_job(
     matrix:
         Pre-computed shuffle matrix (reused across a sweep); defaults
         to computing it from ``config``.
+    tracer:
+        If set, record the structured phase trace onto it (returned as
+        ``result.trace``); does not change simulated times.
     """
     cluster = cluster if cluster is not None else cluster_a()
     jobconf = jobconf if jobconf is not None else DEFAULT_JOB_CONF
@@ -110,6 +100,8 @@ def run_simulated_job(
         raise ValueError("supplied matrix was computed for a different config")
 
     sim = Simulator()
+    if tracer is not None:
+        sim.tracer = tracer.bind(sim)
     uplink = None
     if cluster.racks > 1:
         uplink = cluster.rack_uplink_bandwidth(
@@ -121,14 +113,10 @@ def run_simulated_job(
         for i, name in enumerate(cluster.slave_names())
     ]
 
-    if jobconf.version == MRV1:
-        scheduler = JobTrackerScheduler(sim, nodes, jobconf, costs)
-    else:
-        scheduler = YarnScheduler(sim, nodes, jobconf, costs)
-    scheduler.job_started()
+    runtime = create_runtime(jobconf.version, sim, nodes, jobconf, costs)
+    runtime.job_started()
 
     events = JobEventLog()
-    registry = MapOutputRegistry(sim, config.num_maps)
 
     monitor = None
     if monitor_interval is not None:
@@ -145,179 +133,30 @@ def run_simulated_job(
         )
         monitor.install()
 
-    # --- map phase --------------------------------------------------------
-    slowstart_target = max(
-        0, int(round(jobconf.reduce_slowstart * config.num_maps))
+    execution = JobExecution(
+        sim=sim,
+        runtime=runtime,
+        config=config,
+        jobconf=jobconf,
+        costs=costs,
+        fabric=fabric,
+        transport=transport,
+        matrix=matrix,
+        events=events,
     )
-    slowstart_fired = sim.event(name="slowstart")
-    if slowstart_target == 0:
-        slowstart_fired.succeed()
-        events.record(sim.now, JobEventLog.SLOWSTART, "0 maps required")
-
-    winning_map: Dict[int, MapTask] = {}
-    running_since: Dict[int, float] = {}
-    running_attempt: Dict[int, "Process"] = {}  # noqa: F821
-    completed_durations: List[float] = []
-    speculated: set = set()
-
-    def make_map_task(map_id: int, node: SimNode) -> MapTask:
-        return MapTask(
-            map_id=map_id,
-            node=node,
-            segment_bytes=matrix.bytes[map_id],
-            segment_records=matrix.records[map_id],
-            jobconf=jobconf,
-            costs=costs,
-            start_extra=scheduler.task_start_extra,
-        )
-
-    def register_map(map_id: int, task: MapTask) -> None:
-        if map_id in winning_map:
-            return
-        winning_map[map_id] = task
-        registry.register(task.output)
-        events.record(sim.now, JobEventLog.MAP_FINISH, f"map{map_id}")
-        completed_durations.append(task.stats.duration)
-        loser = running_attempt.pop(map_id, None)
-        if loser is not None and loser.is_alive:
-            loser.kill()
-        if (len(winning_map) >= slowstart_target
-                and not slowstart_fired.triggered):
-            slowstart_fired.succeed()
-            events.record(sim.now, JobEventLog.SLOWSTART,
-                          f"{slowstart_target} maps done")
-
-    def run_map(map_id: int, node: SimNode, first_attempt: int = 0):
-        for attempt in range(first_attempt, jobconf.max_task_attempts):
-            if map_id in winning_map:
-                return
-            grant = scheduler.acquire_map(node)
-            yield grant
-            if map_id in winning_map:
-                scheduler.release_map(node)
-                return
-            yield sim.timeout(costs.heartbeat_interval * 0.5)
-            events.record(sim.now, JobEventLog.MAP_START,
-                          f"map{map_id} attempt{attempt}")
-            task = make_map_task(map_id, node)
-            running_since.setdefault(map_id, sim.now)
-            task_proc = sim.process(task.run(), name=f"map{map_id}.{attempt}")
-            if map_id not in running_attempt:
-                running_attempt[map_id] = task_proc
-            try:
-                yield task_proc
-            finally:
-                scheduler.release_map(node)
-            if task_proc.value is None:
-                return  # killed: a speculative sibling won
-            if _attempt_fails(jobconf, config.seed, "map", map_id, attempt):
-                events.record(sim.now, JobEventLog.TASK_FAILED,
-                              f"map{map_id} attempt{attempt} lost output")
-                # running_since is intentionally kept: speculation judges
-                # elapsed time since the FIRST attempt, so repeatedly
-                # failing tasks qualify as stragglers.
-                running_attempt.pop(map_id, None)
-                continue
-            register_map(map_id, task)
-            return
-        raise TaskFailedError(
-            f"map {map_id} failed {jobconf.max_task_attempts} attempts"
-        )
-
-    map_procs = [
-        sim.process(run_map(m, scheduler.map_node(m)), name=f"sched-map{m}")
-        for m in range(config.num_maps)
-    ]
-
-    speculative_procs: List["Process"] = []  # noqa: F821
-    if jobconf.speculative_execution:
-
-        def speculation_watcher():
-            while len(winning_map) < config.num_maps:
-                yield sim.timeout(costs.heartbeat_interval)
-                if len(winning_map) < SPECULATION_THRESHOLD * config.num_maps:
-                    continue
-                if not completed_durations:
-                    continue
-                mean_duration = (
-                    sum(completed_durations) / len(completed_durations)
-                )
-                for map_id in range(config.num_maps):
-                    if map_id in winning_map or map_id in speculated:
-                        continue
-                    started = running_since.get(map_id)
-                    if started is None:
-                        continue
-                    if sim.now - started > SPECULATION_SLOWDOWN * mean_duration:
-                        speculated.add(map_id)
-                        backup_node = scheduler.map_node(map_id + 1)
-                        events.record(
-                            sim.now, JobEventLog.SPECULATIVE,
-                            f"map{map_id} backup on {backup_node.name}")
-                        speculative_procs.append(sim.process(
-                            run_map(map_id, backup_node,
-                                    first_attempt=jobconf.max_task_attempts - 1),
-                            name=f"spec-map{map_id}",
-                        ))
-
-        sim.process(speculation_watcher(), name="speculation-watcher")
-
-    # --- reduce phase -------------------------------------------------------
-    reduce_stats_by_id: Dict[int, ReduceTask] = {}
-    first_reduce_start = {"time": None}
-
-    def run_reduce(reduce_id: int, node: SimNode):
-        yield slowstart_fired
-        for attempt in range(jobconf.max_task_attempts):
-            grant = scheduler.acquire_reduce(node)
-            yield grant
-            if first_reduce_start["time"] is None:
-                first_reduce_start["time"] = sim.now
-            events.record(sim.now, JobEventLog.REDUCE_START,
-                          f"reduce{reduce_id} attempt{attempt}")
-            task = ReduceTask(
-                reduce_id=reduce_id,
-                node=node,
-                registry=registry,
-                fabric=fabric,
-                transport=transport,
-                jobconf=jobconf,
-                costs=costs,
-                start_extra=scheduler.task_start_extra,
-            )
-            try:
-                yield sim.process(task.run(), name=f"reduce{reduce_id}.{attempt}")
-            finally:
-                scheduler.release_reduce(node)
-            if _attempt_fails(jobconf, config.seed, "reduce", reduce_id, attempt):
-                events.record(sim.now, JobEventLog.TASK_FAILED,
-                              f"reduce{reduce_id} attempt{attempt}")
-                continue
-            reduce_stats_by_id[reduce_id] = task
-            events.record(sim.now, JobEventLog.REDUCE_FINISH,
-                          f"reduce{reduce_id}")
-            return
-        raise TaskFailedError(
-            f"reduce {reduce_id} failed {jobconf.max_task_attempts} attempts"
-        )
-
-    reduce_procs = [
-        sim.process(run_reduce(r, scheduler.reduce_node(r)),
-                    name=f"sched-reduce{r}")
-        for r in range(config.num_reduces)
-    ]
-
-    job_done = AllOf(sim, map_procs + reduce_procs)
+    job_span = (sim.tracer.begin("job", CAT_JOB, "job", "job",
+                                 framework=jobconf.version,
+                                 network=interconnect.name)
+                if sim.tracer.enabled else None)
+    job_done = execution.start()
     sim.run_until_event(job_done)
-    scheduler.job_finished()
+    runtime.job_finished()
     events.record(sim.now, JobEventLog.JOB_FINISH, "")
+    if job_span is not None:
+        job_span.end()
     if monitor is not None:
         monitor.stop()
 
-    map_phase_end = max(t.stats.finished_at for t in winning_map.values())
-    reduce_stats = [
-        reduce_stats_by_id[r].stats for r in range(config.num_reduces)
-    ]
     return SimJobResult(
         config=config,
         cluster=cluster,
@@ -325,11 +164,12 @@ def run_simulated_job(
         interconnect_name=interconnect.name,
         transport_name=transport.name,
         execution_time=sim.now + JOB_OVERHEAD,
-        map_phase_end=map_phase_end,
-        first_reduce_start=first_reduce_start["time"] or 0.0,
-        map_stats=[winning_map[m].stats for m in range(config.num_maps)],
-        reduce_stats=reduce_stats,
+        map_phase_end=execution.map_phase_end,
+        first_reduce_start=execution.first_reduce_start or 0.0,
+        map_stats=execution.map_stats(),
+        reduce_stats=execution.reduce_stats(),
         matrix=matrix,
         events=events,
         monitor=monitor,
+        trace=tracer,
     )

@@ -1,4 +1,4 @@
-"""YARN (MRv2) scheduling: ResourceManager containers.
+"""YARN (MRv2) scheduling policy: ResourceManager containers.
 
 Apache Hadoop NextGen MapReduce replaces fixed slots with fungible
 containers: every NodeManager offers ``containers_per_node`` of them,
@@ -8,67 +8,48 @@ job. Containers cost an extra allocation/launch round trip per task.
 
 This is the framework the paper's Fig. 3 runs (Hadoop 2.x on 8 slaves
 with 32 maps / 16 reduces).
+
+All lifecycle mechanics live in :class:`repro.hadoop.runtime.Runtime`;
+this class only supplies the shared container pool and the AppMaster
+bring-up/teardown hooks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.hadoop.costmodel import CostModel
-from repro.hadoop.job import JobConf, YARN
+from repro.hadoop.job import YARN
 from repro.hadoop.node import SimNode
-from repro.sim.events import Event
-from repro.sim.kernel import Simulator
+from repro.hadoop.runtime import Runtime, register_runtime
 from repro.sim.resources import SlotResource
 
 
-class YarnScheduler:
+@register_runtime
+class YarnScheduler(Runtime):
     """Container-based task placement with an AppMaster container."""
 
-    version = YARN
+    name = YARN
 
-    def __init__(
-        self,
-        sim: Simulator,
-        nodes: List[SimNode],
-        jobconf: JobConf,
-        costs: CostModel,
-    ):
-        self.sim = sim
-        self.nodes = nodes
-        self.jobconf = jobconf
-        self.costs = costs
+    def _build_pools(self) -> None:
         self._containers: Dict[str, SlotResource] = {
             node.name: SlotResource(
-                sim,
-                jobconf.containers(node.spec.cores),
+                self.sim,
+                self.jobconf.containers(node.spec.cores),
                 name=f"{node.name}:containers",
             )
-            for node in nodes
+            for node in self.nodes
         }
         self._appmaster_node: Optional[SimNode] = None
+
+    def map_pool(self, node: SimNode) -> SlotResource:
+        return self._containers[node.name]
+
+    def reduce_pool(self, node: SimNode) -> SlotResource:
+        return self._containers[node.name]
 
     @property
     def task_start_extra(self) -> float:
         return self.costs.yarn_container_start_extra
-
-    def map_node(self, map_id: int) -> SimNode:
-        return self.nodes[map_id % len(self.nodes)]
-
-    def reduce_node(self, reduce_id: int) -> SimNode:
-        return self.nodes[reduce_id % len(self.nodes)]
-
-    def acquire_map(self, node: SimNode) -> Event:
-        return self._containers[node.name].request()
-
-    def release_map(self, node: SimNode) -> None:
-        self._containers[node.name].release()
-
-    def acquire_reduce(self, node: SimNode) -> Event:
-        return self._containers[node.name].request()
-
-    def release_reduce(self, node: SimNode) -> None:
-        self._containers[node.name].release()
 
     def job_started(self) -> None:
         """Pin the AppMaster's container on the first NodeManager."""

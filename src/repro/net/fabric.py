@@ -42,6 +42,7 @@ from repro.net.solver import compute_max_min, solve_max_min_grouped
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import ByteCounter, UtilizationTracker
+from repro.sim.trace import CAT_NET
 
 __all__ = [
     "DEFAULT_LOOPBACK_BANDWIDTH",
@@ -224,6 +225,7 @@ class NetworkFabric:
             if flow.remaining <= _EPS:
                 flow.finished_at = self.sim.now
                 flow.done.succeed(flow)
+                self._trace_flow(flow)
                 return
             self._advance()
             self._active.append(flow)
@@ -247,6 +249,21 @@ class NetworkFabric:
     @property
     def active_flows(self) -> int:
         return len(self._active)
+
+    def _trace_flow(self, flow: Flow) -> None:
+        """Record a finished flow on the trace bus (no-op when off)."""
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                f"flow {flow.src}->{flow.dst}",
+                CAT_NET,
+                "net",
+                flow.dst,
+                flow.started_at,
+                flow.finished_at,
+                bytes=flow.nbytes,
+                local=flow.is_local,
+            )
 
     # -- rate bookkeeping ---------------------------------------------------
 
@@ -317,6 +334,7 @@ class NetworkFabric:
                     for link in flow.links:
                         counts[link] -= 1
                     flow.done.succeed(flow)
+                    self._trace_flow(flow)
             if not self._active:
                 break
             # Guard against sub-float-resolution remainders freezing the

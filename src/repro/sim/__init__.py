@@ -34,6 +34,13 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.resources import FairShareResource, SlotResource
 from repro.sim.monitor import ByteCounter, ResourceMonitor, UtilizationTracker
+from repro.sim.trace import (
+    NULL_TRACER,
+    NullTracer,
+    PhaseSpan,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "AllOf",
@@ -42,11 +49,16 @@ __all__ = [
     "Event",
     "FairShareResource",
     "Interrupt",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseSpan",
     "Process",
     "ResourceMonitor",
     "SimulationError",
     "Simulator",
     "SlotResource",
     "Timeout",
+    "TraceEvent",
+    "Tracer",
     "UtilizationTracker",
 ]

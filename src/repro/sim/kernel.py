@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.process import Process
+from repro.sim.trace import NULL_TRACER
 
 #: Priority levels: URGENT events (resource bookkeeping) are processed
 #: before NORMAL events scheduled at the same instant.
@@ -68,6 +69,12 @@ class Simulator:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._event_count = 0
+        #: The structured trace bus (:mod:`repro.sim.trace`). Defaults
+        #: to the shared disabled tracer; drivers install a live
+        #: :class:`~repro.sim.trace.Tracer` bound to this simulator.
+        #: Emit sites guard on ``tracer.enabled``, so tracing costs one
+        #: attribute check when off and never creates kernel events.
+        self.tracer = NULL_TRACER
 
     # -- clock ----------------------------------------------------------
 

@@ -10,7 +10,7 @@ moved (:class:`ByteCounter`) and sampling both on a fixed interval
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 
 class UtilizationTracker:

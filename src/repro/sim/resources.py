@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Deque, Dict, List, Optional
+from typing import Deque, List
 from collections import deque
 
 from repro.sim.events import Event, SimulationError

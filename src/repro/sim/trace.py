@@ -1,0 +1,245 @@
+"""Structured phase-trace bus: spans and instants over simulated time.
+
+The paper's headline results are really *per-phase* stories — map,
+shuffle, merge and reduce overlap differently under each interconnect —
+so the simulation stack emits structured trace events instead of ad-hoc
+timing fields. Every layer (kernel, fabric flows, map/reduce tasks,
+shuffle, runtimes) publishes :class:`PhaseSpan` intervals and instant
+markers onto one :class:`Tracer`, and the analysis layer renders them
+as a phase table or exports Chrome ``trace_event`` JSON viewable in
+Perfetto (see ``docs/TRACING.md``).
+
+Zero overhead when disabled
+---------------------------
+Tracing must never perturb the simulation: a traced run and an untraced
+run are bit-identical because the tracer only *records* ``(sim.now,
+metadata)`` tuples — it creates no kernel events, timers or processes.
+When tracing is off, every emit site is guarded by a single attribute
+check against :data:`NULL_TRACER` (``enabled`` is ``False``), so the
+disabled cost is one boolean test per site.
+
+Vocabulary
+----------
+``track``
+    The horizontal grouping in a trace viewer — a node name
+    (``slave0``), ``net`` for fabric flows, or ``job`` for
+    framework-level events. Maps to the Chrome ``pid``.
+``lane``
+    A row within a track — one task (``map3``, ``reduce1``) or flow
+    endpoint. Maps to the Chrome ``tid``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CAT_JOB",
+    "CAT_NET",
+    "CAT_PHASE",
+    "CAT_SCHED",
+    "CAT_TASK",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseSpan",
+    "TraceEvent",
+    "Tracer",
+]
+
+#: Event categories (the Chrome ``cat`` field, filterable in Perfetto).
+CAT_TASK = "task"     #: whole map/reduce task attempts
+CAT_PHASE = "phase"   #: sub-phases inside a task (spill, merge, fetch...)
+CAT_NET = "net"       #: fabric flows
+CAT_SCHED = "sched"   #: slot/container waits, speculation, slowstart
+CAT_JOB = "job"       #: job-level markers
+
+
+class TraceEvent:
+    """One recorded interval (``duration > 0``) or instant marker.
+
+    Times are simulated seconds. ``args`` carries free-form metadata
+    (bytes moved, attempt number...) surfaced in the trace viewer.
+    """
+
+    __slots__ = ("name", "cat", "track", "lane", "start", "duration", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        lane: str,
+        start: float,
+        duration: float = 0.0,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.lane = lane
+        self.start = start
+        self.duration = duration
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def is_instant(self) -> bool:
+        return self.duration == 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceEvent {self.cat}:{self.name} {self.track}/{self.lane} "
+            f"@{self.start:.4f}+{self.duration:.4f}>"
+        )
+
+
+class PhaseSpan:
+    """An open interval; :meth:`end` seals it onto the tracer.
+
+    Obtained from :meth:`Tracer.begin`. A span that is never ended
+    (e.g. a task killed by speculation) records nothing — unfinished
+    work has no duration to report.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "track", "lane", "start", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, track: str,
+                 lane: str, start: float,
+                 args: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.lane = lane
+        self.start = start
+        self.args = args
+
+    def end(self, **args: Any) -> None:
+        """Seal the span at the current simulated time."""
+        tracer = self._tracer
+        if args:
+            merged = dict(self.args) if self.args else {}
+            merged.update(args)
+            self.args = merged
+        tracer.events.append(TraceEvent(
+            self.name, self.cat, self.track, self.lane, self.start,
+            max(0.0, tracer.now() - self.start), self.args,
+        ))
+
+
+class _NullSpan:
+    """Span returned by the disabled tracer; ``end`` is a no-op."""
+
+    __slots__ = ()
+
+    def end(self, **args: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against a simulator clock.
+
+    Bind to a :class:`~repro.sim.kernel.Simulator` before use (the
+    drivers do this: ``run_simulated_job(..., tracer=t)``). One tracer
+    serves one run; reuse across runs concatenates events.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._sim: Optional[Any] = None
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, sim: Any) -> "Tracer":
+        """Attach to a simulator; its clock stamps all events."""
+        self._sim = sim
+        return self
+
+    def now(self) -> float:
+        if self._sim is None:
+            raise RuntimeError("tracer is not bound to a simulator")
+        return self._sim.now
+
+    # -- emitting ----------------------------------------------------------
+
+    def begin(self, name: str, cat: str, track: str, lane: str,
+              **args: Any) -> PhaseSpan:
+        """Open a span at the current simulated time."""
+        return PhaseSpan(self, name, cat, track, lane, self.now(),
+                         args or None)
+
+    def complete(self, name: str, cat: str, track: str, lane: str,
+                 start: float, end: float, **args: Any) -> None:
+        """Record a finished interval whose endpoints are already known."""
+        self.events.append(TraceEvent(
+            name, cat, track, lane, start, max(0.0, end - start),
+            args or None,
+        ))
+
+    def instant(self, name: str, cat: str, track: str, lane: str,
+                **args: Any) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        self.events.append(TraceEvent(
+            name, cat, track, lane, self.now(), 0.0, args or None,
+        ))
+
+    # -- querying ----------------------------------------------------------
+
+    def spans(self, cat: Optional[str] = None) -> List[TraceEvent]:
+        """Finished intervals, optionally filtered by category."""
+        return [ev for ev in self.events
+                if not ev.is_instant and (cat is None or ev.cat == cat)]
+
+    def total_time(self, name: str) -> float:
+        """Sum of durations of all spans with the given name."""
+        return sum(ev.duration for ev in self.events if ev.name == name)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is the default
+    ``Simulator.tracer``; emit sites guard on ``tracer.enabled`` so the
+    disabled path costs one attribute check.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def bind(self, sim: Any) -> "NullTracer":
+        return self
+
+    def now(self) -> float:
+        return 0.0
+
+    def begin(self, name: str, cat: str, track: str, lane: str,
+              **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def complete(self, name: str, cat: str, track: str, lane: str,
+                 start: float, end: float, **args: Any) -> None:
+        pass
+
+    def instant(self, name: str, cat: str, track: str, lane: str,
+                **args: Any) -> None:
+        pass
+
+
+#: The shared disabled tracer (default for every simulator).
+NULL_TRACER = NullTracer()

@@ -74,3 +74,93 @@ def test_cli_zipf_benchmark(capsys):
                "--maps", "4", "--reduces", "4", "--slaves", "2"])
     assert rc == 0
     assert "MR-ZIPF" in capsys.readouterr().out
+
+
+class TestChromeTraceExport:
+    """Schema checks for the Chrome trace_event exporter."""
+
+    @pytest.fixture(scope="class")
+    def traced_result(self):
+        from repro.core.config import BenchmarkConfig
+        from repro.hadoop.simulation import run_simulated_job
+        from repro.sim.trace import Tracer
+
+        config = BenchmarkConfig(num_pairs=100_000, num_maps=4,
+                                 num_reduces=2, key_size=256,
+                                 value_size=256, network="ipoib-qdr")
+        return run_simulated_job(config, cluster=cluster_a(2),
+                                 tracer=Tracer())
+
+    def test_top_level_shape(self, traced_result):
+        from repro.analysis.export import trace_to_chrome
+
+        doc = trace_to_chrome(traced_result.trace)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+    def test_event_schema(self, traced_result):
+        from repro.analysis.export import trace_to_chrome
+
+        for ev in trace_to_chrome(traced_result.trace)["traceEvents"]:
+            assert ev["ph"] in ("M", "X", "i")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            if ev["ph"] == "M":
+                assert ev["name"] in ("process_name", "thread_name")
+                assert "name" in ev["args"]
+            else:
+                assert ev["ts"] >= 0.0
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0.0
+
+    def test_metadata_precedes_events_per_track(self, traced_result):
+        from repro.analysis.export import trace_to_chrome
+
+        events = trace_to_chrome(traced_result.trace)["traceEvents"]
+        named_pids = set()
+        for ev in events:
+            if ev["ph"] == "M" and ev["name"] == "process_name":
+                named_pids.add(ev["pid"])
+            elif ev["ph"] in ("X", "i"):
+                assert ev["pid"] in named_pids
+
+    def test_json_round_trip(self, traced_result, tmp_path):
+        import json
+
+        from repro.analysis.export import (chrome_trace_json,
+                                           write_chrome_trace)
+
+        text = chrome_trace_json(traced_result.trace)
+        parsed = json.loads(text)
+        assert parsed["traceEvents"]
+        path = tmp_path / "job.trace.json"
+        write_chrome_trace(str(path), traced_result.trace)
+        assert json.loads(path.read_text()) == parsed
+
+    def test_durations_scale_to_microseconds(self, traced_result):
+        from repro.analysis.export import trace_to_chrome
+        from repro.sim.trace import CAT_TASK
+
+        doc = trace_to_chrome(traced_result.trace)
+        longest = max((e for e in doc["traceEvents"] if e["ph"] == "X"),
+                      key=lambda e: e["dur"])
+        sim_longest = max(traced_result.trace.spans(),
+                          key=lambda ev: ev.duration)
+        assert longest["dur"] == pytest.approx(sim_longest.duration * 1e6)
+
+
+def test_cli_trace_and_phase_report(capsys, tmp_path):
+    import json
+
+    from repro.core.cli import main
+
+    trace_path = tmp_path / "job.trace.json"
+    rc = main(["--benchmark", "MR-AVG", "--num-pairs", "50000",
+               "--maps", "4", "--reduces", "2", "--slaves", "2",
+               "--phase-report", "--trace", str(trace_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Phase breakdown (task-seconds)" in out
+    assert "spill-merge" in out
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]

@@ -1,0 +1,75 @@
+"""Golden bit-identity: 40 pinned job times through the Runtime refactor.
+
+``tests/data/golden_times.json`` pins ``execution_time`` for 2
+frameworks x 5 networks x 2 patterns x 2 shuffle sizes as ``float.hex``
+strings, captured before the Runtime/trace refactor. These tests assert
+the simulation still reproduces every one of them bit-for-bit — with
+tracing disabled AND enabled (tracing must not perturb the simulation).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.hadoop.cluster import cluster_a
+from repro.hadoop.job import JobConf
+from repro.hadoop.simulation import run_simulated_job
+from repro.sim.trace import Tracer
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_times.json"
+
+with GOLDEN_PATH.open() as _handle:
+    GOLDEN = json.load(_handle)
+
+POINTS = GOLDEN["points"]
+
+assert len(POINTS) == 40, "golden file must pin exactly 40 points"
+
+
+def _point_id(point):
+    return (f"{point['version']}-{point['network']}-{point['pattern']}"
+            f"-{point['shuffle_gb']}gb")
+
+
+def _run(point, tracer=None):
+    config = BenchmarkConfig.from_shuffle_size(
+        point["shuffle_gb"] * 1e9,
+        pattern=point["pattern"],
+        network=point["network"],
+        num_maps=GOLDEN["num_maps"],
+        num_reduces=GOLDEN["num_reduces"],
+        key_size=GOLDEN["key_size"],
+        value_size=GOLDEN["value_size"],
+    )
+    return run_simulated_job(
+        config,
+        cluster=cluster_a(2),
+        jobconf=JobConf(version=point["version"]),
+        tracer=tracer,
+    )
+
+
+@pytest.mark.parametrize("point", POINTS, ids=_point_id)
+def test_golden_time_hex_exact(point):
+    result = _run(point)
+    assert result.execution_time.hex() == point["execution_time_hex"]
+
+
+@pytest.mark.parametrize(
+    "point",
+    # Tracing must be a pure observer on every framework/network/pattern
+    # axis; one size per combination keeps the traced pass fast.
+    [p for p in POINTS if p["shuffle_gb"] == 1.0],
+    ids=_point_id,
+)
+def test_tracing_is_bit_identical(point):
+    untraced = _run(point)
+    traced = _run(point, tracer=Tracer())
+    assert traced.execution_time.hex() == untraced.execution_time.hex()
+    assert traced.execution_time.hex() == point["execution_time_hex"]
+    assert len(traced.trace) > 0
+    # The stats-derived phase decomposition must agree between runs too.
+    assert (traced.phase_breakdown().totals()
+            == untraced.phase_breakdown().totals())

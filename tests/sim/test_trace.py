@@ -1,0 +1,102 @@
+"""Tests for the structured trace bus (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import (
+    CAT_NET,
+    CAT_PHASE,
+    CAT_TASK,
+    NULL_TRACER,
+    NullTracer,
+    PhaseSpan,
+    TraceEvent,
+    Tracer,
+)
+
+
+class TestTraceEvent:
+    def test_interval_fields(self):
+        ev = TraceEvent("spill", CAT_PHASE, "slave0", "map1", 2.0, 3.5,
+                        {"bytes": 10})
+        assert ev.end == 5.5
+        assert not ev.is_instant
+        assert ev.args["bytes"] == 10
+
+    def test_instant(self):
+        ev = TraceEvent("slowstart", CAT_TASK, "job", "job", 1.0)
+        assert ev.is_instant and ev.end == 1.0
+
+    def test_repr(self):
+        ev = TraceEvent("x", CAT_NET, "net", "l", 0.0, 1.0)
+        assert "net:x" in repr(ev)
+
+
+class TestTracer:
+    def test_begin_end_records_span(self):
+        sim = Simulator()
+        tracer = Tracer().bind(sim)
+        span = tracer.begin("work", CAT_TASK, "slave0", "map0", attempt=0)
+        sim._now = 4.0
+        span.end(bytes=7)
+        [ev] = tracer.events
+        assert ev.name == "work"
+        assert ev.start == 0.0 and ev.duration == 4.0
+        assert ev.args == {"attempt": 0, "bytes": 7}
+
+    def test_unended_span_records_nothing(self):
+        sim = Simulator()
+        tracer = Tracer().bind(sim)
+        span = tracer.begin("killed", CAT_TASK, "slave0", "map0")
+        assert isinstance(span, PhaseSpan)
+        assert len(tracer) == 0
+
+    def test_complete_and_instant(self):
+        sim = Simulator()
+        tracer = Tracer().bind(sim)
+        tracer.complete("flow", CAT_NET, "net", "slave1", 1.0, 3.0, bytes=8)
+        tracer.instant("mark", CAT_TASK, "job", "job")
+        flow, mark = tracer.events
+        assert flow.duration == 2.0 and not flow.is_instant
+        assert mark.is_instant
+
+    def test_negative_duration_clamped(self):
+        sim = Simulator()
+        tracer = Tracer().bind(sim)
+        tracer.complete("weird", CAT_NET, "net", "l", 5.0, 3.0)
+        assert tracer.events[0].duration == 0.0
+
+    def test_spans_filter_and_total_time(self):
+        sim = Simulator()
+        tracer = Tracer().bind(sim)
+        tracer.complete("a", CAT_NET, "net", "l", 0.0, 1.0)
+        tracer.complete("a", CAT_PHASE, "slave0", "map0", 0.0, 2.0)
+        tracer.instant("b", CAT_NET, "net", "l")
+        assert len(tracer.spans()) == 2
+        assert len(tracer.spans(CAT_NET)) == 1
+        assert tracer.total_time("a") == pytest.approx(3.0)
+
+    def test_unbound_now_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().now()
+
+    def test_enabled_flag(self):
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False
+
+
+class TestNullTracer:
+    def test_all_noops(self):
+        null = NULL_TRACER
+        assert null.bind(object()) is null
+        span = null.begin("x", CAT_TASK, "t", "l")
+        span.end(anything=1)  # must not raise
+        null.complete("x", CAT_NET, "t", "l", 0.0, 1.0)
+        null.instant("x", CAT_NET, "t", "l")
+        assert null.events == []
+        assert null.now() == 0.0
+
+    def test_simulator_default_tracer_is_null(self):
+        sim = Simulator()
+        assert sim.tracer is NULL_TRACER
+        assert not sim.tracer.enabled

@@ -1,0 +1,103 @@
+"""Fault-recovery demo: a node crash mid-shuffle, IPoIB FDR vs RDMA.
+
+Beyond the paper: the same MR-AVG job on Cluster B loses one slave in
+the middle of the shuffle. The fault plan is seeded and declarative, so
+both networks see the *same* crash at the same phase fraction; the
+faster substrate re-executes the displaced work sooner. The per-phase
+breakdown (the ``--phase-report`` table) and a Chrome trace (with
+``fault``-category markers for the crash and its recovery) are
+persisted under ``benchmarks/results/``.
+"""
+
+from _harness import one_shot, record
+from repro import JobConf, cluster_b
+from repro.analysis import format_table
+from repro.analysis.export import write_chrome_trace
+from repro.core.config import BenchmarkConfig
+from repro.core.report import render_phase_table
+from repro.faults import FaultPlan, NodeCrash
+from repro.hadoop.simulation import run_simulated_job
+from repro.sim.trace import Tracer
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NETWORKS = ("ipoib-fdr", "rdma")
+PARAMS = dict(num_maps=32, num_reduces=16, key_size=512, value_size=512,
+              data_type="BytesWritable")
+SHUFFLE_GB = 16.0
+SLAVES = 8
+
+
+def _config(network):
+    return BenchmarkConfig.from_shuffle_size(
+        SHUFFLE_GB * 1e9, pattern="avg", network=network, **PARAMS)
+
+
+def _run_network(network):
+    cluster = cluster_b(SLAVES)
+    jobconf = JobConf()
+    config = _config(network)
+    clean = run_simulated_job(config, cluster=cluster, jobconf=jobconf)
+    b = clean.breakdown()
+    # Crash one slave once the shuffle is well underway: a third of the
+    # way into the slowest reducer's shuffle+merge window.
+    crash_t = b["map_phase"] + 0.3 * b["slowest_shuffle"]
+    plan = FaultPlan(node_crashes=(NodeCrash("slave1", at_time=crash_t),))
+    tracer = Tracer()
+    crashed = run_simulated_job(config, cluster=cluster, jobconf=jobconf,
+                                fault_plan=plan, tracer=tracer)
+    write_chrome_trace(
+        str(RESULTS_DIR / f"fault_recovery_{network}.trace.json"), tracer)
+    record(f"fault_recovery_phases_{network}",
+           render_phase_table(crashed))
+    return clean, crashed, crash_t
+
+
+def _series():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rows = []
+    out = {}
+    for network in NETWORKS:
+        clean, crashed, crash_t = _run_network(network)
+        report = crashed.resilience
+        crash = report.crashes[0]
+        rows.append([
+            crashed.interconnect_name,
+            round(clean.execution_time, 1),
+            round(crashed.execution_time, 1),
+            f"+{crashed.execution_time - clean.execution_time:.1f}",
+            round(crash_t, 1),
+            crash.attempts_killed,
+            round(crash.recovery_time, 1),
+            round(report.wasted_task_seconds, 1),
+            round(report.reexecuted_bytes / 1e6),
+        ])
+        out[network] = (clean, crashed)
+    text = format_table(
+        ["network", "clean (s)", "crashed (s)", "penalty",
+         "crash t (s)", "killed", "recovery (s)", "wasted (s)",
+         "redone (MB)"],
+        rows,
+        title=f"MR-AVG {SHUFFLE_GB:.0f} GB on Cluster B ({SLAVES} slaves), "
+              f"slave1 lost mid-shuffle")
+    record("fault_recovery_summary", text)
+    return out
+
+
+def bench_fault_recovery(benchmark):
+    results = one_shot(benchmark, _series)
+    for network, (clean, crashed) in results.items():
+        report = crashed.resilience
+        # The crash hurts, is survived, and is fully recovered.
+        assert crashed.execution_time > clean.execution_time
+        assert len(report.crashes) == 1
+        assert report.crashes[0].recovered_at is not None
+        assert report.attempts_killed_by_crashes >= 1
+        # The trace bus carried the fault markers into the export.
+        phases = crashed.phase_breakdown()
+        assert phases.execution_time == crashed.execution_time
+    # The faster wire also finishes the crashed run sooner.
+    assert (results["rdma"][1].execution_time
+            < results["ipoib-fdr"][1].execution_time)

@@ -28,6 +28,8 @@ Subpackages
     Simulated Hadoop MapReduce framework (MRv1 + YARN + MRoIB/RDMA).
 :mod:`repro.net`
     Interconnect models and the max-min fair network fabric.
+:mod:`repro.faults`
+    Declarative, seeded fault injection and resilience reporting.
 :mod:`repro.datatypes`
     Hadoop Writable types and IFile serialization.
 :mod:`repro.engine`
@@ -50,6 +52,14 @@ from repro.core.config import BenchmarkConfig
 from repro.core.report import render_report
 from repro.core.suite import (MicroBenchmarkSuite, SweepResult, SweepRow,
                               clear_result_cache, result_cache_stats)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    NodeCrash,
+    ResilienceReport,
+    SlowNode,
+)
 from repro.hadoop.cluster import ClusterSpec, cluster_a, cluster_b
 from repro.hadoop.job import JobConf
 from repro.hadoop.result import SimJobResult
@@ -62,14 +72,20 @@ __all__ = [
     "ALL_BENCHMARKS",
     "BenchmarkConfig",
     "ClusterSpec",
+    "FaultInjector",
+    "FaultPlan",
     "INTERCONNECTS",
     "JobConf",
+    "LinkFault",
     "MR_AVG",
     "MR_RAND",
     "MR_SKEW",
     "MicroBenchmark",
     "MicroBenchmarkSuite",
+    "NodeCrash",
+    "ResilienceReport",
     "SimJobResult",
+    "SlowNode",
     "SweepResult",
     "SweepRow",
     "clear_result_cache",

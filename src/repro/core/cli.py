@@ -101,7 +101,70 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--phase-report", action="store_true",
                         help="print the per-node phase breakdown table "
                              "(map / spill-merge / shuffle / merge / reduce)")
+    faults = parser.add_argument_group(
+        "fault injection",
+        "deterministic, seeded fault injection (see docs/MODEL.md); "
+        "flags layer on top of --fault-plan",
+    )
+    faults.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                        help="inject faults from a JSON FaultPlan file")
+    faults.add_argument("--task-failure-prob", type=float, default=None,
+                        metavar="P",
+                        help="per-attempt task failure probability "
+                             "(seeded coin, 0 <= P < 1)")
+    faults.add_argument("--kill-node", action="append", default=None,
+                        metavar="NODE@T",
+                        help="crash NODE at simulated time T seconds "
+                             "(repeatable, e.g. slave1@30)")
+    faults.add_argument("--slow-node", action="append", default=None,
+                        metavar="NODE:FACTOR",
+                        help="slow NODE's CPU and NIC by FACTOR "
+                             "(repeatable, e.g. slave0:2)")
     return parser
+
+
+def _build_fault_plan(args):
+    """Assemble the run's FaultPlan from --fault-plan plus flag-level
+    faults; returns ``None`` when nothing is injected."""
+    from repro.faults import FaultPlan, NodeCrash, SlowNode
+
+    plan = (FaultPlan.load(args.fault_plan) if args.fault_plan
+            else FaultPlan())
+    crashes = []
+    for spec in args.kill_node or ():
+        node, sep, at = spec.partition("@")
+        if not node or not sep:
+            raise ValueError(
+                f"--kill-node expects NODE@TIME (e.g. slave1@30), got {spec!r}"
+            )
+        try:
+            when = float(at)
+        except ValueError:
+            raise ValueError(
+                f"--kill-node time must be a number, got {at!r}"
+            ) from None
+        crashes.append(NodeCrash(node, at_time=when))
+    slows = []
+    for spec in args.slow_node or ():
+        node, sep, factor = spec.partition(":")
+        if not node or not sep:
+            raise ValueError(
+                f"--slow-node expects NODE:FACTOR (e.g. slave0:2), got {spec!r}"
+            )
+        try:
+            slowdown = float(factor)
+        except ValueError:
+            raise ValueError(
+                f"--slow-node factor must be a number, got {factor!r}"
+            ) from None
+        slows.append(SlowNode(node, cpu_factor=slowdown,
+                              nic_factor=slowdown))
+    plan = plan.with_overrides(
+        task_failure_probability=args.task_failure_prob,
+        node_crashes=crashes,
+        slow_nodes=slows,
+    )
+    return None if plan.is_noop() else plan
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,7 +173,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     factory = cluster_a if args.cluster == "a" else cluster_b
     cluster = factory(args.slaves) if args.slaves else factory()
     jobconf = JobConf(version=args.framework)
-    suite = MicroBenchmarkSuite(cluster=cluster, jobconf=jobconf)
+    try:
+        fault_plan = _build_fault_plan(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    suite = MicroBenchmarkSuite(cluster=cluster, jobconf=jobconf,
+                                fault_plan=fault_plan)
 
     pattern = args.benchmark.split("-")[1].lower()
     common = dict(

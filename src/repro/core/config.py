@@ -88,7 +88,13 @@ class BenchmarkConfig:
             name = getattr(self, attr)
             if name is None:
                 continue
-            writable_class(name)  # raises KeyError for unknown types
+            try:
+                writable_class(name)
+            except KeyError:
+                raise ValueError(
+                    f"{attr} must name a registered Writable type, "
+                    f"got {name!r}"
+                ) from None
             if name not in SUPPORTED_DATA_TYPES:
                 raise ValueError(
                     f"{attr} must be one of {SUPPORTED_DATA_TYPES}, "

@@ -421,7 +421,12 @@ class HashPartitioner(Partitioner):
     uses_keys = True
 
     def get_partition(self, key: Writable, value: Writable) -> int:
-        return hash(key) % self.num_reduces
+        # Hadoop: (key.hashCode() & Integer.MAX_VALUE) % numReduceTasks.
+        # Writable.stable_hash is seed-independent; the builtin hash()
+        # fallback (for plain-Python keys) varies with PYTHONHASHSEED.
+        stable = getattr(key, "stable_hash", None)
+        h = stable() if stable is not None else hash(key)
+        return (h & 0x7FFFFFFF) % self.num_reduces
 
 
 #: Partitioner classes keyed by benchmark pattern name ("zipf" is this

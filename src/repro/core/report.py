@@ -79,6 +79,38 @@ def _utilization_section(result: SimJobResult) -> str:
     return "\n".join(lines)
 
 
+def _resilience_section(result: SimJobResult) -> str:
+    report = result.resilience
+    s = report.summary()
+    rows = [
+        ("Task failures", f"{s['task_failures']} "
+                          f"({s['injected_task_failures']} injected)"),
+        ("Fetch retries", f"{s['fetch_retries']} "
+                          f"({s['refetched_mb']} MB refetched)"),
+        ("Node crashes", s["node_crashes"]),
+        ("Attempts killed", s["attempts_killed"]),
+        ("Wasted task time", f"{s['wasted_task_seconds']} s"),
+        ("Re-executed data", f"{s['reexecuted_mb']} MB"),
+    ]
+    for crash in report.crashes:
+        recovered = ("not recovered" if crash.recovery_time is None
+                     else f"recovered in {crash.recovery_time:.2f} s")
+        rows.append((
+            f"Crash of {crash.node}",
+            f"t={crash.time:.2f} s, {crash.attempts_killed} attempts "
+            f"killed, {recovered}",
+        ))
+    if report.speculative_launched:
+        effectiveness = report.speculation_effectiveness
+        rows.append((
+            "Speculation",
+            f"{report.speculative_won}/{report.speculative_launched} "
+            f"backups won ({effectiveness:.0%})",
+        ))
+    width = max(len(str(k)) for k, _v in rows)
+    return "\n".join(f"  {str(k).ljust(width)} : {v}" for k, v in rows)
+
+
 def render_phase_table(result: SimJobResult, per_task: bool = False) -> str:
     """Paper-style per-phase table from the structured breakdown.
 
@@ -135,6 +167,14 @@ def render_report(result: SimJobResult) -> str:
         "",
         format_counters(job_counters(result)),
         "",
+    ]
+    if result.resilience is not None:
+        sections += [
+            "Fault injection / resilience:",
+            _resilience_section(result),
+            "",
+        ]
+    sections += [
         f"JOB EXECUTION TIME: {result.execution_time:.2f} seconds",
         "=" * 64,
     ]

@@ -30,6 +30,7 @@ from repro.analysis.stats import improvement_pct
 from repro.analysis.tables import format_table
 from repro.core.benchmarks import MicroBenchmark, get_benchmark
 from repro.core.config import BenchmarkConfig
+from repro.faults import FaultPlan
 from repro.hadoop.cluster import ClusterSpec, cluster_a
 from repro.hadoop.costmodel import CostModel
 from repro.hadoop.job import JobConf
@@ -40,9 +41,10 @@ from repro.sim.trace import Tracer
 
 BenchmarkLike = Union[str, MicroBenchmark]
 
-#: Process-wide (config, cluster, jobconf, cost model) -> SimJobResult
-#: memo. All key components are frozen dataclasses, and simulations are
-#: deterministic functions of the key, so sharing results is safe.
+#: Process-wide (config, cluster, jobconf, cost model, fault plan) ->
+#: SimJobResult memo. All key components are frozen dataclasses, and
+#: simulations are deterministic functions of the key (fault plans are
+#: seeded), so sharing results is safe.
 _RESULT_CACHE: Dict[tuple, SimJobResult] = {}
 
 #: Cache bookkeeping for tests/diagnostics.
@@ -67,9 +69,10 @@ def _run_point(payload: tuple) -> SimJobResult:
     Top-level so it pickles; receives the same tuple used as the memo
     cache key.
     """
-    config, cluster, jobconf, cost_model = payload
+    config, cluster, jobconf, cost_model, fault_plan = payload
     return run_simulated_job(
-        config, cluster=cluster, jobconf=jobconf, cost_model=cost_model
+        config, cluster=cluster, jobconf=jobconf, cost_model=cost_model,
+        fault_plan=fault_plan,
     )
 
 
@@ -155,10 +158,14 @@ class MicroBenchmarkSuite:
         cluster: Optional[ClusterSpec] = None,
         jobconf: Optional[JobConf] = None,
         cost_model: Optional[CostModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.cluster = cluster if cluster is not None else cluster_a()
         self.jobconf = jobconf
         self.cost_model = cost_model
+        #: Applied to every run/sweep point of this suite (seeded, so
+        #: sweeps stay deterministic — including under ``jobs=N``).
+        self.fault_plan = fault_plan
 
     # -- single runs ----------------------------------------------------
 
@@ -169,18 +176,21 @@ class MicroBenchmarkSuite:
         monitor_interval: Optional[float] = None,
         memoize: bool = True,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> SimJobResult:
         """Run one fully-specified configuration.
 
         Results are memoized on the full (config, cluster, jobconf,
-        cost model) key unless ``memoize=False``. Runs with a custom
-        ``transport``, ``monitor_interval`` or ``tracer`` are never
-        cached: the key cannot capture a transport instance, and
+        cost model, fault plan) key unless ``memoize=False``. Runs with
+        a custom ``transport``, ``monitor_interval`` or ``tracer`` are
+        never cached: the key cannot capture a transport instance, and
         monitored/traced results carry run-specific trace state.
+        ``fault_plan`` overrides the suite-level plan for this run.
         """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
         if (memoize and transport is None and monitor_interval is None
                 and tracer is None):
-            key = self._point_key(config)
+            key = self._point_key(config, plan)
             cached = _RESULT_CACHE.get(key)
             if cached is not None:
                 _CACHE_STATS["hits"] += 1
@@ -197,11 +207,14 @@ class MicroBenchmarkSuite:
             transport=transport,
             monitor_interval=monitor_interval,
             tracer=tracer,
+            fault_plan=plan,
         )
 
-    def _point_key(self, config: BenchmarkConfig) -> tuple:
+    def _point_key(self, config: BenchmarkConfig,
+                   fault_plan: Optional[FaultPlan] = None) -> tuple:
         """Hashable key fully determining one simulation point."""
-        return (config, self.cluster, self.jobconf, self.cost_model)
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        return (config, self.cluster, self.jobconf, self.cost_model, plan)
 
     def run(
         self,
@@ -211,6 +224,7 @@ class MicroBenchmarkSuite:
         monitor_interval: Optional[float] = None,
         memoize: bool = True,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
         **config_kwargs: object,
     ) -> SimJobResult:
         """Run a named benchmark.
@@ -227,7 +241,8 @@ class MicroBenchmarkSuite:
             config = bench.configure(**config_kwargs)
         return self.run_config(config, transport=transport,
                                monitor_interval=monitor_interval,
-                               memoize=memoize, tracer=tracer)
+                               memoize=memoize, tracer=tracer,
+                               fault_plan=fault_plan)
 
     # -- sweeps ------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.datatypes.writable import (
     NullWritable,
     Writable,
     register_writable,
+    stable_hash_bytes,
     writable_class,
 )
 from repro.datatypes.bytes_writable import BytesWritable
@@ -64,6 +65,7 @@ __all__ = [
     "record_wire_size",
     "register_writable",
     "serialized_size",
+    "stable_hash_bytes",
     "vint_size",
     "writable_class",
     "writable_sort_key",

@@ -11,7 +11,11 @@ from __future__ import annotations
 import struct
 from typing import Tuple
 
-from repro.datatypes.writable import Writable, register_writable
+from repro.datatypes.writable import (
+    Writable,
+    register_writable,
+    stable_hash_bytes,
+)
 
 _LEN = struct.Struct(">i")
 
@@ -55,6 +59,11 @@ class BytesWritable(Writable):
         if payload_size < 0:
             raise ValueError(f"negative payload size: {payload_size}")
         return cls.HEADER_SIZE + payload_size
+
+    def stable_hash(self) -> int:
+        # Java BinaryComparable.hashCode(): hash the payload only, not
+        # the length header.
+        return stable_hash_bytes(self.payload)
 
     def __len__(self) -> int:
         return len(self.payload)

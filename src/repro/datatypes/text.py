@@ -12,7 +12,11 @@ from __future__ import annotations
 from typing import Tuple, Union
 
 from repro.datatypes.varint import read_vint, vint_size, write_vint
-from repro.datatypes.writable import Writable, register_writable
+from repro.datatypes.writable import (
+    Writable,
+    register_writable,
+    stable_hash_bytes,
+)
 
 
 @register_writable
@@ -64,6 +68,11 @@ class Text(Writable):
         if payload_size < 0:
             raise ValueError(f"negative payload size: {payload_size}")
         return vint_size(payload_size) + payload_size
+
+    def stable_hash(self) -> int:
+        # Java Text extends BinaryComparable: hash the UTF-8 payload
+        # without the vint prefix.
+        return stable_hash_bytes(self._encoded)
 
     def __len__(self) -> int:
         return len(self._encoded)

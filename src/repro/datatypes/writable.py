@@ -13,6 +13,22 @@ import struct
 from typing import Dict, Tuple, Type
 
 
+def stable_hash_bytes(data: bytes) -> int:
+    """Hadoop's ``WritableComparator.hashBytes``: ``h = 31*h + b`` over
+    signed bytes, truncated to a signed 32-bit int.
+
+    Unlike Python's builtin ``hash``, the result depends only on the
+    byte content — never on ``PYTHONHASHSEED`` — so partition choices
+    are reproducible across interpreter runs.
+    """
+    h = 1
+    for b in data:
+        if b >= 128:
+            b -= 256
+        h = (31 * h + b) & 0xFFFFFFFF
+    return h - 0x100000000 if h >= 0x80000000 else h
+
+
 class Writable(abc.ABC):
     """Abstract Hadoop serializable value."""
 
@@ -36,6 +52,15 @@ class Writable(abc.ABC):
         buf = bytearray()
         self.write(buf)
         return bytes(buf)
+
+    def stable_hash(self) -> int:
+        """Seed-independent hash, matching Hadoop's ``hashCode`` idiom.
+
+        Defaults to hashing the serialized form; subclasses override to
+        mirror their Java counterpart (e.g. ``IntWritable.hashCode()``
+        is the value itself).
+        """
+        return stable_hash_bytes(self.to_bytes())
 
 
 _REGISTRY: Dict[str, Type[Writable]] = {}
@@ -113,6 +138,10 @@ class IntWritable(Writable):
     def serialized_size(self) -> int:
         return 4
 
+    def stable_hash(self) -> int:
+        # Java IntWritable.hashCode() is the value itself.
+        return self.value
+
     def __repr__(self) -> str:
         return f"IntWritable({self.value})"
 
@@ -149,6 +178,12 @@ class LongWritable(Writable):
 
     def serialized_size(self) -> int:
         return 8
+
+    def stable_hash(self) -> int:
+        # Java LongWritable.hashCode(): (int)(value ^ (value >>> 32)).
+        u = self.value & 0xFFFFFFFFFFFFFFFF
+        h = (u ^ (u >> 32)) & 0xFFFFFFFF
+        return h - 0x100000000 if h >= 0x80000000 else h
 
     def __repr__(self) -> str:
         return f"LongWritable({self.value})"

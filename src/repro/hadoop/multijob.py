@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import compute_shuffle_matrix
+from repro.faults import FaultInjector, FaultPlan, ResilienceReport
 from repro.hadoop.cluster import ClusterSpec, cluster_a
 from repro.hadoop.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.hadoop.events_log import JobEventLog
@@ -61,6 +62,10 @@ class ConcurrentJobResult:
     finished_at: float
     #: This job's lifecycle event log (slowstart, task starts/finishes).
     events: JobEventLog = field(default_factory=JobEventLog)
+    #: The batch's shared fault/resilience report (``None`` on healthy
+    #: runs; the same object on every job of one batch — faults are
+    #: cluster-wide, not per-job).
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def execution_time(self) -> float:
@@ -78,6 +83,7 @@ def run_concurrent_jobs(
     jobconf: Optional[JobConf] = None,
     cost_model: Optional[CostModel] = None,
     tracer: Optional[Tracer] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[ConcurrentJobResult]:
     """Run several jobs on one shared cluster; returns per-job results.
 
@@ -117,6 +123,14 @@ def run_concurrent_jobs(
     ]
     runtime = create_runtime(jobconf.version, sim, nodes, jobconf, costs)
 
+    # One injector serves the whole batch: node crashes and link faults
+    # hit every tenant; the per-job placement offset salts the failure
+    # coins so jobs fail independently.
+    faults = None
+    if fault_plan is not None and not fault_plan.is_noop():
+        faults = FaultInjector(fault_plan, sim, fabric, nodes)
+        faults.install()
+
     results: List[ConcurrentJobResult] = []
     job_procs = []
 
@@ -126,12 +140,13 @@ def run_concurrent_jobs(
             submit_at=request.submit_at,
             started_at=0.0,
             finished_at=0.0,
+            resilience=faults.report if faults is not None else None,
         )
         results.append(result)
         job_procs.append(
             sim.process(
                 _run_one_job(sim, runtime, fabric, transport, jobconf,
-                             costs, request, result, job_index),
+                             costs, request, result, job_index, faults),
                 name=f"job{job_index}",
             )
         )
@@ -142,7 +157,7 @@ def run_concurrent_jobs(
 
 def _run_one_job(sim, runtime, fabric, transport, jobconf, costs,
                  request: JobRequest, result: ConcurrentJobResult,
-                 job_index: int):
+                 job_index: int, faults: Optional[FaultInjector] = None):
     """One job's orchestration inside the shared world."""
     config = request.config
     if request.submit_at > 0:
@@ -161,6 +176,7 @@ def _run_one_job(sim, runtime, fabric, transport, jobconf, costs,
         events=result.events,
         placement_offset=job_index,
         label=f"job{job_index}:",
+        faults=faults,
     )
     yield execution.start()
     result.finished_at = sim.now

@@ -133,6 +133,9 @@ class SimNode:
         self.fabric_node: FabricNode = fabric.add_node(
             name, cores=spec.cores, rack=rack
         )
+        #: Straggler injection: every CPU burst on this node is
+        #: multiplied by this factor (see :mod:`repro.faults`).
+        self.cpu_slowdown = 1.0
 
     def cpu_burst(self, duration: float) -> Generator:
         """Occupy one core for ``duration`` seconds (sub-generator).
@@ -141,6 +144,8 @@ class SimNode:
         """
         if duration <= 0:
             return
+        if self.cpu_slowdown != 1.0:
+            duration = duration * self.cpu_slowdown
         self.cpu.adjust(+1)
         try:
             yield self.sim.timeout(duration)

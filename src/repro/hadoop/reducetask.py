@@ -9,6 +9,7 @@ data from the map phase, iterates over them and discards it to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.hadoop.costmodel import CostModel
 from repro.hadoop.job import JobConf
@@ -17,6 +18,9 @@ from repro.hadoop.shuffle import MapOutputRegistry, ReducerShuffle, ShuffleStats
 from repro.net.fabric import NetworkFabric
 from repro.net.transport import TransportModel
 from repro.sim.trace import CAT_PHASE, CAT_TASK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultInjector
 
 
 @dataclass
@@ -65,6 +69,8 @@ class ReduceTask:
         jobconf: JobConf,
         costs: CostModel,
         start_extra: float = 0.0,
+        faults: Optional["FaultInjector"] = None,
+        fault_salt: int = 0,
     ):
         self.reduce_id = reduce_id
         self.node = node
@@ -74,7 +80,18 @@ class ReduceTask:
         self.jobconf = jobconf
         self.costs = costs
         self.start_extra = start_extra
+        self.faults = faults
+        self.fault_salt = fault_salt
         self.stats = ReduceTaskStats(reduce_id=reduce_id, node=node.name)
+        #: The live shuffle, once :meth:`run` creates it (lets fault
+        #: accounting read bytes fetched so far at a mid-shuffle crash).
+        self.shuffle: Optional[ReducerShuffle] = None
+
+    def fetched_so_far(self) -> float:
+        """Bytes this attempt has fetched so far (crash accounting)."""
+        if self.shuffle is not None:
+            return self.shuffle.stats.bytes_fetched
+        return 0.0
 
     def run(self):
         """The reduce task process (generator for the sim kernel)."""
@@ -100,10 +117,21 @@ class ReduceTask:
             transport=self.transport,
             jobconf=self.jobconf,
             costs=self.costs,
+            faults=self.faults,
+            fault_salt=self.fault_salt,
         )
-        shuffle_stats: ShuffleStats = yield sim.process(
+        self.shuffle = shuffle
+        shuffle_proc = sim.process(
             shuffle.run(), name=f"shuffle-r{self.reduce_id}"
         )
+        try:
+            shuffle_stats: ShuffleStats = yield shuffle_proc
+        finally:
+            # Only reachable on faulted paths: this task was killed (node
+            # crash) mid-shuffle — take the shuffle down too, so its
+            # fetchers and flows stop consuming fabric bandwidth.
+            if shuffle_proc.is_alive:
+                shuffle_proc.kill()
         self.stats.shuffle_finished_at = sim.now
         self.stats.fetch_finished_at = shuffle_stats.fetch_finished_at
         self.stats.merge_finished_at = shuffle_stats.merge_finished_at

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import ShuffleMatrix
+from repro.faults import ResilienceReport
 from repro.hadoop.cluster import ClusterSpec
 from repro.hadoop.events_log import JobEventLog
 from repro.hadoop.job import JobConf
@@ -113,6 +114,8 @@ class SimJobResult:
     monitor: Optional[ResourceMonitor] = None
     #: The structured phase trace, when the job ran with a tracer.
     trace: Optional[Tracer] = None
+    #: What fault injection did to this run (``None`` on healthy runs).
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def total_shuffle_bytes(self) -> int:

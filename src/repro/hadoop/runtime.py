@@ -39,13 +39,14 @@ from repro.hadoop.maptask import MapTask
 from repro.hadoop.node import SimNode
 from repro.hadoop.reducetask import ReduceTask
 from repro.hadoop.shuffle import MapOutputRegistry
-from repro.sim.events import AllOf, Event
+from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.kernel import Simulator
 from repro.sim.resources import SlotResource
 from repro.sim.trace import CAT_JOB, CAT_SCHED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import BenchmarkConfig
+    from repro.faults import FaultInjector
     from repro.net.fabric import NetworkFabric
     from repro.net.transport import TransportModel
     from repro.sim.process import Process
@@ -232,6 +233,7 @@ class JobExecution:
         events: Optional[JobEventLog] = None,
         placement_offset: int = 0,
         label: str = "",
+        faults: Optional["FaultInjector"] = None,
     ):
         self.sim = sim
         self.runtime = runtime
@@ -245,6 +247,9 @@ class JobExecution:
         self.placement_offset = placement_offset
         #: Lane prefix in trace output ("" for single jobs, "job2:"...).
         self.label = label
+        #: Fault injection (``None`` on healthy runs — every fault hook
+        #: below is guarded so the no-plan path is bit-identical).
+        self.faults = faults
         self.registry = MapOutputRegistry(sim, config.num_maps)
 
         self.slowstart_target = max(
@@ -300,42 +305,90 @@ class JobExecution:
                                f"{self.label}job",
                                maps_done=len(self.winning_map))
 
-    def _run_map(self, map_id: int, node: SimNode, first_attempt: int = 0):
+    def _run_map(self, map_id: int, node: SimNode, first_attempt: int = 0,
+                 speculative: bool = False):
         sim = self.sim
         runtime = self.runtime
         jobconf = self.jobconf
+        faults = self.faults
         lane = f"{self.label}map{map_id}"
-        for attempt in range(first_attempt, jobconf.max_task_attempts):
+        attempt = first_attempt
+        while attempt < jobconf.max_task_attempts:
             if map_id in self.winning_map:
                 return
+            if faults is not None and faults.node_dead(node.name):
+                node = faults.reroute(runtime.nodes,
+                                      map_id + self.placement_offset)
             tracer = sim.tracer
             wait = (tracer.begin("grant-wait", CAT_SCHED, node.name, lane,
                                  attempt=attempt)
                     if tracer.enabled else None)
             grant = runtime.acquire_map(node)
-            yield grant
+            if faults is not None and faults.may_crash(node.name):
+                # Wait for the grant OR the node's crash, whichever
+                # happens first: a crash drains the pool (queued
+                # requests withdraw and reschedule elsewhere; no
+                # attempt is burned).
+                yield AnyOf(sim, [grant, faults.crash_event(node.name)])
+                if not grant.triggered:
+                    runtime.map_pool(node).cancel(grant)
+                    continue
+                if faults.node_dead(node.name):
+                    # Granted in the same instant the node died.
+                    runtime.release_map(node)
+                    continue
+            else:
+                yield grant
             if wait is not None:
                 wait.end()
             if map_id in self.winning_map:
                 runtime.release_map(node)
                 return
             yield sim.timeout(self.costs.heartbeat_interval * 0.5)
+            if faults is not None and faults.node_dead(node.name):
+                runtime.release_map(node)
+                continue
             self.events.record(sim.now, JobEventLog.MAP_START,
                                f"map{map_id} attempt{attempt}")
             task = self._make_map_task(map_id, node)
             self._running_since.setdefault(map_id, sim.now)
+            attempt_started = sim.now
             task_proc = sim.process(task.run(),
                                     name=f"{self.label}map{map_id}.{attempt}")
             if map_id not in self._running_attempt:
                 self._running_attempt[map_id] = task_proc
+            if faults is not None:
+                faults.track_attempt(node.name, task_proc, "map", map_id,
+                                     task.total_bytes, self.placement_offset)
             try:
                 yield task_proc
             finally:
                 runtime.release_map(node)
+                if faults is not None:
+                    faults.untrack_attempt(node.name, task_proc)
             if task_proc.value is None:
+                if faults is not None and faults.was_crash_killed(task_proc):
+                    self.events.record(
+                        sim.now, JobEventLog.TASK_FAILED,
+                        f"map{map_id} attempt{attempt} node crashed")
+                    tracer = sim.tracer
+                    if tracer.enabled:
+                        tracer.instant("task-failed", CAT_SCHED, node.name,
+                                       lane, attempt=attempt, crash=True)
+                    if self._running_attempt.get(map_id) is task_proc:
+                        self._running_attempt.pop(map_id, None)
+                    if speculative:
+                        return  # the original attempt is still running
+                    attempt += 1
+                    continue
                 return  # killed: a speculative sibling won
-            if attempt_fails(jobconf, self.config.seed, "map", map_id,
-                             attempt):
+            injected = False
+            failed = attempt_fails(jobconf, self.config.seed, "map", map_id,
+                                   attempt)
+            if not failed and faults is not None:
+                failed = injected = faults.attempt_fails(
+                    "map", map_id, attempt, self.placement_offset)
+            if failed:
                 self.events.record(sim.now, JobEventLog.TASK_FAILED,
                                    f"map{map_id} attempt{attempt} lost output")
                 tracer = sim.tracer
@@ -346,8 +399,19 @@ class JobExecution:
                 # elapsed time since the FIRST attempt, so repeatedly
                 # failing tasks qualify as stragglers.
                 self._running_attempt.pop(map_id, None)
+                if faults is not None:
+                    faults.note_failed_attempt(
+                        "map", map_id, node.name, injected,
+                        sim.now - attempt_started, task.total_bytes)
+                attempt += 1
                 continue
+            won = map_id not in self.winning_map
             self._register_map(map_id, task)
+            if faults is not None and won:
+                faults.task_finished("map", map_id, node.name,
+                                     self.placement_offset)
+                if speculative:
+                    faults.note_speculative_win()
             return
         raise TaskFailedError(
             f"map {map_id} failed {jobconf.max_task_attempts} attempts"
@@ -384,10 +448,13 @@ class JobExecution:
                         tracer.instant(
                             "speculative-backup", CAT_SCHED,
                             backup_node.name, f"{self.label}map{map_id}")
+                    if self.faults is not None:
+                        self.faults.note_speculative_launch()
                     self._speculative_procs.append(sim.process(
                         self._run_map(
                             map_id, backup_node,
-                            first_attempt=self.jobconf.max_task_attempts - 1),
+                            first_attempt=self.jobconf.max_task_attempts - 1,
+                            speculative=True),
                         name=f"{self.label}spec-map{map_id}",
                     ))
 
@@ -397,15 +464,29 @@ class JobExecution:
         sim = self.sim
         runtime = self.runtime
         jobconf = self.jobconf
+        faults = self.faults
         lane = f"{self.label}reduce{reduce_id}"
         yield self.slowstart_fired
-        for attempt in range(jobconf.max_task_attempts):
+        attempt = 0
+        while attempt < jobconf.max_task_attempts:
+            if faults is not None and faults.node_dead(node.name):
+                node = faults.reroute(runtime.nodes,
+                                      reduce_id + self.placement_offset)
             tracer = sim.tracer
             wait = (tracer.begin("grant-wait", CAT_SCHED, node.name, lane,
                                  attempt=attempt)
                     if tracer.enabled else None)
             grant = runtime.acquire_reduce(node)
-            yield grant
+            if faults is not None and faults.may_crash(node.name):
+                yield AnyOf(sim, [grant, faults.crash_event(node.name)])
+                if not grant.triggered:
+                    runtime.reduce_pool(node).cancel(grant)
+                    continue
+                if faults.node_dead(node.name):
+                    runtime.release_reduce(node)
+                    continue
+            else:
+                yield grant
             if wait is not None:
                 wait.end()
             if self.first_reduce_start is None:
@@ -421,25 +502,61 @@ class JobExecution:
                 jobconf=jobconf,
                 costs=self.costs,
                 start_extra=runtime.task_start_extra,
+                faults=faults,
+                fault_salt=self.placement_offset,
             )
+            attempt_started = sim.now
+            task_proc = sim.process(
+                task.run(),
+                name=f"{self.label}reduce{reduce_id}.{attempt}")
+            if faults is not None:
+                faults.track_attempt(
+                    node.name, task_proc, "reduce", reduce_id,
+                    task.fetched_so_far, self.placement_offset)
             try:
-                yield sim.process(
-                    task.run(),
-                    name=f"{self.label}reduce{reduce_id}.{attempt}")
+                yield task_proc
             finally:
                 runtime.release_reduce(node)
-            if attempt_fails(jobconf, self.config.seed, "reduce", reduce_id,
-                             attempt):
+                if faults is not None:
+                    faults.untrack_attempt(node.name, task_proc)
+            if task_proc.value is None:
+                if faults is not None and faults.was_crash_killed(task_proc):
+                    self.events.record(
+                        sim.now, JobEventLog.TASK_FAILED,
+                        f"reduce{reduce_id} attempt{attempt} node crashed")
+                    tracer = sim.tracer
+                    if tracer.enabled:
+                        tracer.instant("task-failed", CAT_SCHED, node.name,
+                                       lane, attempt=attempt, crash=True)
+                    attempt += 1
+                    continue
+                return  # killed by the driver (job abandoned)
+            injected = False
+            failed = attempt_fails(jobconf, self.config.seed, "reduce",
+                                   reduce_id, attempt)
+            if not failed and faults is not None:
+                failed = injected = faults.attempt_fails(
+                    "reduce", reduce_id, attempt, self.placement_offset)
+            if failed:
                 self.events.record(sim.now, JobEventLog.TASK_FAILED,
                                    f"reduce{reduce_id} attempt{attempt}")
                 tracer = sim.tracer
                 if tracer.enabled:
                     tracer.instant("task-failed", CAT_SCHED, node.name, lane,
                                    attempt=attempt)
+                if faults is not None:
+                    faults.note_failed_attempt(
+                        "reduce", reduce_id, node.name, injected,
+                        sim.now - attempt_started,
+                        task.stats.bytes_fetched)
+                attempt += 1
                 continue
             self.reduce_stats_by_id[reduce_id] = task
             self.events.record(sim.now, JobEventLog.REDUCE_FINISH,
                                f"reduce{reduce_id}")
+            if faults is not None:
+                faults.task_finished("reduce", reduce_id, node.name,
+                                     self.placement_offset)
             return
         raise TaskFailedError(
             f"reduce {reduce_id} failed {jobconf.max_task_attempts} attempts"

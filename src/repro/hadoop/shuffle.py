@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hadoop.costmodel import CostModel
 from repro.hadoop.job import JobConf
@@ -31,6 +31,18 @@ from repro.sim.events import AllOf, Event
 from repro.sim.kernel import Simulator
 from repro.sim.resources import SlotResource
 from repro.sim.trace import CAT_PHASE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultInjector
+
+#: Back-off before re-issuing a failed fetch (seconds). Real Hadoop
+#: penalizes flaky hosts with an exponential back-off; a flat delay
+#: keeps the model simple and deterministic.
+FETCH_RETRY_DELAY = 1.0
+
+#: Hard ceiling on per-segment retries so an adversarial
+#: ``fetch_failure_probability`` cannot hang a run.
+_MAX_FETCH_ATTEMPTS = 256
 
 
 class MapOutputRegistry:
@@ -72,6 +84,8 @@ class ShuffleStats:
     records_fetched: int = 0
     local_fetches: int = 0
     remote_fetches: int = 0
+    #: Fetches re-issued by fault injection (flaky-fetch coin).
+    fetch_retries: int = 0
     bytes_spilled: float = 0.0
     shuffle_started_at: float = 0.0
     fetch_finished_at: float = 0.0
@@ -93,6 +107,8 @@ class ReducerShuffle:
         transport: TransportModel,
         jobconf: JobConf,
         costs: CostModel,
+        faults: Optional["FaultInjector"] = None,
+        fault_salt: int = 0,
     ):
         self.reduce_id = reduce_id
         self.node = node
@@ -101,6 +117,8 @@ class ReducerShuffle:
         self.transport = transport
         self.jobconf = jobconf
         self.costs = costs
+        self.faults = faults
+        self.fault_salt = fault_salt
         self.stats = ShuffleStats(reduce_id=reduce_id)
         self._fetch_slots = SlotResource(
             node.sim, jobconf.parallel_copies, name=f"r{reduce_id}:fetchers"
@@ -122,15 +140,34 @@ class ReducerShuffle:
             if seg_bytes <= 0:
                 return
             server = output.node
-            if self.transport.reads_map_output_from_disk:
-                yield server.storage.read(seg_bytes)
-            flow = self.fabric.start_flow(
-                server.name,
-                self.node.name,
-                seg_bytes,
-                delay=self.transport.fetch_setup + self.costs.fetch_client_overhead,
-            )
-            yield flow.done
+            attempt = 0
+            while True:
+                if self.transport.reads_map_output_from_disk:
+                    yield server.storage.read(seg_bytes)
+                flow = self.fabric.start_flow(
+                    server.name,
+                    self.node.name,
+                    seg_bytes,
+                    delay=self.transport.fetch_setup + self.costs.fetch_client_overhead,
+                )
+                try:
+                    yield flow.done
+                finally:
+                    # Only reachable on faulted paths: the fetcher was
+                    # killed (node crash) with the transfer in flight.
+                    if flow.finished_at is None:
+                        self.fabric.abort_flow(flow)
+                if (self.faults is not None
+                        and attempt < _MAX_FETCH_ATTEMPTS
+                        and self.faults.fetch_fails(
+                            self.reduce_id, output.map_id, attempt,
+                            self.fault_salt)):
+                    attempt += 1
+                    self.stats.fetch_retries += 1
+                    self.faults.note_fetch_retry(seg_bytes)
+                    yield self.node.sim.timeout(FETCH_RETRY_DELAY)
+                    continue
+                break
             if server is self.node:
                 self.stats.local_fetches += 1
             else:
@@ -177,23 +214,31 @@ class ReducerShuffle:
             if tracer.enabled else None
         )
         fetch_procs = []
-        next_idx = 0
-        # Hadoop's fetcher shuffles its host list so the reducers do not
-        # all hammer the same servers in lock step; dispatch available
-        # outputs in a per-reducer pseudo-random order.
-        rng = random.Random(0x5EED ^ (self.reduce_id * 7919))
-        pending: List[MapOutput] = []
-        while next_idx < self.registry.num_maps or pending:
-            while next_idx < len(self.registry.outputs):
-                pending.append(self.registry.outputs[next_idx])
-                next_idx += 1
-            while pending:
-                output = pending.pop(rng.randrange(len(pending)))
-                fetch_procs.append(sim.process(self._fetch(output)))
-            if next_idx < self.registry.num_maps:
-                yield self.registry.wait_for_more()
-        if fetch_procs:
-            yield AllOf(sim, fetch_procs)
+        try:
+            next_idx = 0
+            # Hadoop's fetcher shuffles its host list so the reducers do
+            # not all hammer the same servers in lock step; dispatch
+            # available outputs in a per-reducer pseudo-random order.
+            rng = random.Random(0x5EED ^ (self.reduce_id * 7919))
+            pending: List[MapOutput] = []
+            while next_idx < self.registry.num_maps or pending:
+                while next_idx < len(self.registry.outputs):
+                    pending.append(self.registry.outputs[next_idx])
+                    next_idx += 1
+                while pending:
+                    output = pending.pop(rng.randrange(len(pending)))
+                    fetch_procs.append(sim.process(self._fetch(output)))
+                if next_idx < self.registry.num_maps:
+                    yield self.registry.wait_for_more()
+            if fetch_procs:
+                yield AllOf(sim, fetch_procs)
+        finally:
+            # Only reachable on faulted paths: the shuffle was killed
+            # (node crash) — take the fetchers (and their flows) down
+            # with it. On a normal exit every fetcher is already done.
+            for proc in fetch_procs:
+                if proc.is_alive:
+                    proc.kill()
         self.stats.fetch_finished_at = sim.now
         if fetch_span is not None:
             fetch_span.end(

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import ShuffleMatrix, compute_shuffle_matrix
+from repro.faults import FaultInjector, FaultPlan
 from repro.hadoop.cluster import ClusterSpec, cluster_a
 from repro.hadoop.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.hadoop.events_log import JobEventLog
@@ -62,6 +63,7 @@ def run_simulated_job(
     monitor_interval: Optional[float] = None,
     matrix: Optional[ShuffleMatrix] = None,
     tracer: Optional[Tracer] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimJobResult:
     """Simulate one micro-benchmark job end to end.
 
@@ -87,6 +89,12 @@ def run_simulated_job(
     tracer:
         If set, record the structured phase trace onto it (returned as
         ``result.trace``); does not change simulated times.
+    fault_plan:
+        If set (and not a no-op), inject the plan's faults — task
+        failures, node crashes, stragglers, link degradation — and
+        attach the resulting :class:`~repro.faults.ResilienceReport`
+        as ``result.resilience``. ``None`` (or an empty plan) is
+        bit-identical to the pre-fault-injection code.
     """
     cluster = cluster if cluster is not None else cluster_a()
     jobconf = jobconf if jobconf is not None else DEFAULT_JOB_CONF
@@ -116,6 +124,11 @@ def run_simulated_job(
     runtime = create_runtime(jobconf.version, sim, nodes, jobconf, costs)
     runtime.job_started()
 
+    faults = None
+    if fault_plan is not None and not fault_plan.is_noop():
+        faults = FaultInjector(fault_plan, sim, fabric, nodes)
+        faults.install()
+
     events = JobEventLog()
 
     monitor = None
@@ -143,6 +156,7 @@ def run_simulated_job(
         transport=transport,
         matrix=matrix,
         events=events,
+        faults=faults,
     )
     job_span = (sim.tracer.begin("job", CAT_JOB, "job", "job",
                                  framework=jobconf.version,
@@ -172,4 +186,5 @@ def run_simulated_job(
         events=events,
         monitor=monitor,
         trace=tracer,
+        resilience=faults.report if faults is not None else None,
     )

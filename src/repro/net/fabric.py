@@ -75,7 +75,7 @@ class Flow:
 
     __slots__ = (
         "id", "fabric", "src", "dst", "nbytes", "remaining", "rate",
-        "started_at", "finished_at", "done", "links", "wire",
+        "started_at", "finished_at", "done", "links", "wire", "aborted",
     )
 
     def __init__(self, fabric: "NetworkFabric", src: str, dst: str, nbytes: float):
@@ -86,6 +86,7 @@ class Flow:
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.rate = 0.0
+        self.aborted = False
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.done: Event = fabric.sim.event(name=f"flow#{self.id}:{src}->{dst}")
@@ -185,8 +186,12 @@ class NetworkFabric:
         self._flow_ids = itertools.count()
         #: link -> number of active flows traversing it (incremental).
         self._link_counts: Dict[Hashable, int] = {}
-        #: link -> capacity, filled lazily (capacities are static).
+        #: link -> capacity, filled lazily. Static unless fault
+        #: injection scales a link through :meth:`set_link_factor`.
         self._caps: Dict[Hashable, float] = {}
+        #: link -> capacity multiplier from fault injection (absent
+        #: means 1.0; empty in every non-faulted run).
+        self._link_factors: Dict[Hashable, float] = {}
 
     # -- topology --------------------------------------------------------
 
@@ -221,6 +226,8 @@ class NetworkFabric:
         start_after = delay + self.interconnect.latency
 
         def activate() -> None:
+            if flow.aborted:
+                return  # aborted while waiting out its setup latency
             flow.started_at = self.sim.now
             if flow.remaining <= _EPS:
                 flow.finished_at = self.sim.now
@@ -249,6 +256,40 @@ class NetworkFabric:
     @property
     def active_flows(self) -> int:
         return len(self._active)
+
+    def abort_flow(self, flow: Flow) -> None:
+        """Tear down an unfinished flow (fault injection: the fetcher
+        died or the transfer failed). Its ``done`` event never fires;
+        bytes already moved stay counted. Only called on faulted paths —
+        never on a healthy run."""
+        if flow.finished_at is not None or flow.aborted:
+            return
+        flow.aborted = True
+        if flow not in self._active:
+            return  # still waiting out its setup latency
+        self._advance()
+        self._active.remove(flow)
+        for link in flow.links:
+            self._link_counts[link] -= 1
+        flow.finished_at = self.sim.now
+        flow.rate = 0.0
+        self._recompute(departed_seed=[flow])
+
+    def set_link_factor(self, link: Hashable, factor: float) -> None:
+        """Scale one link's capacity (fault injection: degraded NICs,
+        flaky-link windows). ``factor`` is the absolute multiplier on
+        the pristine capacity; 1.0 restores it. Forces a full re-solve —
+        surviving flows must pick up the new capacity."""
+        if factor <= 0:
+            raise ValueError(f"link factor must be positive, got {factor}")
+        self._advance()
+        if factor == 1.0:
+            self._link_factors.pop(link, None)
+        else:
+            self._link_factors[link] = factor
+        if link in self._caps:
+            self._caps[link] = self._cap_of(link)
+        self._recompute(force_full=True)
 
     def _trace_flow(self, flow: Flow) -> None:
         """Record a finished flow on the trace bus (no-op when off)."""
@@ -283,10 +324,14 @@ class NetworkFabric:
     def _cap_of(self, link: Hashable) -> float:
         kind = link[0]
         if kind == "loop":
-            return self.loopback_bandwidth
-        if kind in ("rack-up", "rack-down"):
-            return self.rack_uplink_bandwidth
-        return self.interconnect.sustained_bandwidth
+            cap = self.loopback_bandwidth
+        elif kind in ("rack-up", "rack-down"):
+            cap = self.rack_uplink_bandwidth
+        else:
+            cap = self.interconnect.sustained_bandwidth
+        if self._link_factors:
+            cap *= self._link_factors.get(link, 1.0)
+        return cap
 
     def _link_caps(self) -> Dict[Hashable, float]:
         """Capacities of the links the active flows traverse (reference
@@ -315,14 +360,20 @@ class NetworkFabric:
                 nodes[flow.dst].rx._total += moved
         self._last = now
 
-    def _recompute(self, new_flow: Optional[Flow] = None) -> None:
+    def _recompute(self, new_flow: Optional[Flow] = None,
+                   force_full: bool = False,
+                   departed_seed: Optional[List[Flow]] = None) -> None:
         """Finish completed flows, re-run max-min, arm the next timer.
 
         ``new_flow`` is the flow appended at this change point, if any;
         it enables the private-links fast path (see class docstring).
+        ``force_full`` disables that fast path (a link capacity just
+        changed, so surviving rates are stale). ``departed_seed`` feeds
+        flows already removed by the caller (an abort) into the
+        private-links check.
         """
         counts = self._link_counts
-        departed: List[Flow] = []
+        departed: List[Flow] = list(departed_seed) if departed_seed else []
         while True:
             finished = [f for f in self._active if f.remaining <= _EPS]
             if finished:
@@ -355,7 +406,7 @@ class NetworkFabric:
             rates = compute_max_min(active, self._link_caps(),
                                     lambda f: f.links)
             self._apply_rates(active, rates)
-        elif self._links_private(departed, new_flow):
+        elif not force_full and self._links_private(departed, new_flow):
             # Change-point skip: every link touched by the changed flows
             # is now used by nobody (departures) or only by the new flow
             # (arrival). Surviving flows keep their rates; only the

@@ -69,6 +69,19 @@ class SlotResource:
         self.tracker.adjust(+1)
         ev.succeed()
 
+    def cancel(self, ev: Event) -> bool:
+        """Withdraw a still-queued request (e.g. the requester died).
+
+        Returns ``True`` if the request was waiting and got removed.
+        A request that was already granted cannot be cancelled — the
+        holder must :meth:`release` instead.
+        """
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            return False
+        return True
+
     def release(self) -> None:
         """Free one slot; hands it to the oldest waiter, if any."""
         if self._in_use <= 0:

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 __all__ = [
+    "CAT_FAULT",
     "CAT_JOB",
     "CAT_NET",
     "CAT_PHASE",
@@ -52,6 +53,7 @@ CAT_PHASE = "phase"   #: sub-phases inside a task (spill, merge, fetch...)
 CAT_NET = "net"       #: fabric flows
 CAT_SCHED = "sched"   #: slot/container waits, speculation, slowstart
 CAT_JOB = "job"       #: job-level markers
+CAT_FAULT = "fault"   #: injected faults and their recoveries
 
 
 class TraceEvent:

@@ -67,3 +67,59 @@ def test_text_data_type(capsys):
                "--maps", "4", "--reduces", "2", "--slaves", "2"])
     assert rc == 0
     assert "Text" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    ARGS = ["--num-pairs", "20000", "--maps", "4", "--reduces", "2",
+            "--slaves", "2"]
+
+    def test_kill_node_renders_resilience_section(self, capsys):
+        rc = main(self.ARGS + ["--kill-node", "slave1@3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fault injection / resilience:" in out
+        assert "Crash of slave1" in out
+
+    def test_slow_node_flag(self, capsys):
+        rc = main(self.ARGS + ["--slow-node", "slave1:2"])
+        assert rc == 0
+        assert "Fault injection / resilience:" in capsys.readouterr().out
+
+    def test_task_failure_prob_flag(self, capsys):
+        rc = main(self.ARGS + ["--task-failure-prob", "0.2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "injected" in out
+
+    def test_fault_plan_file(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"slow_nodes": [{"node": "slave0",'
+                        ' "cpu_factor": 2.0}]}')
+        rc = main(self.ARGS + ["--fault-plan", str(plan)])
+        assert rc == 0
+        assert "Fault injection / resilience:" in capsys.readouterr().out
+
+    def test_no_fault_flags_no_section(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        assert "Fault injection" not in capsys.readouterr().out
+
+    def test_malformed_kill_node_fails_cleanly(self, capsys):
+        rc = main(self.ARGS + ["--kill-node", "slave1"])
+        assert rc == 2
+        assert "NODE@TIME" in capsys.readouterr().err
+
+    def test_malformed_slow_node_fails_cleanly(self, capsys):
+        rc = main(self.ARGS + ["--slow-node", "slave0:fast"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_plan_file_fails_cleanly(self, capsys):
+        rc = main(self.ARGS + ["--fault-plan", "/no/such/plan.json"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_node_fails_cleanly(self, capsys):
+        rc = main(self.ARGS + ["--kill-node", "slave99@3"])
+        assert rc == 2
+        assert "unknown nodes" in capsys.readouterr().err

@@ -34,6 +34,15 @@ def test_validation_rejects(kwargs):
         BenchmarkConfig(**kwargs)
 
 
+@pytest.mark.parametrize("attr", ["data_type", "key_type", "value_type"])
+def test_unknown_writable_raises_value_error(attr):
+    """Unregistered Writable names surface as ValueError (not a raw
+    KeyError from the registry) so callers can catch config errors
+    uniformly."""
+    with pytest.raises(ValueError, match="registered Writable"):
+        BenchmarkConfig(**{attr: "NoSuchWritable"})
+
+
 def test_writable_resolution():
     assert BenchmarkConfig().writable is BytesWritable
     assert BenchmarkConfig(data_type="Text").writable is Text

@@ -1,0 +1,332 @@
+"""Tests for the fault-injection subsystem (``repro.faults``).
+
+Plan validation and (de)serialization, the no-op discipline, every
+fault class's observable effect on a small job, determinism of seeded
+injection, and the shared injector on concurrent-job batches.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    NodeCrash,
+    SlowNode,
+)
+from repro.hadoop import JobConf, cluster_a, run_simulated_job
+from repro.hadoop.multijob import JobRequest, run_concurrent_jobs
+from repro.hadoop.simulation import TaskFailedError
+from repro.sim.trace import CAT_FAULT, Tracer
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=200_000, num_maps=8, num_reduces=4,
+                    key_size=512, value_size=512, network="ipoib-qdr")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def run(config, **kw):
+    kw.setdefault("cluster", cluster_a(2))
+    return run_simulated_job(config, **kw)
+
+
+class TestPlanValidation:
+    def test_node_crash_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            NodeCrash("slave1")
+        with pytest.raises(ValueError, match="exactly one"):
+            NodeCrash("slave1", at_time=3.0, after_tasks=2)
+        NodeCrash("slave1", at_time=0.0)
+        NodeCrash("slave1", after_tasks=1)
+
+    def test_node_crash_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            NodeCrash("slave1", at_time=-1.0)
+        with pytest.raises(ValueError):
+            NodeCrash("slave1", after_tasks=0)
+
+    def test_slow_node_factors_are_slowdowns(self):
+        with pytest.raises(ValueError, match=">= 1.0"):
+            SlowNode("slave0", cpu_factor=0.5)
+        with pytest.raises(ValueError, match=">= 1.0"):
+            SlowNode("slave0", nic_factor=0.0)
+
+    def test_link_fault_bounds(self):
+        with pytest.raises(ValueError, match="factor"):
+            LinkFault("slave0", factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            LinkFault("slave0", factor=1.5)
+        with pytest.raises(ValueError, match="direction"):
+            LinkFault("slave0", factor=0.5, direction="sideways")
+        with pytest.raises(ValueError, match="after start"):
+            LinkFault("slave0", factor=0.5, start=5.0, end=5.0)
+
+    def test_link_fault_links(self):
+        assert LinkFault("n", 0.5, direction="in").links() == (("in", "n"),)
+        assert LinkFault("n", 0.5, direction="out").links() == (("out", "n"),)
+        assert set(LinkFault("n", 0.5).links()) == {("in", "n"), ("out", "n")}
+
+    def test_plan_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(task_failure_probability=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(fetch_failure_probability=-0.1)
+
+    def test_plan_rejects_duplicate_nodes(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(node_crashes=(NodeCrash("a", at_time=1.0),
+                                    NodeCrash("a", after_tasks=2)))
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(slow_nodes=(SlowNode("a", cpu_factor=2.0),
+                                  SlowNode("a", nic_factor=2.0)))
+
+    def test_noop_detection(self):
+        assert FaultPlan().is_noop()
+        assert not FaultPlan(task_failure_probability=0.1).is_noop()
+        assert not FaultPlan(
+            slow_nodes=(SlowNode("a", cpu_factor=2.0),)).is_noop()
+
+    def test_plan_is_hashable_and_picklable(self):
+        plan = FaultPlan(
+            task_failure_probability=0.1,
+            node_crashes=(NodeCrash("slave1", at_time=3.0),),
+            slow_nodes=(SlowNode("slave0", cpu_factor=2.0),),
+            link_faults=(LinkFault("slave0", 0.5, end=4.0, start=1.0),),
+        )
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_injector_rejects_unknown_nodes(self):
+        from repro.net.fabric import NetworkFabric
+        from repro.net.interconnect import get_interconnect
+        from repro.hadoop.node import SimNode
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        cluster = cluster_a(2)
+        fabric = NetworkFabric(sim, get_interconnect("ipoib-qdr"))
+        nodes = [SimNode(sim, name, cluster.node, fabric)
+                 for name in cluster.slave_names()]
+        plan = FaultPlan(node_crashes=(NodeCrash("slave99", at_time=1.0),))
+        with pytest.raises(ValueError, match="unknown nodes"):
+            FaultInjector(plan, sim, fabric, nodes)
+
+
+class TestPlanSerialization:
+    PLAN = FaultPlan(
+        seed=7,
+        task_failure_probability=0.05,
+        fetch_failure_probability=0.01,
+        node_crashes=(NodeCrash("slave1", at_time=30.0),),
+        slow_nodes=(SlowNode("slave0", cpu_factor=2.0, nic_factor=4.0),),
+        link_faults=(LinkFault("slave0", 0.25, direction="in",
+                               start=5.0, end=10.0),),
+    )
+
+    def test_round_trip(self):
+        assert FaultPlan.from_dict(self.PLAN.to_dict()) == self.PLAN
+
+    def test_load_from_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.PLAN.to_dict()))
+        assert FaultPlan.load(str(path)) == self.PLAN
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"task_failure_prob": 0.1})
+
+    def test_malformed_entries_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.from_dict({"node_crashes": [{"nodename": "x"}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_with_overrides_layers(self):
+        plan = FaultPlan(slow_nodes=(SlowNode("a", cpu_factor=2.0),))
+        out = plan.with_overrides(
+            task_failure_probability=0.2,
+            node_crashes=[NodeCrash("b", at_time=1.0)],
+        )
+        assert out.task_failure_probability == 0.2
+        assert out.slow_nodes == plan.slow_nodes
+        assert out.node_crashes == (NodeCrash("b", at_time=1.0),)
+
+
+class TestNoopDiscipline:
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        base = run(cfg())
+        empty = run(cfg(), fault_plan=FaultPlan())
+        assert empty.execution_time.hex() == base.execution_time.hex()
+        assert empty.resilience is None
+        assert base.resilience is None
+
+
+class TestNodeCrash:
+    PLAN = FaultPlan(node_crashes=(NodeCrash("slave1", at_time=3.0),))
+
+    def test_crash_slows_job_and_is_reported(self):
+        clean = run(cfg())
+        crashed = run(cfg(), fault_plan=self.PLAN)
+        assert crashed.execution_time > clean.execution_time
+        report = crashed.resilience
+        assert report is not None
+        assert len(report.crashes) == 1
+        crash = report.crashes[0]
+        assert crash.node == "slave1"
+        assert crash.time == 3.0
+        # All displaced work eventually reran elsewhere.
+        assert crash.recovered_at is not None
+        assert report.wasted_task_seconds > 0.0
+
+    def test_crash_is_deterministic(self):
+        a = run(cfg(), fault_plan=self.PLAN)
+        b = run(cfg(), fault_plan=self.PLAN)
+        assert a.execution_time.hex() == b.execution_time.hex()
+        assert a.resilience.summary() == b.resilience.summary()
+
+    def test_crash_after_tasks_trigger(self):
+        plan = FaultPlan(node_crashes=(NodeCrash("slave1", after_tasks=2),))
+        result = run(cfg(), fault_plan=plan)
+        report = result.resilience
+        assert len(report.crashes) == 1
+        assert report.crashes[0].time > 0.0
+
+    def test_crash_emits_trace_markers(self):
+        tracer = Tracer()
+        run(cfg(), fault_plan=self.PLAN, tracer=tracer)
+        names = {ev.name for ev in tracer.events if ev.cat == CAT_FAULT}
+        assert "node-crash" in names
+        assert "crash-recovered" in names
+
+    def test_all_nodes_dead_fails_the_job(self):
+        plan = FaultPlan(node_crashes=(NodeCrash("slave0", at_time=1.0),
+                                       NodeCrash("slave1", at_time=1.0)))
+        with pytest.raises(TaskFailedError):
+            run(cfg(), fault_plan=plan)
+
+    def test_results_record_every_pair_despite_crash(self):
+        result = run(cfg(), fault_plan=self.PLAN)
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+
+class TestSlowNode:
+    def test_cpu_straggler_slows_job(self):
+        clean = run(cfg())
+        slow = run(cfg(), fault_plan=FaultPlan(
+            slow_nodes=(SlowNode("slave1", cpu_factor=4.0),)))
+        assert slow.execution_time > clean.execution_time
+
+    def test_nic_straggler_slows_job(self):
+        clean = run(cfg())
+        slow = run(cfg(), fault_plan=FaultPlan(
+            slow_nodes=(SlowNode("slave1", nic_factor=8.0),)))
+        assert slow.execution_time > clean.execution_time
+
+
+class TestLinkFault:
+    def test_permanent_cut_slows_job(self):
+        clean = run(cfg())
+        cut = run(cfg(), fault_plan=FaultPlan(
+            link_faults=(LinkFault("slave1", 0.1),)))
+        assert cut.execution_time > clean.execution_time
+
+    def test_flaky_window_recovers(self):
+        clean = run(cfg())
+        permanent = run(cfg(), fault_plan=FaultPlan(
+            link_faults=(LinkFault("slave1", 0.02),)))
+        # This config's fetch burst runs ~3.84-4.3 s (all maps finish in
+        # one wave); the window must bisect it so the restore matters.
+        windowed = run(cfg(), fault_plan=FaultPlan(
+            link_faults=(LinkFault("slave1", 0.02, start=3.5, end=4.2),)))
+        assert clean.execution_time < windowed.execution_time
+        assert windowed.execution_time < permanent.execution_time
+
+
+class TestSeededCoins:
+    def test_task_failures_counted_as_injected(self):
+        plan = FaultPlan(task_failure_probability=0.3)
+        result = run(cfg(), jobconf=JobConf(max_task_attempts=8),
+                     fault_plan=plan)
+        report = result.resilience
+        assert report.injected_task_failures > 0
+        assert report.task_failures >= report.injected_task_failures
+
+    def test_fetch_failures_are_retried(self):
+        plan = FaultPlan(fetch_failure_probability=0.3)
+        result = run(cfg(), fault_plan=plan)
+        report = result.resilience
+        assert report.fetch_retries > 0
+        assert report.refetched_bytes > 0.0
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+    def test_coins_are_seed_dependent(self):
+        a = run(cfg(), fault_plan=FaultPlan(task_failure_probability=0.3),
+                jobconf=JobConf(max_task_attempts=8))
+        b = run(cfg(), fault_plan=FaultPlan(seed=99,
+                                            task_failure_probability=0.3),
+                jobconf=JobConf(max_task_attempts=8))
+        # Different seeds flip different coins (times may or may not
+        # coincide, but the failure pattern is overwhelmingly distinct).
+        assert (a.resilience.summary() != b.resilience.summary()
+                or a.execution_time != b.execution_time)
+
+    def test_coins_are_reproducible(self):
+        plan = FaultPlan(task_failure_probability=0.3,
+                         fetch_failure_probability=0.05)
+        jc = JobConf(max_task_attempts=8)
+        a = run(cfg(), jobconf=jc, fault_plan=plan)
+        b = run(cfg(), jobconf=jc, fault_plan=plan)
+        assert a.execution_time.hex() == b.execution_time.hex()
+        assert a.resilience.summary() == b.resilience.summary()
+
+
+class TestConcurrentJobs:
+    def test_shared_injector_spans_the_batch(self):
+        plan = FaultPlan(node_crashes=(NodeCrash("slave1", at_time=3.0),))
+        requests = [JobRequest(cfg(num_pairs=100_000)),
+                    JobRequest(cfg(num_pairs=100_000), submit_at=1.0)]
+        results = run_concurrent_jobs(requests, cluster=cluster_a(2),
+                                      fault_plan=plan)
+        assert len(results) == 2
+        # One report object shared by the whole batch.
+        assert results[0].resilience is results[1].resilience
+        assert len(results[0].resilience.crashes) == 1
+
+    def test_batch_is_deterministic_under_faults(self):
+        plan = FaultPlan(task_failure_probability=0.2)
+        jc = JobConf(max_task_attempts=8)
+
+        def go():
+            requests = [JobRequest(cfg(num_pairs=100_000)),
+                        JobRequest(cfg(num_pairs=100_000), submit_at=1.0)]
+            return run_concurrent_jobs(requests, cluster=cluster_a(2),
+                                       jobconf=jc, fault_plan=plan)
+
+        a, b = go(), go()
+        for ra, rb in zip(a, b):
+            assert ra.finished_at.hex() == rb.finished_at.hex()
+
+    def test_noop_plan_matches_no_plan_batch(self):
+        def go(fault_plan):
+            requests = [JobRequest(cfg(num_pairs=100_000)),
+                        JobRequest(cfg(num_pairs=100_000), submit_at=1.0)]
+            return run_concurrent_jobs(requests, cluster=cluster_a(2),
+                                       fault_plan=fault_plan)
+
+        base, empty = go(None), go(FaultPlan())
+        for rb, re_ in zip(base, empty):
+            assert rb.finished_at.hex() == re_.finished_at.hex()
+            assert re_.resilience is None

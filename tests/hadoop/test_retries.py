@@ -1,0 +1,126 @@
+"""Retry / registry invariants: attempt exhaustion, the map-output
+registry's over-registration guard, and speculation composing with
+failure injection without ever double-registering a map output."""
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.faults import FaultPlan, SlowNode
+from repro.hadoop import JobConf, JobEventLog, cluster_a, run_simulated_job
+from repro.hadoop.maptask import MapOutput
+from repro.hadoop.node import SimNode
+from repro.hadoop.shuffle import MapOutputRegistry
+from repro.hadoop.simulation import TaskFailedError
+from repro.net.fabric import NetworkFabric
+from repro.net.interconnect import get_interconnect
+from repro.sim.kernel import Simulator
+
+
+def cfg(**kw):
+    defaults = dict(num_pairs=200_000, num_maps=8, num_reduces=4,
+                    key_size=512, value_size=512, network="ipoib-qdr")
+    defaults.update(kw)
+    return BenchmarkConfig(**defaults)
+
+
+def run(config, **kw):
+    kw.setdefault("cluster", cluster_a(2))
+    return run_simulated_job(config, **kw)
+
+
+class TestAttemptExhaustion:
+    def test_map_exhaustion_names_task_and_budget(self):
+        jc = JobConf(task_failure_probability=0.97, max_task_attempts=2)
+        with pytest.raises(TaskFailedError, match=r"failed 2 attempts"):
+            run(cfg(), jobconf=jc)
+
+    def test_exhaustion_is_a_runtime_error(self):
+        # Callers that guard framework errors with RuntimeError must
+        # catch task exhaustion too.
+        assert issubclass(TaskFailedError, RuntimeError)
+
+    def test_single_attempt_budget_still_completes_clean_jobs(self):
+        result = run(cfg(), jobconf=JobConf(max_task_attempts=1))
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+    def test_injected_coin_exhaustion(self):
+        """The fault-plan coin must respect the same attempt budget as
+        the legacy JobConf knob."""
+        plan = FaultPlan(task_failure_probability=0.97)
+        with pytest.raises(TaskFailedError, match=r"failed 2 attempts"):
+            run(cfg(), jobconf=JobConf(max_task_attempts=2),
+                fault_plan=plan)
+
+
+class TestMapOutputRegistryGuard:
+    def _world(self):
+        sim = Simulator()
+        cluster = cluster_a(2)
+        fabric = NetworkFabric(sim, get_interconnect("ipoib-qdr"))
+        node = SimNode(sim, "slave0", cluster.node, fabric)
+        return sim, node
+
+    def _output(self, map_id, node):
+        return MapOutput(
+            map_id=map_id, node=node,
+            segment_bytes=np.array([100.0]),
+            segment_records=np.array([1]),
+        )
+
+    def test_rejects_more_outputs_than_maps(self):
+        sim, node = self._world()
+        registry = MapOutputRegistry(sim, num_maps=2)
+        registry.register(self._output(0, node))
+        registry.register(self._output(1, node))
+        assert registry.complete
+        with pytest.raises(RuntimeError, match="more map outputs"):
+            registry.register(self._output(0, node))
+
+    def test_waiters_fire_per_registration(self):
+        sim, node = self._world()
+        registry = MapOutputRegistry(sim, num_maps=2)
+        ev = registry.wait_for_more()
+        assert not ev.triggered
+        registry.register(self._output(0, node))
+        assert ev.triggered
+        assert not registry.complete
+
+
+class TestSpeculationNeverDoubleRegisters:
+    def _map_finishes(self, result):
+        return result.events.of_kind(JobEventLog.MAP_FINISH)
+
+    def test_flaky_maps_with_speculation(self):
+        """Failure retries + speculative backups racing the originals:
+        every map must be registered exactly once (a duplicate would
+        trip the registry's RuntimeError and abort the run)."""
+        jc = JobConf(task_failure_probability=0.25, max_task_attempts=8,
+                     speculative_execution=True, map_slots_per_node=2)
+        result = run(cfg(num_maps=12), jobconf=jc)
+        assert len(self._map_finishes(result)) == 12
+        assert sum(s.records for s in result.reduce_stats) == (
+            result.config.num_pairs
+        )
+
+    def test_slow_node_backup_wins_once(self):
+        """A fault-injected straggler node forces the speculation path;
+        the backup winning must not re-register the loser's output."""
+        plan = FaultPlan(slow_nodes=(SlowNode("slave1", cpu_factor=6.0),))
+        jc = JobConf(speculative_execution=True)
+        result = run(cfg(), jobconf=jc, fault_plan=plan)
+        assert len(self._map_finishes(result)) == result.config.num_maps
+        report = result.resilience
+        assert report is not None
+        if report.speculative_launched:
+            assert report.speculative_won <= report.speculative_launched
+
+    def test_failures_and_speculation_compose_deterministically(self):
+        jc = JobConf(task_failure_probability=0.25, max_task_attempts=8,
+                     speculative_execution=True, map_slots_per_node=2)
+        a = run(cfg(num_maps=12), jobconf=jc)
+        b = run(cfg(num_maps=12), jobconf=jc)
+        assert a.execution_time.hex() == b.execution_time.hex()
+        assert len(self._map_finishes(a)) == len(self._map_finishes(b))

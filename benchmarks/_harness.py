@@ -9,6 +9,13 @@ testbeds (see EXPERIMENTS.md).
 
 Results are also written to ``benchmarks/results/*.txt`` so the series
 survive pytest's output capture.
+
+The figure sweeps themselves live in ``benchmarks/campaigns/*.json``
+as declarative :class:`~repro.campaign.Campaign` specs;
+:func:`run_figure_campaign` executes them through the shared on-disk
+result store at ``benchmarks/results/store`` (gitignored), so repeated
+benchmark runs — and anything else pointed at that store, e.g.
+``repro book`` — skip already-simulated points.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ from repro import MicroBenchmarkSuite, cluster_a, cluster_b, JobConf
 from repro.analysis import format_table, improvement_pct
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Shipped campaign specs (the paper figures as data).
+CAMPAIGN_DIR = pathlib.Path(__file__).parent / "campaigns"
+
+#: Shared persistent result store for benchmark runs (regenerable;
+#: gitignored). Delete it to force full re-simulation.
+STORE_DIR = RESULTS_DIR / "store"
 
 #: Worker processes for sweep execution (``BENCH_JOBS=4 pytest ...``).
 #: Results are bit-identical regardless of the setting; the default of 1
@@ -52,6 +66,19 @@ def suite_cluster_a(slaves: int = 4, version: str = "mrv1") -> MicroBenchmarkSui
 
 def suite_cluster_b(slaves: int = 8) -> MicroBenchmarkSuite:
     return MicroBenchmarkSuite(cluster=cluster_b(slaves))
+
+
+def run_figure_campaign(spec_file: str, name: str = None):
+    """Run one shipped campaign spec through the shared bench store.
+
+    Returns the :class:`~repro.campaign.CampaignResult`; points already
+    in ``benchmarks/results/store`` are served from disk (0 simulations
+    on warm re-runs — check with ``repro store stats``).
+    """
+    from repro.campaign import load_campaign, run_campaign
+
+    campaign = load_campaign(CAMPAIGN_DIR / spec_file, name=name)
+    return run_campaign(campaign, store=str(STORE_DIR), jobs=JOBS)
 
 
 def record(name: str, text: str) -> None:

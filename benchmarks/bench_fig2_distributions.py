@@ -8,24 +8,22 @@ number of generated pairs; networks 1 GigE / 10 GigE / IPoIB QDR.
 Paper shape: MR-AVG improves ~17 % on 10 GigE and ~24 % on IPoIB QDR
 vs 1 GigE; MR-RAND ~16 %/~22 %; MR-SKEW ~11 %/~12 %; IPoIB beats
 10 GigE by ~8-10 %; skew roughly doubles the job time vs avg.
+
+The sweep itself is the declarative ``campaigns/fig2.json`` spec run
+through the shared result store; this module only shapes and asserts.
 """
 
 from _harness import (
-    CLUSTER_A_NETWORKS,
-    CLUSTER_A_PARAMS,
-    JOBS,
-    SHUFFLE_SIZES_GB,
     improvement_summary,
     one_shot,
     record,
-    suite_cluster_a,
+    run_figure_campaign,
 )
 
 
 def _run_pattern(pattern_name, subfig):
-    suite = suite_cluster_a()
-    sweep = suite.sweep(pattern_name, SHUFFLE_SIZES_GB, CLUSTER_A_NETWORKS,
-                        jobs=JOBS, **CLUSTER_A_PARAMS)
+    outcome = run_figure_campaign("fig2.json", name=f"fig2{subfig}")
+    sweep = outcome.sweep_result()
     text = sweep.to_table(
         title=f"Fig. 2({subfig}) {pattern_name} job execution time (s), "
               f"Cluster A MRv1")
@@ -69,15 +67,13 @@ def bench_fig2_skew_doubles_avg(benchmark):
     observation, at the largest sweep point."""
 
     def run():
-        suite = suite_cluster_a()
-        avg = suite.run("MR-AVG", shuffle_gb=16, network="1GigE",
-                        **CLUSTER_A_PARAMS).execution_time
-        skew = suite.run("MR-SKEW", shuffle_gb=16, network="1GigE",
-                         **CLUSTER_A_PARAMS).execution_time
+        avg = run_figure_campaign("fig2.json", "fig2a").sweep_result()
+        skew = run_figure_campaign("fig2.json", "fig2c").sweep_result()
+        ratio = skew.time("1GigE", 16.0) / avg.time("1GigE", 16.0)
         record("fig2_skew_ratio",
-               f"Fig. 2 skew/avg ratio @16GB 1GigE: {skew / avg:.2f}x "
+               f"Fig. 2 skew/avg ratio @16GB 1GigE: {ratio:.2f}x "
                f"(paper: ~2x)")
-        return skew / avg
+        return ratio
 
     ratio = one_shot(benchmark, run)
     assert 1.6 <= ratio <= 2.8

@@ -7,24 +7,22 @@ nodes, Hadoop 2.x.
 Paper shape: MR-AVG improves ~11 % (10 GigE) and ~18 % (IPoIB QDR) vs
 1 GigE; MR-RAND ~10 %/~17 %; MR-SKEW ~10-12 %; skew now costs >3x avg
 (the slowest reducer dominates despite the added concurrency).
+
+The sweep itself is the declarative ``campaigns/fig3.json`` spec run
+through the shared result store; this module only shapes and asserts.
 """
 
 from _harness import (
-    CLUSTER_A_NETWORKS,
-    JOBS,
-    SHUFFLE_SIZES_GB,
-    YARN_PARAMS,
     improvement_summary,
     one_shot,
     record,
-    suite_cluster_a,
+    run_figure_campaign,
 )
 
 
 def _run_pattern(pattern_name, subfig):
-    suite = suite_cluster_a(slaves=8, version="yarn")
-    sweep = suite.sweep(pattern_name, SHUFFLE_SIZES_GB, CLUSTER_A_NETWORKS,
-                        jobs=JOBS, **YARN_PARAMS)
+    outcome = run_figure_campaign("fig3.json", name=f"fig3{subfig}")
+    sweep = outcome.sweep_result()
     text = sweep.to_table(
         title=f"Fig. 3({subfig}) {pattern_name} job execution time (s), "
               f"Cluster A YARN (32M/16R, 8 slaves)")
@@ -62,15 +60,13 @@ def bench_fig3_skew_exceeds_3x(benchmark):
     by more than 3X' on YARN."""
 
     def run():
-        suite = suite_cluster_a(slaves=8, version="yarn")
-        avg = suite.run("MR-AVG", shuffle_gb=16, network="1GigE",
-                        **YARN_PARAMS).execution_time
-        skew = suite.run("MR-SKEW", shuffle_gb=16, network="1GigE",
-                         **YARN_PARAMS).execution_time
+        avg = run_figure_campaign("fig3.json", "fig3a").sweep_result()
+        skew = run_figure_campaign("fig3.json", "fig3c").sweep_result()
+        ratio = skew.time("1GigE", 16.0) / avg.time("1GigE", 16.0)
         record("fig3_skew_ratio",
-               f"Fig. 3 skew/avg ratio @16GB 1GigE YARN: {skew / avg:.2f}x "
+               f"Fig. 3 skew/avg ratio @16GB 1GigE YARN: {ratio:.2f}x "
                f"(paper: >3x)")
-        return skew / avg
+        return ratio
 
     ratio = one_shot(benchmark, run)
     assert ratio > 3.0

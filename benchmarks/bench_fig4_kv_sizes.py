@@ -8,28 +8,21 @@ Paper shape: every pair size benefits from faster networks (~18-22 %
 for 100 B); for a fixed shuffle volume, larger pairs are dramatically
 faster (at 16 GB on IPoIB QDR, ~1280 s at 100 B vs ~170 s at 10 KB —
 a ~7.5x gap), because per-record framework costs dominate small pairs.
+
+The sweep itself is the declarative ``campaigns/fig4.json`` spec — one
+campaign with a pair-size variant per sub-figure — run through the
+shared result store; this module only shapes and asserts.
 """
 
-from _harness import (
-    CLUSTER_A_NETWORKS,
-    one_shot,
-    record,
-    suite_cluster_a,
-)
+from _harness import one_shot, record, run_figure_campaign
 
-SIZES_GB = (4.0, 8.0, 16.0)
-#: (label, key payload, value payload): 100 B / 1 KB / 10 KB pairs.
-KV_SIZES = (("100B", 50, 50), ("1KB", 512, 512), ("10KB", 5120, 5120))
+#: Variant labels in the spec, one per sub-figure.
+KV_LABELS = ("100B", "1KB", "10KB")
 
 
-def _run_kv(label, key_size, value_size, subfig):
-    suite = suite_cluster_a()
-    sweep = suite.sweep(
-        "MR-AVG", SIZES_GB, CLUSTER_A_NETWORKS,
-        num_maps=16, num_reduces=8,
-        key_size=key_size, value_size=value_size,
-        data_type="BytesWritable",
-    )
+def _run_kv(label, subfig):
+    outcome = run_figure_campaign("fig4.json")
+    sweep = outcome.sweep_result(variant=label)
     text = sweep.to_table(
         title=f"Fig. 4({subfig}) MR-AVG, key/value pair size {label}")
     record(f"fig4{subfig}_kv_{label.lower()}", text)
@@ -37,7 +30,7 @@ def _run_kv(label, key_size, value_size, subfig):
 
 
 def bench_fig4a_kv_100b(benchmark):
-    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[0], "a"))
+    sweep = one_shot(benchmark, lambda: _run_kv(KV_LABELS[0], "a"))
     dib = sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)")
     # Paper: ~22 % for 100 B pairs. In our model the 100 B job is
     # heavily per-record-CPU-bound, so the network share — and the
@@ -47,12 +40,12 @@ def bench_fig4a_kv_100b(benchmark):
 
 
 def bench_fig4b_kv_1kb(benchmark):
-    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[1], "b"))
+    sweep = one_shot(benchmark, lambda: _run_kv(KV_LABELS[1], "b"))
     assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
 
 
 def bench_fig4c_kv_10kb(benchmark):
-    sweep = one_shot(benchmark, lambda: _run_kv(*KV_SIZES[2], "c"))
+    sweep = one_shot(benchmark, lambda: _run_kv(KV_LABELS[2], "c"))
     assert sweep.improvement("1GigE", "IPoIB-QDR(32Gbps)") > 15
 
 
@@ -61,14 +54,13 @@ def bench_fig4_pair_size_gap(benchmark):
     than 10 KB pairs (paper: ~1280 s -> ~170 s, ~7.5x)."""
 
     def run():
-        suite = suite_cluster_a()
-        times = {}
-        for label, k, v in KV_SIZES:
-            times[label] = suite.run(
-                "MR-AVG", shuffle_gb=16, network="ipoib-qdr",
-                num_maps=16, num_reduces=8, key_size=k, value_size=v,
-            ).execution_time
-        lines = [f"Fig. 4 pair-size effect @16GB IPoIB QDR:"]
+        outcome = run_figure_campaign("fig4.json")
+        times = {
+            label: outcome.sweep_result(variant=label)
+                          .time("IPoIB-QDR(32Gbps)", 16.0)
+            for label in KV_LABELS
+        }
+        lines = ["Fig. 4 pair-size effect @16GB IPoIB QDR:"]
         for label, t in times.items():
             lines.append(f"  {label:>5}: {t:8.1f} s")
         lines.append(f"  100B/10KB ratio: {times['100B'] / times['10KB']:.1f}x"

@@ -7,24 +7,23 @@ Paper shape: both data types gain similarly from faster interconnects
 (~23-27 % for 10 GigE, up to ~28 % for IPoIB QDR in the paper's runs);
 high-speed networks provide "similar improvement potential to both
 data types".
+
+The sweep itself is the declarative ``campaigns/fig6.json`` spec — one
+campaign with a data-type variant per sub-figure — run through the
+shared result store; this module only shapes and asserts.
 """
 
 from _harness import (
-    CLUSTER_A_NETWORKS,
     improvement_summary,
     one_shot,
     record,
-    suite_cluster_a,
+    run_figure_campaign,
 )
-
-SIZES_GB = (16.0, 32.0, 64.0)
 
 
 def _run_type(data_type, subfig):
-    suite = suite_cluster_a()
-    sweep = suite.sweep("MR-RAND", SIZES_GB, CLUSTER_A_NETWORKS,
-                        num_maps=16, num_reduces=8,
-                        key_size=512, value_size=512, data_type=data_type)
+    outcome = run_figure_campaign("fig6.json")
+    sweep = outcome.sweep_result(variant=data_type)
     text = sweep.to_table(
         title=f"Fig. 6({subfig}) MR-RAND with {data_type}")
     text += "\n" + improvement_summary(sweep, "1GigE")
@@ -47,15 +46,13 @@ def bench_fig6_types_gain_similarly(benchmark):
     to both data types'."""
 
     def run():
-        gains = {}
-        for data_type in ("BytesWritable", "Text"):
-            suite = suite_cluster_a()
-            sweep = suite.sweep("MR-RAND", [32.0], CLUSTER_A_NETWORKS,
-                                num_maps=16, num_reduces=8,
-                                key_size=512, value_size=512,
-                                data_type=data_type)
-            gains[data_type] = sweep.improvement(
-                "1GigE", "IPoIB-QDR(32Gbps)")
+        outcome = run_figure_campaign("fig6.json")
+        gains = {
+            data_type: outcome.sweep_result(variant=data_type)
+                              .improvement("1GigE", "IPoIB-QDR(32Gbps)",
+                                           shuffle_gb=32.0)
+            for data_type in ("BytesWritable", "Text")
+        }
         record("fig6_type_similarity",
                "Fig. 6 IPoIB gain by type @32GB: "
                + ", ".join(f"{k}={v:.1f}%" for k, v in gains.items()))

@@ -37,7 +37,11 @@ Subpackages
 :mod:`repro.sim`
     Discrete-event simulation kernel.
 :mod:`repro.analysis`
-    Statistics and table rendering.
+    Statistics, table rendering, and the Experiment Book generator.
+:mod:`repro.store`
+    Persistent, content-addressed result store (warm-start caching).
+:mod:`repro.campaign`
+    Declarative benchmark campaigns over the store.
 """
 
 from repro.core.benchmarks import (
@@ -60,11 +64,13 @@ from repro.faults import (
     ResilienceReport,
     SlowNode,
 )
+from repro.campaign import Campaign, load_campaign, load_campaigns, run_campaign
 from repro.hadoop.cluster import ClusterSpec, cluster_a, cluster_b
 from repro.hadoop.job import JobConf
 from repro.hadoop.result import SimJobResult
 from repro.hadoop.simulation import run_simulated_job
 from repro.net.interconnect import INTERCONNECTS, get_interconnect
+from repro.store import ResultStore, StoredResult, point_key
 
 __version__ = "1.0.0"
 
@@ -77,6 +83,7 @@ __all__ = [
     "INTERCONNECTS",
     "JobConf",
     "LinkFault",
+    "Campaign",
     "MR_AVG",
     "MR_RAND",
     "MR_SKEW",
@@ -84,8 +91,10 @@ __all__ = [
     "MicroBenchmarkSuite",
     "NodeCrash",
     "ResilienceReport",
+    "ResultStore",
     "SimJobResult",
     "SlowNode",
+    "StoredResult",
     "SweepResult",
     "SweepRow",
     "clear_result_cache",
@@ -93,8 +102,12 @@ __all__ = [
     "cluster_b",
     "get_benchmark",
     "get_interconnect",
+    "load_campaign",
+    "load_campaigns",
+    "point_key",
     "render_report",
     "result_cache_stats",
+    "run_campaign",
     "run_simulated_job",
     "__version__",
 ]

@@ -1,5 +1,7 @@
-"""Result analysis: summary statistics and table rendering."""
+"""Result analysis: statistics, tables, exports, and the Experiment
+Book generator (:mod:`repro.analysis.book`)."""
 
+from repro.analysis.book import build_book, git_describe
 from repro.analysis.charts import bar_chart, line_chart, sweep_chart
 from repro.analysis.export import (
     chrome_trace_json,
@@ -22,7 +24,9 @@ from repro.analysis.tables import format_cell, format_table
 
 __all__ = [
     "bar_chart",
+    "build_book",
     "chrome_trace_json",
+    "git_describe",
     "format_cell",
     "line_chart",
     "sweep_chart",

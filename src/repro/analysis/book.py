@@ -1,0 +1,355 @@
+"""The Experiment Book: a Markdown site generated from store contents.
+
+``repro book out/`` renders every campaign recorded in a
+:class:`~repro.store.ResultStore` into a cross-linked set of Markdown
+pages — one index plus one page per campaign — built **from store
+contents alone**: the runner tags each record with its campaign and
+point coordinates (:func:`repro.campaign.runner.run_campaign`), and
+this module regroups those tags into the paper-figure tables.
+
+Each campaign page carries:
+
+* the size × network execution-time grid per variant (the figure's
+  table), with a percent-improvement summary against the campaign's
+  baseline network;
+* a per-phase breakdown (map / spill-merge / shuffle / merge / reduce
+  task-seconds per network) at the largest swept size;
+* a resilience section when the campaign ran under a fault plan
+  (crash counts, wasted work, recovery time per point);
+* provenance: the store key of every point, the store schema version,
+  and ``git describe`` of the generating tree.
+
+Unlike hand-written docs, the book cannot drift from the data: it is
+re-rendered from the records every time, and stale records are already
+invisible (wrong-schema records never load).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.stats import improvement_pct, mean
+from repro.hadoop.result import PHASES
+from repro.net.interconnect import INTERCONNECTS
+from repro.store import SCHEMA_VERSION, ResultStore, StoredResult
+
+#: Network column order: the interconnect catalog's (slow → fast).
+_NETWORK_RANK = {name: i for i, name in enumerate(INTERCONNECTS)}
+
+
+def git_describe() -> str:
+    """``git describe`` of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavored Markdown pipe table."""
+    def cell(value: object) -> str:
+        """Render one cell (floats to one decimal place)."""
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+class _Point:
+    """One store record seen through one campaign's tag."""
+
+    __slots__ = ("key", "meta", "result", "provenance")
+
+    def __init__(self, key: str, meta: dict, result: StoredResult,
+                 provenance: dict):
+        """Bind a store key, its campaign tag and the decoded result."""
+        self.key = key
+        self.meta = meta
+        self.result = result
+        self.provenance = provenance
+
+    @property
+    def variant(self) -> str:
+        """The variant label the point was tagged with ("" if none)."""
+        return str(self.meta.get("variant", ""))
+
+    @property
+    def shuffle_gb(self) -> float:
+        """Shuffle volume in GB, from the campaign tag."""
+        return float(self.meta.get("shuffle_gb", 0.0))
+
+    @property
+    def network(self) -> str:
+        """Canonical interconnect name of the stored result."""
+        return self.result.interconnect_name
+
+    @property
+    def trial(self) -> int:
+        """Zero-based trial index from the campaign tag."""
+        return int(self.meta.get("trial", 0))
+
+
+def collect_campaigns(store: ResultStore) -> Dict[str, List[_Point]]:
+    """Group the store's records by campaign tag (tag order preserved)."""
+    campaigns: Dict[str, List[_Point]] = {}
+    for key, record in store.records():
+        tags = record.get("tags") or {}
+        if not tags:
+            continue
+        try:
+            result = StoredResult.from_dict(record["result"])
+        except (KeyError, ValueError):
+            continue
+        for name, meta in tags.items():
+            campaigns.setdefault(name, []).append(
+                _Point(key, meta or {}, result,
+                       record.get("provenance") or {})
+            )
+    return campaigns
+
+
+def _network_order(points: Sequence[_Point]) -> List[str]:
+    names = {p.network for p in points}
+    return sorted(names, key=lambda n: (_NETWORK_RANK.get(n, 99), n))
+
+
+def _grid_table(points: Sequence[_Point], networks: Sequence[str]) -> str:
+    """The size × network execution-time table (mean over trials)."""
+    sizes = sorted({p.shuffle_gb for p in points})
+    rows = []
+    for size in sizes:
+        row: List[object] = [f"{size:g}"]
+        for network in networks:
+            times = [p.result.execution_time for p in points
+                     if p.shuffle_gb == size and p.network == network]
+            row.append(mean(times) if times else "—")
+        rows.append(row)
+    return _md_table(["Shuffle (GB)"] + list(networks), rows)
+
+
+def _improvement_lines(points: Sequence[_Point], networks: Sequence[str],
+                       baseline: str) -> List[str]:
+    """Mean percent improvement of each network over the baseline."""
+    sizes = sorted({p.shuffle_gb for p in points})
+
+    def time_at(network: str, size: float) -> Optional[float]:
+        """Mean execution time at one grid point (None if absent)."""
+        times = [p.result.execution_time for p in points
+                 if p.shuffle_gb == size and p.network == network]
+        return mean(times) if times else None
+
+    out = []
+    for network in networks:
+        if network == baseline:
+            continue
+        pcts = []
+        for size in sizes:
+            base, new = time_at(baseline, size), time_at(network, size)
+            if base is not None and new is not None:
+                pcts.append(improvement_pct(base, new))
+        if pcts:
+            out.append(f"- **{network}** vs {baseline}: "
+                       f"{mean(pcts):+.1f}% mean job-time improvement")
+    return out
+
+
+def _phase_section(points: Sequence[_Point], networks: Sequence[str]) -> List[str]:
+    """Per-phase task-seconds per network, at the largest swept size."""
+    if not points:
+        return []
+    top = max(p.shuffle_gb for p in points)
+    rows = []
+    for network in networks:
+        candidates = [p for p in points
+                      if p.shuffle_gb == top and p.network == network
+                      and p.trial == 0]
+        if not candidates:
+            continue
+        totals = candidates[0].result.phase_breakdown().totals()
+        rows.append([network] + [totals[phase] for phase in PHASES])
+    if not rows:
+        return []
+    return [
+        f"### Phase breakdown @ {top:g} GB",
+        "",
+        "Task-seconds per phase (tasks overlap, so columns sum to "
+        "task-time, not wall time).",
+        "",
+        _md_table(["Network"] + [p.replace("_", "-") for p in PHASES], rows),
+    ]
+
+
+def _resilience_section(points: Sequence[_Point]) -> List[str]:
+    """Fault-injection outcomes, when any point carries a report."""
+    faulty = [p for p in points if p.result.resilience]
+    if not faulty:
+        return []
+    columns = ["node_crashes", "attempts_killed", "task_failures",
+               "fetch_retries", "wasted_task_seconds",
+               "total_recovery_seconds"]
+    rows = []
+    for p in sorted(faulty, key=lambda p: (p.variant, p.shuffle_gb,
+                                           _NETWORK_RANK.get(p.network, 99),
+                                           p.trial)):
+        res = p.result.resilience or {}
+        label = f"{p.shuffle_gb:g} GB {p.network}"
+        if p.variant:
+            label = f"{p.variant} {label}"
+        rows.append([label] + [res.get(c, "—") for c in columns])
+    return [
+        "### Resilience under fault injection",
+        "",
+        "This campaign ran with a fault plan; the store records what "
+        "the injected faults cost each point.",
+        "",
+        _md_table(["Point"] + [c.replace("_", " ") for c in columns], rows),
+    ]
+
+
+def _provenance_section(points: Sequence[_Point], describe: str) -> List[str]:
+    rows = []
+    for p in sorted(points, key=lambda p: (p.variant, p.shuffle_gb,
+                                           _NETWORK_RANK.get(p.network, 99),
+                                           p.trial)):
+        label = f"{p.shuffle_gb:g} GB {p.network}"
+        if p.variant:
+            label = f"{p.variant} {label}"
+        if p.trial:
+            label += f" trial{p.trial}"
+        seed = ((p.provenance.get("config") or {}).get("seed", "?"))
+        rows.append([label, f"`{p.key[:16]}…`", seed])
+    return [
+        "### Provenance",
+        "",
+        f"Store schema v{SCHEMA_VERSION}, generated at `{describe}`. "
+        "Each point is content-addressed: the key is the SHA-256 of the "
+        "full (config, cluster, jobconf, cost model, fault plan, schema) "
+        "document kept in the record's provenance block.",
+        "",
+        _md_table(["Point", "Store key", "Seed"], rows),
+    ]
+
+
+def _campaign_page(name: str, points: List[_Point], describe: str) -> str:
+    meta = points[0].meta
+    figure = str(meta.get("figure") or "")
+    title = str(meta.get("title") or "")
+    benchmark = str(meta.get("benchmark") or "")
+    baseline_alias = str(meta.get("baseline") or "")
+    networks = _network_order(points)
+    # The tag's baseline may be an alias; match it to a canonical column.
+    baseline = networks[0]
+    if baseline_alias:
+        from repro.net.interconnect import get_interconnect
+
+        try:
+            baseline = get_interconnect(baseline_alias).name
+        except KeyError:
+            pass
+
+    heading = figure or name
+    if title:
+        heading += f" — {title}"
+    lines = [f"# {heading}", ""]
+    first = points[0].result
+    lines.append(
+        f"Campaign **`{name}`**: {benchmark or first.summary()['benchmark']} "
+        f"on {first.cluster_name} ({first.num_slaves} slaves, "
+        f"{first.runtime}), {len(points)} stored points."
+    )
+    lines.append("")
+
+    variants: Dict[str, List[_Point]] = {}
+    for p in points:
+        variants.setdefault(p.variant, []).append(p)
+    for variant, vpoints in variants.items():
+        if variant:
+            lines += [f"## Variant: {variant}", ""]
+        lines += ["Job execution time (s):", "",
+                  _grid_table(vpoints, networks), ""]
+        improvements = _improvement_lines(vpoints, networks, baseline)
+        if improvements:
+            lines += improvements + [""]
+
+    lines += _phase_section(points, networks)
+    lines.append("")
+    lines += _resilience_section(points)
+    lines.append("")
+    lines += _provenance_section(points, describe)
+    lines += ["", "[← back to the index](index.md)", ""]
+    return "\n".join(lines)
+
+
+def build_book(
+    store: ResultStore,
+    out_dir: Union[str, Path],
+    campaigns: Optional[Sequence[str]] = None,
+    title: str = "Experiment Book",
+) -> List[Path]:
+    """Render the Experiment Book; returns the written page paths.
+
+    ``campaigns`` restricts the book to a subset of campaign names
+    (default: everything tagged in the store). Raises
+    :class:`ValueError` when the store holds no tagged campaigns to
+    render — an empty book is almost always a wrong ``--store``.
+    """
+    grouped = collect_campaigns(store)
+    if campaigns is not None:
+        missing = [c for c in campaigns if c not in grouped]
+        if missing:
+            raise ValueError(
+                f"store {store.root} has no campaign(s) {missing}; "
+                f"tagged campaigns: {sorted(grouped) or 'none'}"
+            )
+        grouped = {name: grouped[name] for name in campaigns}
+    if not grouped:
+        raise ValueError(
+            f"store {store.root} holds no tagged campaign records; "
+            "run one first (repro campaign run SPEC --store DIR)"
+        )
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    describe = git_describe()
+    written: List[Path] = []
+
+    index = [f"# {title}", ""]
+    index.append(
+        f"Generated from the result store at `{store.root}` "
+        f"(schema v{SCHEMA_VERSION}, {store.stats()['records']} records) "
+        f"at `{describe}`. Every table below is rendered from stored, "
+        "content-addressed results — re-run the campaigns and re-render "
+        "to update; nothing here is hand-maintained."
+    )
+    index += ["", "| Campaign | Figure | Benchmark | Points |",
+              "|---|---|---|---|"]
+    for name in sorted(grouped):
+        points = grouped[name]
+        meta = points[0].meta
+        page = out / f"{name}.md"
+        page.write_text(_campaign_page(name, points, describe))
+        written.append(page)
+        index.append(
+            f"| [{name}]({name}.md) | {meta.get('figure') or '—'} "
+            f"| {meta.get('benchmark') or '—'} | {len(points)} |"
+        )
+    index += ["",
+              "See `docs/BENCHMARKS.md` in the repository for how each "
+              "campaign maps to the paper's figures and how to "
+              "regenerate this book.", ""]
+    index_path = out / "index.md"
+    index_path.write_text("\n".join(index))
+    written.insert(0, index_path)
+    return written

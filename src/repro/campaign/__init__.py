@@ -1,0 +1,44 @@
+"""Declarative benchmark campaigns over the persistent result store.
+
+The paper's figures are parameterized sweeps — shuffle sizes ×
+interconnects × (pair sizes | task counts | data types | runtimes),
+several trials each. This package turns those sweeps into data:
+
+* :mod:`repro.campaign.spec` — :class:`Campaign`, a frozen spec
+  (axes, params, variants, trials, fault plan) loadable from TOML or
+  JSON (``load_campaign`` / ``load_campaigns``), expandable to exact
+  :class:`~repro.core.config.BenchmarkConfig` grid points.
+* :mod:`repro.campaign.runner` — :func:`run_campaign`: skip-on-hit
+  execution through a :class:`~repro.store.ResultStore`, process-pool
+  parallelism for the misses, structured per-point progress, and
+  campaign tagging so :mod:`repro.analysis.book` can rebuild every
+  figure from store contents alone.
+
+The ``benchmarks/campaigns/*.json`` specs shipped with the repo are
+the paper figures expressed this way; ``repro campaign run SPEC``
+executes them from the command line.
+"""
+
+from repro.campaign.spec import (
+    Campaign,
+    CampaignPoint,
+    load_campaign,
+    load_campaigns,
+)
+from repro.campaign.runner import (
+    CampaignPointResult,
+    CampaignResult,
+    PointProgress,
+    run_campaign,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignPoint",
+    "CampaignPointResult",
+    "CampaignResult",
+    "PointProgress",
+    "load_campaign",
+    "load_campaigns",
+    "run_campaign",
+]

@@ -1,0 +1,161 @@
+"""Execute campaigns through the result store.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.spec.Campaign`
+to its point grid, serves every point already in the
+:class:`~repro.store.ResultStore` from disk (skip-on-hit), fans the
+remaining simulations over a process pool (reusing the suite's
+``jobs=N`` machinery), records fresh results back to the store, and
+tags every record with the campaign name and point coordinates so the
+Experiment Book can later regroup them from store contents alone.
+
+Progress is structured: each completed point emits a
+:class:`PointProgress` to the optional ``progress`` callback (the CLI
+renders them as one line per point), so long campaigns are observable
+without parsing stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.campaign.spec import Campaign, CampaignPoint
+from repro.store import ResultStore
+
+#: Signature of the progress callback.
+ProgressFn = Callable[["PointProgress"], None]
+
+
+@dataclass(frozen=True)
+class PointProgress:
+    """Structured progress event for one completed campaign point."""
+
+    campaign: str
+    index: int
+    total: int
+    label: str
+    key: str
+    cached: bool
+    execution_time: float
+
+    def render(self) -> str:
+        """One-line human form (used by ``repro campaign run``)."""
+        origin = "store" if self.cached else "run  "
+        return (f"[{self.index}/{self.total}] {self.campaign}: "
+                f"{self.label:<32} {origin}  {self.execution_time:9.1f} s")
+
+
+@dataclass
+class CampaignPointResult:
+    """One executed (or store-served) campaign point."""
+
+    point: CampaignPoint
+    key: str
+    cached: bool
+    result: object  # SimJobResult or StoredResult (same surface)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    campaign: Campaign
+    points: List[CampaignPointResult]
+    #: Points simulated in this run (store misses).
+    executed: int
+    #: Points served from the disk store without simulating.
+    from_store: int
+
+    def sweep_result(self, variant: str = "", trial: int = 0) -> SweepResult:
+        """One variant's size×network grid as a figure-shaped sweep."""
+        rows = [
+            SweepRow(
+                benchmark=self.campaign.benchmark,
+                network=p.result.interconnect_name,
+                shuffle_gb=p.point.shuffle_gb,
+                execution_time=p.result.execution_time,
+                result=p.result,
+            )
+            for p in self.points
+            if p.point.variant == variant and p.point.trial == trial
+        ]
+        if not rows:
+            have = sorted({p.point.variant for p in self.points})
+            raise KeyError(
+                f"campaign {self.campaign.name!r} has no variant "
+                f"{variant!r} (has: {have})"
+            )
+        return SweepResult(rows)
+
+    def variants(self) -> List[str]:
+        """Variant labels present, in campaign order."""
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.point.variant, None)
+        return list(seen)
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: Optional[Union[ResultStore, str]] = None,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run every point of a campaign, skipping points already stored.
+
+    With a ``store``, previously-computed points are served from disk
+    (no simulation) and fresh points are recorded and tagged; without
+    one the campaign still runs, just uncached. ``jobs > 1`` fans the
+    misses over a process pool with bit-identical results.
+    """
+    if isinstance(store, str):
+        store = ResultStore(store)
+    suite = MicroBenchmarkSuite(
+        cluster=campaign.cluster_spec(),
+        jobconf=campaign.jobconf(),
+        fault_plan=campaign.fault_plan,
+        store=store,
+    )
+    points = campaign.points()
+    keys = [suite.store_key(p.config) for p in points]
+    cached_before = [
+        store.contains(key) if store is not None else False for key in keys
+    ]
+    results = suite._run_points([p.config for p in points], jobs=jobs)
+
+    out: List[CampaignPointResult] = []
+    for i, (point, key, cached, result) in enumerate(
+        zip(points, keys, cached_before, results), start=1
+    ):
+        if store is not None:
+            store.tag(key, campaign.name, {
+                "figure": campaign.figure,
+                "title": campaign.title,
+                "benchmark": campaign.benchmark,
+                "variant": point.variant,
+                "shuffle_gb": point.shuffle_gb,
+                "network": point.network,
+                "trial": point.trial,
+                "baseline": campaign.baseline or campaign.networks[0],
+                "faulty": campaign.fault_plan is not None,
+            })
+        out.append(CampaignPointResult(
+            point=point, key=key, cached=cached, result=result,
+        ))
+        if progress is not None:
+            progress(PointProgress(
+                campaign=campaign.name,
+                index=i,
+                total=len(points),
+                label=point.label(),
+                key=key,
+                cached=cached,
+                execution_time=result.execution_time,
+            ))
+    return CampaignResult(
+        campaign=campaign,
+        points=out,
+        executed=sum(1 for c in cached_before if not c),
+        from_store=sum(1 for c in cached_before if c),
+    )

@@ -1,14 +1,25 @@
-"""Command-line driver: ``mr-microbench``.
+"""Command-line drivers: ``mr-microbench`` and ``repro``.
 
-Mirrors the paper suite's invocation style: pick a micro-benchmark and
-the benchmark/framework parameters, get the configuration echo,
-resource-utilization statistics and the job execution time.
+``mr-microbench`` mirrors the paper suite's invocation style: pick a
+micro-benchmark and the benchmark/framework parameters, get the
+configuration echo, resource-utilization statistics and the job
+execution time. ``--store DIR`` backs the run with the persistent
+result store (or set ``$REPRO_STORE``); ``--no-store`` disables it.
+
+``repro`` is the campaign/store/book toolchain built on
+:mod:`repro.store`, :mod:`repro.campaign` and
+:mod:`repro.analysis.book`.
 
 Examples::
 
     mr-microbench --benchmark MR-AVG --shuffle-gb 16 --network ipoib-qdr
     mr-microbench --benchmark MR-SKEW --network 1gige --maps 16 --reduces 8
     mr-microbench --benchmark MR-RAND --data-type Text --monitor 2
+    mr-microbench --sweep 4,8,16 --networks 1gige,ipoib-qdr --store .repro-store
+
+    repro campaign run benchmarks/campaigns/fig2.json --store .repro-store
+    repro store stats --store .repro-store
+    repro book out/book --store .repro-store
 """
 
 from __future__ import annotations
@@ -19,7 +30,8 @@ from typing import List, Optional
 
 from repro.core.benchmarks import EXTENDED_BENCHMARKS
 from repro.core.config import SUPPORTED_DATA_TYPES, BenchmarkConfig
-from repro.core.report import render_phase_table, render_report
+from repro.core.report import (render_phase_table, render_report,
+                               render_stored_report)
 from repro.core.suite import MicroBenchmarkSuite
 from repro.hadoop.cluster import cluster_a, cluster_b
 from repro.hadoop.job import JobConf
@@ -120,7 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NODE:FACTOR",
                         help="slow NODE's CPU and NIC by FACTOR "
                              "(repeatable, e.g. slave0:2)")
+    caching = parser.add_argument_group(
+        "result caching",
+        "persistent content-addressed result store (docs/MODEL.md, "
+        "'The caching contract')",
+    )
+    caching.add_argument("--store", default=None, metavar="DIR",
+                         help="back runs with the on-disk result store at "
+                              "DIR (default: $REPRO_STORE when set)")
+    caching.add_argument("--no-store", action="store_true",
+                         help="disable the disk store even if "
+                              "$REPRO_STORE is set")
     return parser
+
+
+def _store_from_args(args):
+    """The ResultStore selected by --store/--no-store/$REPRO_STORE."""
+    from repro.store import ResultStore, default_store_root
+
+    if getattr(args, "no_store", False):
+        return None
+    root = args.store if args.store is not None else default_store_root()
+    return ResultStore(root) if root else None
 
 
 def _build_fault_plan(args):
@@ -178,8 +211,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # --timeline / --history-json need a live SimJobResult (task events,
+    # full history); a warm store hit only carries the durable subset.
+    store = (None if (args.timeline or args.history_json)
+             else _store_from_args(args))
     suite = MicroBenchmarkSuite(cluster=cluster, jobconf=jobconf,
-                                fault_plan=fault_plan)
+                                fault_plan=fault_plan, store=store)
 
     pattern = args.benchmark.split("-")[1].lower()
     common = dict(
@@ -223,7 +260,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_report(result))
+    from repro.store import StoredResult
+
+    if isinstance(result, StoredResult):
+        print(render_stored_report(result))
+    else:
+        print(render_report(result))
     if args.phase_report:
         print()
         print(render_phase_table(result))
@@ -271,6 +313,171 @@ def _run_sweep(suite: MicroBenchmarkSuite, args, common: dict) -> int:
         write_csv(args.csv, sweep_to_csv(sweep))
         print(f"\ncsv written to {args.csv}")
     return 0
+
+
+def build_repro_parser() -> argparse.ArgumentParser:
+    """The ``repro`` command: store / campaign / book subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Campaign, result-store and Experiment Book toolchain for "
+            "the micro-benchmark suite"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="result store directory (default: "
+                            "$REPRO_STORE, else .repro-store)")
+
+    store = sub.add_parser("store", help="inspect or maintain a result "
+                                         "store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser("stats", help="record counts and lifetime "
+                                               "put/hit/miss counters")
+    add_store_arg(stats)
+    ls = store_sub.add_parser("ls", help="list stored point keys")
+    add_store_arg(ls)
+    ls.add_argument("--long", "-l", action="store_true",
+                    help="also show benchmark, network, size and "
+                         "campaign tags per record")
+    gc = store_sub.add_parser("gc", help="remove stale (wrong-schema or "
+                                         "unreadable) records")
+    add_store_arg(gc)
+    gc.add_argument("--all", action="store_true",
+                    help="remove every record, not just stale ones")
+    export = store_sub.add_parser("export", help="dump records as JSON "
+                                                 "Lines")
+    add_store_arg(export)
+    export.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write to PATH instead of stdout")
+
+    campaign = sub.add_parser("campaign", help="run declarative benchmark "
+                                               "campaigns")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    run = campaign_sub.add_parser(
+        "run", help="execute a campaign spec through the store "
+                    "(skip-on-hit)")
+    run.add_argument("spec", metavar="SPEC",
+                     help="campaign spec file (TOML or JSON)")
+    run.add_argument("--name", default=None,
+                     help="campaign to run when SPEC holds several")
+    add_store_arg(run)
+    run.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="simulate cache misses on N worker processes")
+    run.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-point progress lines")
+
+    book = sub.add_parser("book", help="render the Experiment Book from "
+                                       "store contents")
+    book.add_argument("out_dir", metavar="OUT",
+                      help="output directory for the Markdown pages")
+    add_store_arg(book)
+    book.add_argument("--campaign", action="append", default=None,
+                      metavar="NAME",
+                      help="restrict to campaign NAME (repeatable; "
+                           "default: everything tagged in the store)")
+    book.add_argument("--title", default="Experiment Book",
+                      help="index page title")
+    return parser
+
+
+def _repro_store(args):
+    """The store a ``repro`` subcommand operates on (always set)."""
+    from repro.store import ResultStore, default_store_root
+
+    root = args.store or default_store_root() or ".repro-store"
+    return ResultStore(root)
+
+
+def _cmd_store(args) -> int:
+    store = _repro_store(args)
+    if args.store_command == "stats":
+        stats = store.stats()
+        width = max(len(k) for k in stats)
+        for key in ("root", "schema", "records", "stale_records", "bytes",
+                    "puts", "hits", "misses"):
+            print(f"{key.ljust(width)} : {stats[key]}")
+        return 0
+    if args.store_command == "ls":
+        if not args.long:
+            for key in store.keys():
+                print(key)
+            return 0
+        from repro.store import StoredResult
+
+        for key, record in store.records():
+            try:
+                result = StoredResult.from_dict(record["result"])
+            except (KeyError, ValueError):
+                print(f"{key[:16]}  (unreadable result payload)")
+                continue
+            tags = ",".join(sorted(record.get("tags") or {})) or "-"
+            print(f"{key[:16]}  {result.summary()['benchmark']:<8}"
+                  f" {result.runtime:<5}"
+                  f" {result.config.shuffle_bytes / 1e9:6.2f} GB"
+                  f"  {result.interconnect_name:<20}"
+                  f" {result.execution_time:8.2f} s  {tags}")
+        return 0
+    if args.store_command == "gc":
+        removed = store.gc(remove_all=args.all)
+        print(f"removed {removed} record(s) from {store.root}")
+        return 0
+    if args.store_command == "export":
+        lines = list(store.export())
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            print(f"exported {len(lines)} record(s) to {args.output}")
+        else:
+            for line in lines:
+                print(line)
+        return 0
+    raise AssertionError(args.store_command)
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import load_campaign, run_campaign
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    campaign = load_campaign(args.spec, name=args.name)
+    progress = None if args.quiet else (lambda p: print(p.render()))
+    outcome = run_campaign(campaign, store=_repro_store(args),
+                           jobs=args.jobs, progress=progress)
+    print(f"campaign {campaign.name}: {len(outcome.points)} points, "
+          f"{outcome.executed} simulated, {outcome.from_store} from "
+          f"the store")
+    return 0
+
+
+def _cmd_book(args) -> int:
+    from repro.analysis.book import build_book
+
+    written = build_book(_repro_store(args), args.out_dir,
+                         campaigns=args.campaign, title=args.title)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def repro_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` command."""
+    args = build_repro_parser().parse_args(argv)
+    try:
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "book":
+            return _cmd_book(args)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(args.command)
 
 
 if __name__ == "__main__":

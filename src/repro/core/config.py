@@ -160,6 +160,32 @@ class BenchmarkConfig:
         pairs = max(1, round(shuffle_bytes / probe.record_size))
         return replace(probe, num_pairs=pairs)
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-ready) form for stable, cross-process hashing.
+
+        Unlike :meth:`describe` this is a *key*, not a report: fields
+        appear verbatim except ``network``, which is resolved to the
+        interconnect's canonical name so every alias of the same fabric
+        hashes identically. Used by :mod:`repro.store` to address
+        on-disk results.
+        """
+        from repro.store.keys import config_components
+
+        return config_components(self)
+
+    def stable_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_dict`.
+
+        Stable across processes, platforms and ``PYTHONHASHSEED``
+        values (unlike ``hash(config)``). This digest covers only the
+        benchmark config; the full store key also mixes in cluster,
+        jobconf, cost model, fault plan and the store schema version —
+        see :func:`repro.store.keys.point_key`.
+        """
+        from repro.store.keys import stable_digest
+
+        return stable_digest(self.canonical_dict())
+
     def describe(self) -> Dict[str, object]:
         """Flat dict of all parameters plus derived sizes (for reports)."""
         return {

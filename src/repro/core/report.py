@@ -147,6 +147,60 @@ def render_phase_table(result: SimJobResult, per_task: bool = False) -> str:
     return f"{table}\n{footer}"
 
 
+def render_stored_report(result) -> str:
+    """The per-test report for a warm :class:`~repro.store.StoredResult`.
+
+    Disk-store hits carry the durable subset of a run (configuration,
+    phase rows, resilience summary) but not live task stats, counters
+    or utilization traces, so the report is the compact form: the
+    configuration echo, the phase table and the job execution time.
+    Pass ``--no-store`` (or ``store=None``) to force a live run when
+    the full report is needed.
+    """
+    desc = result.config.describe()
+    rows = [
+        ("Benchmark", f"MR-{desc['pattern'].upper()}"),
+        ("Framework", result.runtime),
+        ("Cluster", f"{result.cluster_name} ({result.num_slaves} slaves)"),
+        ("Network", result.interconnect_name),
+        ("Transport", result.transport_name),
+        ("Data type", desc["data_type"]),
+        ("Key size (B)", desc["key_size"]),
+        ("Value size (B)", desc["value_size"]),
+        ("Key/value pairs", f"{desc['num_pairs']:,}"),
+        ("Shuffle data", f"{desc['shuffle_bytes'] / 1e9:.2f} GB"),
+        ("Map tasks", desc["num_maps"]),
+        ("Reduce tasks", desc["num_reduces"]),
+        ("Seed", desc["seed"]),
+    ]
+    width = max(len(str(k)) for k, _v in rows)
+    config = "\n".join(f"  {str(k).ljust(width)} : {v}" for k, v in rows)
+    sections = [
+        "=" * 64,
+        "Stand-alone Hadoop MapReduce Micro-benchmark",
+        "(served from the result store; use --no-store for a live run)",
+        "=" * 64,
+        "Configuration:",
+        config,
+        "",
+        render_phase_table(result),
+        "",
+    ]
+    if result.resilience:
+        width = max(len(k) for k in result.resilience)
+        sections += [
+            "Fault injection / resilience (stored summary):",
+            "\n".join(f"  {k.ljust(width)} : {v}"
+                      for k, v in result.resilience.items()),
+            "",
+        ]
+    sections += [
+        f"JOB EXECUTION TIME: {result.execution_time:.2f} seconds",
+        "=" * 64,
+    ]
+    return "\n".join(sections)
+
+
 def render_report(result: SimJobResult) -> str:
     """The suite's per-test output: parameters, utilization, job time."""
     sections = [

@@ -15,15 +15,24 @@ Results are returned in the same deterministic order regardless of
 the *times* are bit-identical too — asserted by the integration tests).
 
 Completed points are also memoized in a process-wide cache keyed by the
-full (config, cluster, jobconf, cost-model) tuple: the figure benchmarks
-re-run several sweep points when deriving ratios and summary tables, and
-those repeats are answered from the cache.
+full (config, cluster, jobconf, cost-model, fault-plan) tuple: the
+figure benchmarks re-run several sweep points when deriving ratios and
+summary tables, and those repeats are answered from the cache.
+
+The memo cache can additionally be *backed* by a persistent
+:class:`~repro.store.ResultStore` (``MicroBenchmarkSuite(store=...)``):
+memo misses consult the store before simulating, and fresh simulations
+are recorded to it — giving warm-start resume across processes. Disk
+hits come back as lightweight :class:`~repro.store.StoredResult`
+objects (same sweep/report surface, no task stats or event log); the
+full caching contract is documented in ``docs/MODEL.md``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.stats import improvement_pct
@@ -38,6 +47,12 @@ from repro.hadoop.result import SimJobResult
 from repro.hadoop.simulation import run_simulated_job
 from repro.net.transport import TransportModel
 from repro.sim.trace import Tracer
+from repro.store import ResultStore, StoredResult, point_components, point_key
+
+#: What a cached-or-simulated point run returns: a full
+#: :class:`SimJobResult` when simulated this process, a
+#: :class:`~repro.store.StoredResult` when served from the disk store.
+ResultLike = Union[SimJobResult, StoredResult]
 
 BenchmarkLike = Union[str, MicroBenchmark]
 
@@ -84,7 +99,9 @@ class SweepRow:
     network: str
     shuffle_gb: float
     execution_time: float
-    result: SimJobResult = field(repr=False, default=None)  # type: ignore[assignment]
+    #: The full result behind the row — a SimJobResult when simulated
+    #: in this process, a StoredResult when served from the disk store.
+    result: ResultLike = field(repr=False, default=None)  # type: ignore[assignment]
 
 
 @dataclass
@@ -159,6 +176,7 @@ class MicroBenchmarkSuite:
         jobconf: Optional[JobConf] = None,
         cost_model: Optional[CostModel] = None,
         fault_plan: Optional[FaultPlan] = None,
+        store: Optional[Union[ResultStore, str, Path]] = None,
     ):
         self.cluster = cluster if cluster is not None else cluster_a()
         self.jobconf = jobconf
@@ -166,6 +184,12 @@ class MicroBenchmarkSuite:
         #: Applied to every run/sweep point of this suite (seeded, so
         #: sweeps stay deterministic — including under ``jobs=N``).
         self.fault_plan = fault_plan
+        #: Persistent result store backing the in-process memo cache
+        #: (a directory path is coerced). ``None`` disables disk
+        #: caching; the memo cache still applies.
+        self.store: Optional[ResultStore] = (
+            ResultStore(store) if isinstance(store, (str, Path)) else store
+        )
 
     # -- single runs ----------------------------------------------------
 
@@ -177,15 +201,19 @@ class MicroBenchmarkSuite:
         memoize: bool = True,
         tracer: Optional[Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
-    ) -> SimJobResult:
+    ) -> ResultLike:
         """Run one fully-specified configuration.
 
         Results are memoized on the full (config, cluster, jobconf,
-        cost model, fault plan) key unless ``memoize=False``. Runs with
-        a custom ``transport``, ``monitor_interval`` or ``tracer`` are
-        never cached: the key cannot capture a transport instance, and
-        monitored/traced results carry run-specific trace state.
-        ``fault_plan`` overrides the suite-level plan for this run.
+        cost model, fault plan) key unless ``memoize=False``. When the
+        suite has a :attr:`store`, memo misses consult the disk store
+        (returning a :class:`~repro.store.StoredResult` on a hit) and
+        fresh simulations are recorded to it. Runs with a custom
+        ``transport``, ``monitor_interval`` or ``tracer`` are never
+        cached — in memory or on disk: the key cannot capture a
+        transport instance, and monitored/traced results carry
+        run-specific trace state. ``fault_plan`` overrides the
+        suite-level plan for this run.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
         if (memoize and transport is None and monitor_interval is None
@@ -196,8 +224,17 @@ class MicroBenchmarkSuite:
                 _CACHE_STATS["hits"] += 1
                 return cached
             _CACHE_STATS["misses"] += 1
+            if self.store is not None:
+                skey = self.store_key(config, plan)
+                stored = self.store.get(skey)
+                if stored is not None:
+                    _RESULT_CACHE[key] = stored
+                    return stored
             result = _run_point(key)
             _RESULT_CACHE[key] = result
+            if self.store is not None:
+                self.store.put(skey, StoredResult.from_sim_result(result),
+                               provenance=self._provenance(config, plan))
             return result
         return run_simulated_job(
             config,
@@ -216,6 +253,24 @@ class MicroBenchmarkSuite:
         plan = fault_plan if fault_plan is not None else self.fault_plan
         return (config, self.cluster, self.jobconf, self.cost_model, plan)
 
+    def store_key(self, config: BenchmarkConfig,
+                  fault_plan: Optional[FaultPlan] = None) -> str:
+        """Stable content-addressed store key of one point (hex digest).
+
+        Covers the same five components as the in-memory memo key plus
+        the store schema version; see :func:`repro.store.point_key`.
+        """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        return point_key(config, self.cluster, jobconf=self.jobconf,
+                         cost_model=self.cost_model, fault_plan=plan)
+
+    def _provenance(self, config: BenchmarkConfig,
+                    fault_plan: Optional[FaultPlan] = None) -> dict:
+        """The canonical key document, stored alongside each record."""
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        return point_components(config, self.cluster, jobconf=self.jobconf,
+                                cost_model=self.cost_model, fault_plan=plan)
+
     def run(
         self,
         benchmark: BenchmarkLike,
@@ -226,7 +281,7 @@ class MicroBenchmarkSuite:
         tracer: Optional[Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
         **config_kwargs: object,
-    ) -> SimJobResult:
+    ) -> ResultLike:
         """Run a named benchmark.
 
         ``shuffle_gb`` sizes the job by total shuffle volume (the
@@ -287,12 +342,14 @@ class MicroBenchmarkSuite:
         configs: Sequence[BenchmarkConfig],
         jobs: int = 1,
         memoize: bool = True,
-    ) -> List[SimJobResult]:
+    ) -> List[ResultLike]:
         """Run many fully-specified points, optionally on a process pool.
 
         Results come back in ``configs`` order regardless of ``jobs``
         (``executor.map`` preserves input order). Points already in the
-        memo cache are served locally; only the misses are dispatched.
+        memo cache or the disk store are served locally; only the true
+        misses are dispatched, and their results are recorded to the
+        store afterwards.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -301,17 +358,23 @@ class MicroBenchmarkSuite:
             return [
                 self.run_config(config, memoize=memoize) for config in configs
             ]
-        results: List[Optional[SimJobResult]] = [None] * len(keys)
+        results: List[Optional[ResultLike]] = [None] * len(keys)
         pending: List[int] = []
         for i, key in enumerate(keys):
             cached = _RESULT_CACHE.get(key) if memoize else None
             if cached is not None:
                 _CACHE_STATS["hits"] += 1
                 results[i] = cached
-            else:
-                if memoize:
-                    _CACHE_STATS["misses"] += 1
-                pending.append(i)
+                continue
+            if memoize:
+                _CACHE_STATS["misses"] += 1
+                if self.store is not None:
+                    stored = self.store.get(self.store_key(configs[i]))
+                    if stored is not None:
+                        _RESULT_CACHE[key] = stored
+                        results[i] = stored
+                        continue
+            pending.append(i)
         if pending:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 for i, result in zip(
@@ -320,6 +383,12 @@ class MicroBenchmarkSuite:
                     results[i] = result
                     if memoize:
                         _RESULT_CACHE[keys[i]] = result
+                        if self.store is not None:
+                            self.store.put(
+                                self.store_key(configs[i]),
+                                StoredResult.from_sim_result(result),
+                                provenance=self._provenance(configs[i]),
+                            )
         return results  # type: ignore[return-value]
 
     def compare_patterns(

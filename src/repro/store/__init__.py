@@ -1,0 +1,50 @@
+"""Persistent, content-addressed storage for simulation results.
+
+The in-process memo cache in :mod:`repro.core.suite` dies with the
+interpreter; this package gives the suite a durable backing layer so
+repeated campaigns warm-start across processes:
+
+* :mod:`repro.store.keys` — stable SHA-256 keys over the canonical
+  JSON of (config, cluster, jobconf, cost model, fault plan, schema
+  version); independent of ``PYTHONHASHSEED`` and process identity.
+* :mod:`repro.store.records` — :class:`StoredResult`, the durable
+  JSON-round-trippable subset of a ``SimJobResult``.
+* :mod:`repro.store.store` — :class:`ResultStore`, the on-disk record
+  directory with hit/miss/put counters, corruption tolerance, schema
+  invalidation and ``gc``/``export`` maintenance.
+
+Attach a store to a suite (``MicroBenchmarkSuite(store=...)``), the
+CLI (``--store DIR``) or a campaign run, and every simulated point is
+recorded once and replayed forever — bit-identical, with provenance.
+See ``docs/MODEL.md`` ("The caching contract") and ``docs/API.md``.
+"""
+
+from repro.store.keys import (
+    SCHEMA_VERSION,
+    canonical,
+    canonical_json,
+    point_components,
+    point_key,
+    stable_digest,
+)
+from repro.store.records import StoredResult
+from repro.store.store import (
+    STORE_ENV_VAR,
+    ResultStore,
+    ResultStoreWarning,
+    default_store_root,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STORE_ENV_VAR",
+    "ResultStore",
+    "ResultStoreWarning",
+    "StoredResult",
+    "canonical",
+    "canonical_json",
+    "default_store_root",
+    "point_components",
+    "point_key",
+    "stable_digest",
+]

@@ -1,0 +1,131 @@
+"""Stable, content-addressed keys for simulation results.
+
+The in-process memo cache in :mod:`repro.core.suite` keys results on a
+tuple of frozen dataclasses — perfect inside one interpreter, useless
+across processes (``hash()`` is salted, tuples don't serialize to
+filenames). The disk store instead derives a **stable key**: every key
+component is reduced to a canonical JSON document (sorted keys, typed
+dataclass envelopes, exact float round-trip via ``repr``) and hashed
+with SHA-256. The same inputs produce the same hex key on every
+platform, every interpreter launch, and every ``PYTHONHASHSEED`` — the
+property the round-trip tests assert with subprocesses.
+
+What goes into a point key (see :func:`point_key`):
+
+* the full :class:`~repro.core.config.BenchmarkConfig` — with the
+  ``network`` alias resolved to the interconnect's canonical name, so
+  ``"ipoib-qdr"`` and ``"IPoIB-QDR(32Gbps)"`` address the same record;
+* the :class:`~repro.hadoop.cluster.ClusterSpec` (nested node spec
+  included);
+* the :class:`~repro.hadoop.job.JobConf` — this carries the runtime
+  generation (``mrv1``/``yarn``) and every framework knob;
+* the :class:`~repro.hadoop.costmodel.CostModel` (or ``None`` for the
+  default);
+* the :class:`~repro.faults.FaultPlan` (or ``None`` for a healthy run);
+* the store :data:`SCHEMA_VERSION` — bump it and every old record
+  becomes a clean miss (and ``repro store gc`` fodder).
+
+Trial seeds live inside the config (``seed``), so trials are distinct
+points by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.faults import FaultPlan
+from repro.hadoop.cluster import ClusterSpec
+from repro.hadoop.costmodel import CostModel
+from repro.hadoop.job import JobConf
+
+#: Version tag hashed into every key and stamped on every record.
+#: Bump when the simulation's observable outputs change (new physics,
+#: recalibrated cost model, serialization changes): old records stop
+#: matching and ``repro store gc`` can sweep them.
+SCHEMA_VERSION = 1
+
+
+def canonical(obj: object) -> object:
+    """Reduce ``obj`` to JSON-serializable canonical form.
+
+    Frozen dataclasses become ``{"__type__": ClassName, ...fields}``
+    envelopes (recursively), mappings get sorted by :func:`json.dumps`
+    later, and sequences become lists. Raises :class:`TypeError` for
+    anything JSON can't represent faithfully.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for stable hashing"
+    )
+
+
+def canonical_json(obj: object) -> str:
+    """The canonical JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(obj: object) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def config_components(config: BenchmarkConfig) -> dict:
+    """The config's canonical envelope with the network alias resolved."""
+    from repro.net.interconnect import get_interconnect
+
+    parts = canonical(config)
+    parts["network"] = get_interconnect(config.network).name
+    return parts
+
+
+def point_components(
+    config: BenchmarkConfig,
+    cluster: ClusterSpec,
+    jobconf: Optional[JobConf] = None,
+    cost_model: Optional[CostModel] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    schema_version: int = SCHEMA_VERSION,
+) -> dict:
+    """The canonical key document of one simulation point.
+
+    This exact document is hashed by :func:`point_key` and stored
+    verbatim as each record's provenance block, so a record always
+    carries the full, human-readable description of what produced it.
+    """
+    return {
+        "schema": schema_version,
+        "config": config_components(config),
+        "cluster": canonical(cluster),
+        "jobconf": canonical(jobconf),
+        "cost_model": canonical(cost_model),
+        "fault_plan": canonical(fault_plan),
+    }
+
+
+def point_key(
+    config: BenchmarkConfig,
+    cluster: ClusterSpec,
+    jobconf: Optional[JobConf] = None,
+    cost_model: Optional[CostModel] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    schema_version: int = SCHEMA_VERSION,
+) -> str:
+    """Stable store key of one fully-specified simulation point."""
+    return stable_digest(point_components(
+        config, cluster, jobconf=jobconf, cost_model=cost_model,
+        fault_plan=fault_plan, schema_version=schema_version,
+    ))

@@ -1,0 +1,175 @@
+"""The JSON-serializable result payload stored per point.
+
+A full :class:`~repro.hadoop.result.SimJobResult` carries live
+simulation objects (event logs, shuffle matrices, tracers) that are
+expensive to serialize and unnecessary for the figure/book pipelines.
+:class:`StoredResult` is the durable subset: the headline times, the
+per-task phase decomposition, the resilience summary, and enough
+configuration echo to rebuild sweep rows and report tables.
+
+Disk hits therefore come back as :class:`StoredResult`, not
+:class:`~repro.hadoop.result.SimJobResult`. The two share the surface
+the sweep/table/book layers consume — ``execution_time``,
+``interconnect_name``, ``transport_name``, ``config``,
+``phase_breakdown()``, ``summary()``, ``resilience`` — and
+:attr:`StoredResult.cached` distinguishes a disk hit from a fresh
+simulation. Callers that need task stats, event logs or traces should
+bypass the caches (``memoize=False`` or no store).
+
+Floats round-trip exactly: :func:`json.dumps` emits ``repr(float)``
+(shortest exact form since Python 3.1), so a warm-start result is
+bit-identical to the cold run that produced it — asserted by the
+round-trip tests and the campaign acceptance test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.hadoop.result import PhaseBreakdown, TaskPhaseRow
+
+#: Format tag inside each record payload (distinct from the key schema:
+#: this one guards the *payload* shape for readers).
+RESULT_FORMAT = 1
+
+
+@dataclass
+class StoredResult:
+    """The durable, JSON-round-trippable view of one simulated job."""
+
+    config: BenchmarkConfig
+    interconnect_name: str
+    transport_name: str
+    execution_time: float
+    map_phase_end: float
+    first_reduce_start: float
+    total_shuffle_bytes: int
+    cluster_name: str
+    num_slaves: int
+    runtime: str
+    #: Per-task phase rows (``task``, ``node``, five phase seconds).
+    phase_rows: List[TaskPhaseRow] = field(default_factory=list)
+    #: ``ResilienceReport.summary()`` of the run, or ``None`` when no
+    #: faults were injected.
+    resilience: Optional[Dict[str, object]] = None
+    #: True on objects deserialized from the disk store.
+    cached: bool = field(default=False, compare=False)
+
+    @classmethod
+    def from_sim_result(cls, result: "SimJobResult") -> "StoredResult":  # noqa: F821
+        """Extract the durable subset of a finished simulation."""
+        breakdown = result.phase_breakdown()
+        return cls(
+            config=result.config,
+            interconnect_name=result.interconnect_name,
+            transport_name=result.transport_name,
+            execution_time=result.execution_time,
+            map_phase_end=result.map_phase_end,
+            first_reduce_start=result.first_reduce_start,
+            total_shuffle_bytes=result.total_shuffle_bytes,
+            cluster_name=result.cluster.name,
+            num_slaves=result.cluster.num_slaves,
+            runtime=result.jobconf.version if result.jobconf else "mrv1",
+            phase_rows=breakdown.rows,
+            resilience=(dict(result.resilience.summary())
+                        if result.resilience is not None else None),
+        )
+
+    def phase_breakdown(self) -> PhaseBreakdown:
+        """The per-task phase decomposition, rebuilt from stored rows."""
+        return PhaseBreakdown(
+            rows=list(self.phase_rows),
+            execution_time=self.execution_time,
+            map_phase_end=self.map_phase_end,
+            first_reduce_start=self.first_reduce_start,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary row, shape-compatible with ``SimJobResult``."""
+        return {
+            "benchmark": f"MR-{self.config.pattern.upper()}",
+            "network": self.interconnect_name,
+            "version": self.runtime,
+            "slaves": self.num_slaves,
+            "maps": self.config.num_maps,
+            "reduces": self.config.num_reduces,
+            "data_type": self.config.data_type,
+            "pair_size": self.config.pair_size,
+            "shuffle_gb": self.total_shuffle_bytes / 1e9,
+            "execution_time_s": round(self.execution_time, 2),
+        }
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "format": RESULT_FORMAT,
+            "config": {
+                "pattern": self.config.pattern,
+                "key_size": self.config.key_size,
+                "value_size": self.config.value_size,
+                "num_pairs": self.config.num_pairs,
+                "num_maps": self.config.num_maps,
+                "num_reduces": self.config.num_reduces,
+                "data_type": self.config.data_type,
+                "network": self.config.network,
+                "seed": self.config.seed,
+                "key_type": self.config.key_type,
+                "value_type": self.config.value_type,
+            },
+            "interconnect_name": self.interconnect_name,
+            "transport_name": self.transport_name,
+            "execution_time": self.execution_time,
+            "map_phase_end": self.map_phase_end,
+            "first_reduce_start": self.first_reduce_start,
+            "total_shuffle_bytes": self.total_shuffle_bytes,
+            "cluster_name": self.cluster_name,
+            "num_slaves": self.num_slaves,
+            "runtime": self.runtime,
+            "phase_rows": [
+                {"task": row.task, "node": row.node,
+                 "phases": dict(row.phases)}
+                for row in self.phase_rows
+            ],
+            "resilience": self.resilience,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoredResult":
+        """Rebuild a stored result; raises ``ValueError`` on bad shape."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"stored result must be an object, got {type(data).__name__}"
+            )
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported stored-result format {data.get('format')!r} "
+                f"(expected {RESULT_FORMAT})"
+            )
+        try:
+            config = BenchmarkConfig(**data["config"])
+            rows = [
+                TaskPhaseRow(task=row["task"], node=row["node"],
+                             phases=dict(row["phases"]))
+                for row in data["phase_rows"]
+            ]
+            return cls(
+                config=config,
+                interconnect_name=data["interconnect_name"],
+                transport_name=data["transport_name"],
+                execution_time=float(data["execution_time"]),
+                map_phase_end=float(data["map_phase_end"]),
+                first_reduce_start=float(data["first_reduce_start"]),
+                total_shuffle_bytes=int(data["total_shuffle_bytes"]),
+                cluster_name=data["cluster_name"],
+                num_slaves=int(data["num_slaves"]),
+                runtime=data["runtime"],
+                phase_rows=rows,
+                resilience=data.get("resilience"),
+                cached=True,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed stored result: {exc}") from None

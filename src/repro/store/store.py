@@ -1,0 +1,265 @@
+"""The content-addressed, on-disk result store.
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/
+      store.json              # schema version + lifetime counters
+      objects/<k[:2]>/<k>.json  # one record per point key
+
+Each record carries the key, the key schema version, a provenance
+block (the canonical key components: config, cluster, jobconf, cost
+model, fault plan, resolved interconnect), campaign tags added by
+:mod:`repro.campaign`, and the :class:`~repro.store.records.StoredResult`
+payload.
+
+Design points:
+
+* **Warm starts are observable.** The store keeps lifetime ``puts``
+  (simulations executed and recorded), ``hits`` and ``misses`` counters
+  in ``store.json``; ``repro store stats`` prints them, so "the second
+  run executed 0 simulations" is a checkable claim (``puts`` did not
+  move).
+* **Corruption is a warning, not a crash.** A record that fails to
+  parse or validate is skipped with a :class:`ResultStoreWarning`; the
+  point simply re-simulates (and :meth:`ResultStore.gc` can sweep the
+  bad file).
+* **Schema bumps invalidate.** Records whose ``schema`` differs from
+  :data:`~repro.store.keys.SCHEMA_VERSION` never hit; ``gc`` removes
+  them.
+* **Writes are atomic.** Records and counters go through a temp file +
+  :func:`os.replace`, so concurrent readers never see half a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.store.keys import SCHEMA_VERSION
+from repro.store.records import StoredResult
+
+#: Environment variable naming the default store directory.
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+class ResultStoreWarning(UserWarning):
+    """Raised (as a warning) when a store record cannot be used."""
+
+
+def default_store_root() -> Optional[str]:
+    """The store directory named by ``$REPRO_STORE``, if any."""
+    root = os.environ.get(STORE_ENV_VAR, "").strip()
+    return root or None
+
+
+class ResultStore:
+    """A directory of content-addressed simulation results."""
+
+    def __init__(self, root: Union[str, Path]):
+        """Open (without creating) the store rooted at ``root``."""
+        self.root = Path(root)
+        self._counters: Optional[Dict[str, int]] = None
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the per-key record files."""
+        return self.root / "objects"
+
+    @property
+    def meta_path(self) -> Path:
+        """Path of the counters/metadata file."""
+        return self.root / "store.json"
+
+    def record_path(self, key: str) -> Path:
+        """Path of one record (two-level fan-out, git-object style)."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- counters ----------------------------------------------------------
+
+    def _load_counters(self) -> Dict[str, int]:
+        if self._counters is None:
+            counters = {"puts": 0, "hits": 0, "misses": 0}
+            try:
+                data = json.loads(self.meta_path.read_text())
+                for name in counters:
+                    counters[name] = int(data.get(name, 0))
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError) as exc:
+                warnings.warn(
+                    f"unreadable store metadata {self.meta_path}: {exc}",
+                    ResultStoreWarning, stacklevel=3,
+                )
+            self._counters = counters
+        return self._counters
+
+    def _bump(self, counter: str) -> None:
+        counters = self._load_counters()
+        counters[counter] += 1
+        self._write_json(self.meta_path,
+                         dict(counters, schema=SCHEMA_VERSION))
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- record access -----------------------------------------------------
+
+    def _read_record(self, key: str) -> Optional[dict]:
+        """Parse one record file; warn and return None if unusable."""
+        path = self.record_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"skipping corrupted store record {path}: {exc}",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return None
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+            return None
+        return data
+
+    def contains(self, key: str) -> bool:
+        """Whether a usable record exists (no counter side effects)."""
+        return self._read_record(key) is not None
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        """Look up a result; counts a hit or a miss."""
+        data = self._read_record(key)
+        if data is None:
+            self._bump("misses")
+            return None
+        try:
+            result = StoredResult.from_dict(data["result"])
+        except (KeyError, ValueError) as exc:
+            warnings.warn(
+                f"skipping malformed store record {self.record_path(key)}: "
+                f"{exc}", ResultStoreWarning, stacklevel=2,
+            )
+            self._bump("misses")
+            return None
+        self._bump("hits")
+        return result
+
+    def put(
+        self,
+        key: str,
+        result: StoredResult,
+        provenance: Optional[dict] = None,
+        tags: Optional[dict] = None,
+    ) -> Path:
+        """Record one simulated point (counts as an executed simulation)."""
+        record = {
+            "key": key,
+            "schema": SCHEMA_VERSION,
+            "provenance": provenance or {},
+            "tags": tags or {},
+            "result": result.to_dict(),
+        }
+        path = self.record_path(key)
+        self._write_json(path, record)
+        self._bump("puts")
+        return path
+
+    def tag(self, key: str, campaign: str, meta: Optional[dict] = None) -> bool:
+        """Stamp a campaign tag onto an existing record.
+
+        Tags are how the Experiment Book finds a campaign's points from
+        store contents alone. Returns False when the record is missing.
+        """
+        data = self._read_record(key)
+        if data is None:
+            return False
+        tags = data.setdefault("tags", {})
+        existing = tags.get(campaign)
+        if existing == (meta or {}):
+            return True
+        tags[campaign] = meta or {}
+        self._write_json(self.record_path(key), data)
+        return True
+
+    # -- inspection --------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """All record keys on disk (any schema), sorted."""
+        if not self.objects_dir.is_dir():
+            return iter(())
+        return iter(sorted(
+            path.stem
+            for path in self.objects_dir.glob("*/*.json")
+        ))
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """(key, record) pairs for every usable current-schema record."""
+        for key in self.keys():
+            data = self._read_record(key)
+            if data is not None:
+                yield key, data
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus on-disk footprint."""
+        counters = dict(self._load_counters())
+        records = 0
+        stale = 0
+        nbytes = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*.json"):
+                nbytes += path.stat().st_size
+                try:
+                    schema = json.loads(path.read_text()).get("schema")
+                except (OSError, ValueError):
+                    schema = None
+                if schema == SCHEMA_VERSION:
+                    records += 1
+                else:
+                    stale += 1
+        counters.update(
+            root=str(self.root), schema=SCHEMA_VERSION,
+            records=records, stale_records=stale, bytes=nbytes,
+        )
+        return counters
+
+    def gc(self, remove_all: bool = False) -> int:
+        """Remove stale (wrong-schema or unreadable) records.
+
+        ``remove_all=True`` empties the store instead. Returns the
+        number of record files removed.
+        """
+        removed = 0
+        if not self.objects_dir.is_dir():
+            return removed
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            if not remove_all:
+                try:
+                    if json.loads(path.read_text()).get("schema") == SCHEMA_VERSION:
+                        continue
+                except (OSError, ValueError):
+                    pass
+            path.unlink()
+            removed += 1
+        return removed
+
+    def export(self) -> Iterator[str]:
+        """Each usable record as one JSON line (``repro store export``)."""
+        for _key, record in self.records():
+            yield json.dumps(record, sort_keys=True)

@@ -1,0 +1,99 @@
+"""The Experiment Book renders figures from store contents alone."""
+
+import pytest
+
+from repro.analysis.book import build_book, collect_campaigns, git_describe
+from repro.campaign import Campaign, run_campaign
+from repro.core.suite import clear_result_cache
+from repro.faults import FaultPlan
+from repro.store import ResultStore
+
+TINY = dict(
+    shuffle_gbs=(0.02, 0.04),
+    networks=("1GigE", "ipoib-qdr"),
+    params={"num_maps": 4, "num_reduces": 2,
+            "key_size": 256, "value_size": 256},
+    slaves=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+@pytest.fixture()
+def populated_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    run_campaign(
+        Campaign(name="figx", figure="Fig. X", title="Tiny sweep",
+                 **TINY),
+        store=store,
+    )
+    return store
+
+
+class TestBuildBook:
+    def test_renders_index_and_campaign_page(self, populated_store,
+                                             tmp_path):
+        out = tmp_path / "book"
+        written = build_book(populated_store, out)
+        assert written[0] == out / "index.md"
+        assert (out / "figx.md").exists()
+        index = (out / "index.md").read_text()
+        assert "[figx](figx.md)" in index
+        assert "Fig. X" in index
+
+    def test_page_content_from_store_alone(self, populated_store,
+                                           tmp_path):
+        # A fresh process only needs the store directory.
+        clear_result_cache()
+        build_book(ResultStore(populated_store.root), tmp_path / "book")
+        page = (tmp_path / "book" / "figx.md").read_text()
+        assert "Fig. X — Tiny sweep" in page
+        assert "| Shuffle (GB) | 1GigE | IPoIB-QDR(32Gbps) |" in page
+        assert "**IPoIB-QDR(32Gbps)** vs 1GigE" in page
+        assert "### Phase breakdown" in page
+        assert "### Provenance" in page
+        assert "[← back to the index](index.md)" in page
+
+    def test_resilience_section_when_faulty(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_campaign(
+            Campaign(name="faulty",
+                     fault_plan=FaultPlan(task_failure_probability=0.2),
+                     **TINY),
+            store=store,
+        )
+        build_book(store, tmp_path / "book")
+        page = (tmp_path / "book" / "faulty.md").read_text()
+        assert "### Resilience under fault injection" in page
+        assert "task failures" in page
+
+    def test_empty_store_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no tagged campaign"):
+            build_book(ResultStore(tmp_path / "empty"), tmp_path / "book")
+
+    def test_missing_campaign_is_an_error(self, populated_store,
+                                          tmp_path):
+        with pytest.raises(ValueError, match="figy"):
+            build_book(populated_store, tmp_path / "book",
+                       campaigns=["figy"])
+
+    def test_campaign_subset(self, populated_store, tmp_path):
+        written = build_book(populated_store, tmp_path / "book",
+                             campaigns=["figx"])
+        assert len(written) == 2  # index + the one page
+
+
+class TestHelpers:
+    def test_collect_campaigns_groups_by_tag(self, populated_store):
+        grouped = collect_campaigns(populated_store)
+        assert set(grouped) == {"figx"}
+        assert len(grouped["figx"]) == 4
+
+    def test_git_describe_never_raises(self):
+        assert isinstance(git_describe(), str)
+        assert git_describe()

@@ -1,0 +1,211 @@
+"""The ``repro`` command (store / campaign / book) and the
+``mr-microbench --store`` surface — including the end-to-end warm-start
+acceptance: a 2×2 campaign run twice in *separate processes* executes
+zero simulations the second time (``puts`` unmoved in
+``repro store stats``) with bit-identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.cli import build_repro_parser, main, repro_main
+from repro.core.suite import clear_result_cache
+from repro.store import ResultStore
+
+TINY_SPEC = {
+    "name": "tiny",
+    "figure": "Fig. T",
+    "title": "Tiny acceptance sweep",
+    "shuffle_gbs": [0.02, 0.04],
+    "networks": ["1GigE", "ipoib-qdr"],
+    "slaves": 2,
+    "params": {"num_maps": 4, "num_reduces": 2,
+               "key_size": 256, "value_size": 256},
+}
+
+MB_ARGS = ["--shuffle-gb", "0.02", "--maps", "4", "--reduces", "2",
+           "--slaves", "2", "--key-size", "256", "--value-size", "256"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SPEC))
+    return path
+
+
+def test_subcommands_parse():
+    args = build_repro_parser().parse_args(["store", "stats"])
+    assert args.command == "store"
+    args = build_repro_parser().parse_args(
+        ["campaign", "run", "spec.json", "-j", "2"])
+    assert args.jobs == 2
+    args = build_repro_parser().parse_args(["book", "out"])
+    assert args.out_dir == "out"
+
+
+class TestReproCli:
+    def test_campaign_run_then_stats(self, tmp_path, spec_path, capsys):
+        store = str(tmp_path / "store")
+        rc = repro_main(["campaign", "run", str(spec_path),
+                         "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 simulated, 0 from the store" in out
+
+        rc = repro_main(["store", "stats", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "puts" in out and "records" in out
+
+    def test_store_ls_gc_export(self, tmp_path, spec_path, capsys):
+        store = str(tmp_path / "store")
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        capsys.readouterr()
+
+        assert repro_main(["store", "ls", "--store", store]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+        assert repro_main(["store", "ls", "-l", "--store", store]) == 0
+        assert "MR-AVG" in capsys.readouterr().out
+
+        jsonl = tmp_path / "dump.jsonl"
+        assert repro_main(["store", "export", "--store", store,
+                           "-o", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert len(jsonl.read_text().splitlines()) == 4
+
+        assert repro_main(["store", "gc", "--store", store]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert repro_main(["store", "gc", "--all", "--store", store]) == 0
+        assert "removed 4" in capsys.readouterr().out
+
+    def test_book_from_store(self, tmp_path, spec_path, capsys):
+        store = str(tmp_path / "store")
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        rc = repro_main(["book", str(tmp_path / "book"), "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert (tmp_path / "book" / "index.md").exists()
+        assert (tmp_path / "book" / "tiny.md").exists()
+        assert "index.md" in out
+
+    def test_book_on_empty_store_fails_cleanly(self, tmp_path, capsys):
+        rc = repro_main(["book", str(tmp_path / "book"),
+                         "--store", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ nope")
+        rc = repro_main(["campaign", "run", str(bad),
+                         "--store", str(tmp_path / "store")])
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestMrMicrobenchStore:
+    def test_warm_hit_renders_stored_report(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(MB_ARGS + ["--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "served from the result store" not in cold
+
+        clear_result_cache()
+        assert main(MB_ARGS + ["--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "served from the result store" in warm
+        assert "JOB EXECUTION TIME" in warm
+        # Same job time, to the displayed precision.
+        cold_line = [ln for ln in cold.splitlines()
+                     if "JOB EXECUTION TIME" in ln]
+        warm_line = [ln for ln in warm.splitlines()
+                     if "JOB EXECUTION TIME" in ln]
+        assert cold_line == warm_line
+
+    def test_no_store_forces_live_run(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(MB_ARGS + ["--store", store])
+        clear_result_cache()
+        assert main(MB_ARGS + ["--store", store, "--no-store"]) == 0
+        assert "served from the result store" not in capsys.readouterr().out
+
+    def test_timeline_bypasses_the_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(MB_ARGS + ["--store", store])
+        clear_result_cache()
+        assert main(MB_ARGS + ["--store", store, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "served from the result store" not in out
+        assert "Task timeline:" in out
+
+
+class TestWarmStartAcceptance:
+    def test_second_process_executes_zero_simulations(self, tmp_path,
+                                                      spec_path):
+        """ISSUE acceptance: 2 sizes × 2 networks, two separate
+        processes; the second run is served entirely from the disk
+        store (puts unmoved) and is bit-identical."""
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        store = str(tmp_path / "store")
+        script = (
+            "import sys\n"
+            "from repro.campaign import load_campaign, run_campaign\n"
+            "from repro.store import ResultStore\n"
+            "spec, store = sys.argv[1], sys.argv[2]\n"
+            "outcome = run_campaign(load_campaign(spec), store=store)\n"
+            "for p in outcome.points:\n"
+            "    print(p.key, p.result.execution_time.hex())\n"
+            "print('executed', outcome.executed)\n"
+            "print('puts', ResultStore(store).stats()['puts'])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src_dir, env.get("PYTHONPATH")]))
+        runs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(spec_path), store],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            runs.append(proc.stdout.splitlines())
+        cold, warm = runs
+        assert cold[-2] == "executed 4"
+        assert warm[-2] == "executed 0"
+        # puts unmoved across processes: zero simulations on run 2.
+        assert cold[-1] == "puts 4"
+        assert warm[-1] == "puts 4"
+        # Bit-identical results (hex-exact), same keys.
+        assert cold[:4] == warm[:4]
+
+    def test_stats_visible_through_the_cli(self, tmp_path, spec_path,
+                                           capsys):
+        store = str(tmp_path / "store")
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        clear_result_cache()
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        out = capsys.readouterr().out
+        assert "0 simulated, 4 from the store" in out
+        repro_main(["store", "stats", "--store", store])
+        stats_out = capsys.readouterr().out
+        assert any(line.split(":")[-1].strip() == "4"
+                   for line in stats_out.splitlines()
+                   if line.startswith("puts"))

@@ -1,0 +1,137 @@
+"""Stable content addressing: the store key contract.
+
+The same logical point must map to the same key in every process —
+regardless of ``PYTHONHASHSEED``, dict construction order, or the
+alias used for the interconnect — and any change to the configuration,
+the fault plan, the cluster, the runtime or the key schema must change
+the key.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.faults import FaultPlan, NodeCrash
+from repro.hadoop.cluster import cluster_a, cluster_b
+from repro.hadoop.job import JobConf
+from repro.store import canonical, canonical_json, point_key, stable_digest
+
+
+def tiny_config(network="1GigE", **overrides):
+    kwargs = dict(num_maps=4, num_reduces=2, key_size=256, value_size=256)
+    kwargs.update(overrides)
+    return BenchmarkConfig.from_shuffle_size(2e7, pattern="avg",
+                                             network=network, **kwargs)
+
+
+class TestCanonical:
+    def test_dataclass_envelope(self):
+        doc = canonical(JobConf(version="yarn"))
+        assert doc["__type__"] == "JobConf"
+        assert doc["version"] == "yarn"
+
+    def test_json_is_key_order_independent(self):
+        assert (canonical_json({"b": 1, "a": 2})
+                == canonical_json({"a": 2, "b": 1}))
+
+    def test_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+    def test_digest_is_hex_sha256(self):
+        digest = stable_digest({"x": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestPointKey:
+    def test_same_point_same_key(self):
+        a = point_key(tiny_config(), cluster_a(2))
+        b = point_key(tiny_config(), cluster_a(2))
+        assert a == b
+
+    def test_network_alias_resolves_to_same_key(self):
+        # "ipoib-qdr" and the canonical catalog name address the same
+        # interconnect, so they must address the same stored result.
+        a = point_key(tiny_config(network="ipoib-qdr"), cluster_a(2))
+        b = point_key(tiny_config(network="IPoIB-QDR(32Gbps)"), cluster_a(2))
+        assert a == b
+
+    def test_config_changes_key(self):
+        base = point_key(tiny_config(), cluster_a(2))
+        assert point_key(tiny_config(seed=7), cluster_a(2)) != base
+        assert point_key(tiny_config(num_reduces=4), cluster_a(2)) != base
+        assert point_key(tiny_config(network="10GigE"), cluster_a(2)) != base
+
+    def test_cluster_changes_key(self):
+        config = tiny_config()
+        assert (point_key(config, cluster_a(2))
+                != point_key(config, cluster_a(4)))
+        assert (point_key(config, cluster_a(2))
+                != point_key(config, cluster_b(2)))
+
+    def test_runtime_changes_key(self):
+        config = tiny_config()
+        assert (point_key(config, cluster_a(2),
+                          jobconf=JobConf(version="mrv1"))
+                != point_key(config, cluster_a(2),
+                             jobconf=JobConf(version="yarn")))
+
+    def test_fault_plan_changes_key(self):
+        config = tiny_config()
+        plan = FaultPlan(node_crashes=(NodeCrash("slave1", at_time=5.0),))
+        assert (point_key(config, cluster_a(2))
+                != point_key(config, cluster_a(2), fault_plan=plan))
+
+    def test_schema_version_changes_key(self):
+        config = tiny_config()
+        assert (point_key(config, cluster_a(2), schema_version=1)
+                != point_key(config, cluster_a(2), schema_version=2))
+
+    def test_key_ignores_dataclass_field_identity(self):
+        # replace() round-trip produces an equal config; key must match.
+        config = tiny_config()
+        clone = dataclasses.replace(config)
+        assert point_key(config, cluster_a(2)) == point_key(clone,
+                                                            cluster_a(2))
+
+
+class TestCrossProcessStability:
+    def test_key_survives_hash_randomization(self):
+        """The key must be identical across interpreter launches with
+        different PYTHONHASHSEED values (the whole point of content
+        addressing: a warm store must hit from any process)."""
+        script = (
+            "from repro.core.config import BenchmarkConfig\n"
+            "from repro.hadoop.cluster import cluster_a\n"
+            "from repro.store import point_key\n"
+            "config = BenchmarkConfig.from_shuffle_size(\n"
+            "    2e7, pattern='avg', network='ipoib-qdr',\n"
+            "    num_maps=4, num_reduces=2, key_size=256, value_size=256)\n"
+            "print(point_key(config, cluster_a(2)))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        outputs = []
+        for seed in ("0", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [src_dir, env.get("PYTHONPATH")]))
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0]) == 64
+
+    def test_stable_hash_matches_point_free_functions(self):
+        config = tiny_config()
+        assert len(config.stable_hash()) == 64
+        assert config.canonical_dict()["network"] == "1GigE"

@@ -1,0 +1,181 @@
+"""ResultStore behavior: round-trips, counters, corruption, gc."""
+
+import json
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.suite import MicroBenchmarkSuite, clear_result_cache
+from repro.hadoop.cluster import cluster_a
+from repro.store import (
+    ResultStore,
+    ResultStoreWarning,
+    StoredResult,
+    point_key,
+)
+
+
+def tiny_config(network="1GigE", **overrides):
+    kwargs = dict(num_maps=4, num_reduces=2, key_size=256, value_size=256)
+    kwargs.update(overrides)
+    return BenchmarkConfig.from_shuffle_size(2e7, pattern="avg",
+                                             network=network, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    """One real (tiny) simulation to serialize."""
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    return suite.run_config(tiny_config())
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.cached is True
+        # Bit-identical: JSON round-trips repr(float) exactly.
+        assert (loaded.execution_time.hex()
+                == sim_result.execution_time.hex())
+        assert loaded.interconnect_name == sim_result.interconnect_name
+        assert loaded.config == sim_result.config
+
+    def test_phase_breakdown_survives(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        loaded = store.get(key)
+        original = sim_result.phase_breakdown().totals()
+        restored = loaded.phase_breakdown().totals()
+        for phase, seconds in original.items():
+            assert restored[phase].hex() == seconds.hex()
+
+    def test_summary_shape_matches_sim_result(self, tmp_path, sim_result):
+        stored = StoredResult.from_sim_result(sim_result)
+        live = sim_result.summary()
+        warm = stored.summary()
+        assert warm == live
+
+
+class TestCounters:
+    def test_stats_progression(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        assert store.get(key) is None
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        assert store.get(key) is not None
+        stats = store.stats()
+        assert stats["puts"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["records"] == 1
+
+    def test_counters_persist_across_instances(self, tmp_path, sim_result):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        assert ResultStore(root).stats()["puts"] == 1
+
+    def test_contains_does_not_bump_counters(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        assert not store.contains(key)
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        assert store.contains(key)
+        stats = store.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+
+class TestCorruption:
+    def test_corrupted_record_warns_and_misses(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        store.record_path(key).write_text("{ not json")
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(key) is None
+
+    def test_malformed_payload_warns_and_misses(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        record = json.loads(store.record_path(key).read_text())
+        del record["result"]["execution_time"]
+        store.record_path(key).write_text(json.dumps(record))
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(key) is None
+
+    def test_corruption_never_poisons_the_suite(self, tmp_path):
+        """A bad record re-simulates instead of crashing the run."""
+        root = tmp_path / "store"
+        config = tiny_config()
+        clear_result_cache()
+        suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
+        result = suite.run_config(config)
+        store = ResultStore(root)
+        store.record_path(suite.store_key(config)).write_text("garbage")
+        clear_result_cache()
+        suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
+        with pytest.warns(ResultStoreWarning):
+            again = suite.run_config(config)
+        assert again.execution_time.hex() == result.execution_time.hex()
+        clear_result_cache()
+
+    def test_wrong_schema_is_a_clean_miss(self, tmp_path, sim_result):
+        store = ResultStore(tmp_path / "store")
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        record = json.loads(store.record_path(key).read_text())
+        record["schema"] = 999
+        store.record_path(key).write_text(json.dumps(record))
+        assert store.get(key) is None  # no warning: just stale
+        assert store.stats()["stale_records"] == 1
+
+
+class TestMaintenance:
+    def _fill(self, tmp_path, sim_result, n=2):
+        store = ResultStore(tmp_path / "store")
+        keys = []
+        for seed in range(n):
+            config = tiny_config(seed=seed + 1)
+            key = point_key(config, cluster_a(2))
+            store.put(key, StoredResult.from_sim_result(sim_result))
+            keys.append(key)
+        return store, keys
+
+    def test_keys_and_records(self, tmp_path, sim_result):
+        store, keys = self._fill(tmp_path, sim_result)
+        assert list(store.keys()) == sorted(keys)
+        assert {k for k, _rec in store.records()} == set(keys)
+
+    def test_gc_removes_only_stale(self, tmp_path, sim_result):
+        store, keys = self._fill(tmp_path, sim_result)
+        record = json.loads(store.record_path(keys[0]).read_text())
+        record["schema"] = 999
+        store.record_path(keys[0]).write_text(json.dumps(record))
+        assert store.gc() == 1
+        assert list(store.keys()) == sorted(keys[1:])
+
+    def test_gc_all(self, tmp_path, sim_result):
+        store, _keys = self._fill(tmp_path, sim_result)
+        assert store.gc(remove_all=True) == 2
+        assert list(store.keys()) == []
+
+    def test_export_jsonl(self, tmp_path, sim_result):
+        store, keys = self._fill(tmp_path, sim_result)
+        lines = list(store.export())
+        assert len(lines) == 2
+        exported = {json.loads(line)["key"] for line in lines}
+        assert exported == set(keys)
+
+    def test_tag_merges(self, tmp_path, sim_result):
+        store, keys = self._fill(tmp_path, sim_result, n=1)
+        store.tag(keys[0], "camp-a", {"trial": 0})
+        store.tag(keys[0], "camp-b", {"trial": 1})
+        record = dict(store.records())[keys[0]]
+        assert set(record["tags"]) == {"camp-a", "camp-b"}

@@ -8,8 +8,13 @@ several trials each. This package turns those sweeps into data:
   (axes, params, variants, trials, fault plan) loadable from TOML or
   JSON (``load_campaign`` / ``load_campaigns``), expandable to exact
   :class:`~repro.core.config.BenchmarkConfig` grid points.
+* :mod:`repro.campaign.executor` — :class:`CampaignExecutor` and
+  :class:`RetryPolicy`, the hardened per-point engine: supervised
+  worker processes, retries with exponential backoff, wall-clock
+  timeouts, quarantine-instead-of-abort, graceful SIGINT/SIGTERM
+  checkpointing (see ``docs/ROBUSTNESS.md``).
 * :mod:`repro.campaign.runner` — :func:`run_campaign`: skip-on-hit
-  execution through a :class:`~repro.store.ResultStore`, process-pool
+  execution through a :class:`~repro.store.ResultStore`, supervised
   parallelism for the misses, structured per-point progress, and
   campaign tagging so :mod:`repro.analysis.book` can rebuild every
   figure from store contents alone.
@@ -25,6 +30,12 @@ from repro.campaign.spec import (
     load_campaign,
     load_campaigns,
 )
+from repro.campaign.executor import (
+    CampaignExecutor,
+    ExecutionReport,
+    PointOutcome,
+    RetryPolicy,
+)
 from repro.campaign.runner import (
     CampaignPointResult,
     CampaignResult,
@@ -34,10 +45,14 @@ from repro.campaign.runner import (
 
 __all__ = [
     "Campaign",
+    "CampaignExecutor",
     "CampaignPoint",
     "CampaignPointResult",
     "CampaignResult",
+    "ExecutionReport",
+    "PointOutcome",
     "PointProgress",
+    "RetryPolicy",
     "load_campaign",
     "load_campaigns",
     "run_campaign",

@@ -1,0 +1,594 @@
+"""Hardened per-point campaign execution engine.
+
+:func:`repro.campaign.runner.run_campaign` used to hand the whole grid
+to ``suite._run_points`` — one crashed worker process aborted the
+campaign and discarded every in-flight point. This module replaces
+that all-or-nothing call with :class:`CampaignExecutor`, which runs
+each point as an independently supervised unit of work:
+
+* **Retries with exponential backoff** — a point that raises (or whose
+  worker dies) is retried up to :attr:`RetryPolicy.retries` times,
+  waiting ``backoff * backoff_factor**(attempt-1)`` seconds between
+  attempts (capped at :attr:`RetryPolicy.max_backoff`).
+* **Per-point wall-clock timeouts** — with
+  :attr:`RetryPolicy.timeout` set, a worker that exceeds it is
+  terminated and the attempt counts as a failure (retryable).
+* **Worker-crash isolation** — each point attempt runs in its own
+  worker process; a SIGKILL'd/dying worker kills only its point, and
+  the pool is replenished for the next attempt or point.
+* **Quarantine instead of abort** — a point that exhausts its retries
+  is recorded in the store's ``quarantine.json`` ledger (exception,
+  traceback, attempts) and the campaign *completes* with a ``failed``
+  count; ``repro campaign resume`` clears the ledger entries and
+  re-runs exactly the missing points.
+* **Graceful interruption** — SIGINT/SIGTERM stop launching new
+  points, terminate in-flight workers (completed points are already
+  durably in the store), write a campaign checkpoint, and return with
+  ``interrupted=True``; the CLI maps that to exit code 130.
+* **Observability** — retries, timeouts, crashes and quarantines emit
+  :data:`~repro.sim.trace.CAT_HARNESS` markers (wall-clock times) on
+  an optional :class:`~repro.sim.trace.Tracer`.
+
+Determinism is untouched: every point is a seeded, self-contained
+simulation, so a retried, resumed, or differently-scheduled point is
+bit-identical to a clean single-process run (asserted by the chaos
+tests against the 40-point golden suite).
+
+Chaos hooks (tests / CI stress job only)
+----------------------------------------
+Worker children honour three environment variables, *only* in
+isolated-execution mode, so the failure paths are exercisable without
+patching production code: ``REPRO_CHAOS_CRASH=<point-index>`` makes
+the worker SIGKILL itself, ``REPRO_CHAOS_HANG=<point-index>`` makes it
+sleep ``$REPRO_CHAOS_HANG_SECS`` (default 3600), and
+``REPRO_CHAOS_ATTEMPTS=<n>`` limits the sabotage to the first *n*
+attempts of that point (default 1, so a retry succeeds). Setting
+either hook forces isolated mode even at ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BenchmarkConfig
+from repro.core.suite import MicroBenchmarkSuite, ResultLike, _run_point
+from repro.sim.trace import CAT_HARNESS, Tracer
+
+#: Chaos hooks (see module docstring). Test/CI surface, env-gated.
+ENV_CHAOS_CRASH = "REPRO_CHAOS_CRASH"
+ENV_CHAOS_HANG = "REPRO_CHAOS_HANG"
+ENV_CHAOS_HANG_SECS = "REPRO_CHAOS_HANG_SECS"
+ENV_CHAOS_ATTEMPTS = "REPRO_CHAOS_ATTEMPTS"
+
+#: Point outcome statuses.
+STATUS_OK = "ok"            #: simulated this run
+STATUS_CACHED = "cached"    #: served from memo cache / disk store
+STATUS_FAILED = "failed"    #: exhausted retries; quarantined
+STATUS_SKIPPED = "skipped"  #: never ran (interrupt or fail-fast abort)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights for each point."""
+
+    #: Retries after the first attempt (total attempts = retries + 1).
+    retries: int = 0
+    #: Seconds before the first retry (0 disables backoff waits).
+    backoff: float = 0.1
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff wait.
+    max_backoff: float = 30.0
+    #: Per-attempt wall-clock limit in seconds (None = unlimited).
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate the policy as soon as it is built."""
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(self.backoff * self.backoff_factor ** (attempt - 1),
+                   self.max_backoff)
+
+
+@dataclass
+class PointOutcome:
+    """Everything the executor learned about one grid point."""
+
+    index: int
+    label: str
+    key: str
+    status: str = STATUS_SKIPPED
+    attempts: int = 0
+    result: Optional[ResultLike] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    #: Wall-clock seconds of the final attempt (0 for cached/skipped).
+    wall_time: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the point produced a usable result."""
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`CampaignExecutor.execute` pass did."""
+
+    outcomes: List[PointOutcome]
+    interrupted: bool = False
+    #: The signal that interrupted the run, when any.
+    stop_signal: Optional[int] = None
+
+    def _count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def executed(self) -> int:
+        """Points simulated in this run."""
+        return self._count(STATUS_OK)
+
+    @property
+    def from_store(self) -> int:
+        """Points served from the memo cache or disk store."""
+        return self._count(STATUS_CACHED)
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted their retries (quarantined)."""
+        return self._count(STATUS_FAILED)
+
+    @property
+    def skipped(self) -> int:
+        """Points never attempted (interrupt / fail-fast abort)."""
+        return self._count(STATUS_SKIPPED)
+
+
+@dataclass
+class _Worker:
+    """One live point-attempt process."""
+
+    index: int
+    attempt: int  # 1-based
+    process: object
+    conn: object
+    started: float
+    deadline: Optional[float]
+
+
+@dataclass
+class _Pending:
+    """One queued point attempt (``ready_at`` implements backoff)."""
+
+    index: int
+    attempt: int  # 1-based
+    ready_at: float = 0.0
+
+
+def _chaos_hooks_enabled() -> bool:
+    """Whether any env-gated chaos hook is armed (forces isolation)."""
+    return bool(os.environ.get(ENV_CHAOS_CRASH)
+                or os.environ.get(ENV_CHAOS_HANG))
+
+
+def _chaos_hook(index: int, attempt0: int) -> None:
+    """Sabotage this worker if the chaos env vars target it.
+
+    ``attempt0`` is zero-based; by default only the first attempt of
+    the targeted point misbehaves, so retries demonstrably recover.
+    """
+    try:
+        misbehaving_attempts = int(os.environ.get(ENV_CHAOS_ATTEMPTS, "1"))
+    except ValueError:
+        misbehaving_attempts = 1
+    if attempt0 >= misbehaving_attempts:
+        return
+    if os.environ.get(ENV_CHAOS_CRASH) == str(index):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if os.environ.get(ENV_CHAOS_HANG) == str(index):
+        time.sleep(float(os.environ.get(ENV_CHAOS_HANG_SECS, "3600")))
+
+
+def _child_main(conn, payload: tuple, index: int, attempt0: int) -> None:
+    """Worker-process entry: simulate one point, ship the result back.
+
+    The parent owns shutdown: SIGINT is ignored (the parent decides
+    what dies) and SIGTERM is restored to its default action so
+    ``terminate()`` always works even though the parent's graceful
+    handler was inherited across ``fork``.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    try:
+        _chaos_hook(index, attempt0)
+        result = _run_point(payload)
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - parent gone
+            pass
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", result))
+    except (OSError, ValueError):  # pragma: no cover - parent gone
+        pass
+    finally:
+        conn.close()
+
+
+class CampaignExecutor:
+    """Supervised per-point execution over a suite's point hooks.
+
+    The executor serves cached points through
+    :meth:`~repro.core.suite.MicroBenchmarkSuite.lookup_point`, then
+    drives the misses either inline (fast path: ``jobs=1``, no
+    timeout, no chaos hooks) or through supervised worker processes,
+    applying the :class:`RetryPolicy` uniformly in both modes.
+    """
+
+    def __init__(
+        self,
+        suite: MicroBenchmarkSuite,
+        policy: Optional[RetryPolicy] = None,
+        jobs: int = 1,
+        fail_fast: bool = False,
+        isolate: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        progress=None,
+        campaign: str = "",
+    ):
+        """Bind the executor to a suite and its failure policy."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.suite = suite
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.jobs = jobs
+        self.fail_fast = fail_fast
+        #: None = auto (isolate when jobs>1, a timeout is set, or a
+        #: chaos hook is armed); True/False forces the mode.
+        self.isolate = isolate
+        self.tracer = tracer
+        #: Called with each finished :class:`PointOutcome`
+        #: (completion order).
+        self.progress = progress
+        self.campaign = campaign
+        self._stop_signal: Optional[int] = None
+        self._abort = False
+
+    # -- public surface ----------------------------------------------------
+
+    def execute(self, configs: Sequence[BenchmarkConfig],
+                labels: Optional[Sequence[str]] = None) -> ExecutionReport:
+        """Run every point; never raises for per-point failures."""
+        labels = (list(labels) if labels is not None
+                  else [f"point{i}" for i in range(len(configs))])
+        keys = [self.suite.store_key(config) for config in configs]
+        outcomes = [
+            PointOutcome(index=i, label=labels[i], key=keys[i])
+            for i in range(len(configs))
+        ]
+        self._stop_signal = None
+        self._abort = False
+        old_handlers = self._install_signal_handlers()
+        try:
+            pending: List[int] = []
+            for i, config in enumerate(configs):
+                if self._stop_signal is not None:
+                    break
+                found = self.suite.lookup_point(config)
+                if found is not None:
+                    self._finish(outcomes[i], STATUS_CACHED, result=found)
+                else:
+                    pending.append(i)
+            if pending and not self._stop_signal:
+                if self._should_isolate():
+                    self._run_isolated(configs, outcomes, pending)
+                else:
+                    self._run_inline(configs, outcomes, pending)
+        finally:
+            self._restore_signal_handlers(old_handlers)
+        report = ExecutionReport(
+            outcomes=outcomes,
+            interrupted=self._stop_signal is not None,
+            stop_signal=self._stop_signal,
+        )
+        self._write_checkpoint(report)
+        return report
+
+    # -- signals -----------------------------------------------------------
+
+    def _install_signal_handlers(self) -> Dict[int, object]:
+        handlers: Dict[int, object] = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                handlers[signum] = signal.signal(signum, self._on_signal)
+            except (ValueError, OSError):
+                # Not the main thread (or unsupported signal): graceful
+                # interruption degrades to the default behavior.
+                pass
+        return handlers
+
+    def _restore_signal_handlers(self, handlers: Dict[int, object]) -> None:
+        for signum, handler in handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _on_signal(self, signum, frame) -> None:
+        self._stop_signal = signum
+
+    # -- mode selection ----------------------------------------------------
+
+    def _should_isolate(self) -> bool:
+        if self.isolate is not None:
+            return self.isolate
+        return (self.jobs > 1 or self.policy.timeout is not None
+                or _chaos_hooks_enabled())
+
+    # -- inline path -------------------------------------------------------
+
+    def _run_inline(self, configs, outcomes, pending: List[int]) -> None:
+        """Run misses in-process (no timeout enforcement possible)."""
+        for i in pending:
+            if self._stop_signal is not None or self._abort:
+                return
+            attempt = 0
+            started = time.monotonic()
+            while True:
+                attempt += 1
+                try:
+                    result = self.suite.simulate_point(configs[i])
+                except KeyboardInterrupt:
+                    self._stop_signal = signal.SIGINT
+                    return
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if (attempt <= self.policy.retries
+                            and self._stop_signal is None):
+                        self._retry_wait(outcomes[i], attempt, error)
+                        continue
+                    self._finish(outcomes[i], STATUS_FAILED,
+                                 attempts=attempt, error=error,
+                                 tb=traceback.format_exc(),
+                                 wall=time.monotonic() - started)
+                    break
+                else:
+                    self._finish(outcomes[i], STATUS_OK, result=result,
+                                 attempts=attempt,
+                                 wall=time.monotonic() - started)
+                    break
+
+    def _retry_wait(self, outcome: PointOutcome, attempt: int,
+                    error: str) -> None:
+        """Emit the retry marker and sleep the backoff (inline mode)."""
+        delay = self.policy.delay(attempt)
+        self._trace("retry", outcome.label, point=outcome.index,
+                    attempt=attempt, error=error, delay=delay)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- isolated path -----------------------------------------------------
+
+    def _run_isolated(self, configs, outcomes, pending: List[int]) -> None:
+        """Run misses in supervised worker processes."""
+        ctx = multiprocessing.get_context()
+        queue: List[_Pending] = [_Pending(i, 1) for i in pending]
+        live: Dict[int, _Worker] = {}
+        try:
+            while queue or live:
+                if self._stop_signal is not None or self._abort:
+                    break
+                now = time.monotonic()
+                while len(live) < self.jobs and queue:
+                    slot = next((p for p in queue if p.ready_at <= now),
+                                None)
+                    if slot is None:
+                        break
+                    queue.remove(slot)
+                    live[slot.index] = self._spawn(
+                        ctx, configs[slot.index], slot.index, slot.attempt)
+                if live:
+                    self._wait_and_collect(configs, outcomes, queue, live)
+                elif queue:
+                    # Everyone is waiting out a backoff.
+                    next_ready = min(p.ready_at for p in queue)
+                    time.sleep(min(0.2, max(0.005,
+                                            next_ready - time.monotonic())))
+        finally:
+            for worker in live.values():
+                self._kill_worker(worker)
+
+    def _spawn(self, ctx, config, index: int, attempt: int) -> _Worker:
+        payload = self.suite.point_payload(config)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main, args=(child_conn, payload, index, attempt - 1),
+            daemon=True, name=f"repro-point-{index}",
+        )
+        process.start()
+        child_conn.close()
+        started = time.monotonic()
+        deadline = (started + self.policy.timeout
+                    if self.policy.timeout is not None else None)
+        return _Worker(index=index, attempt=attempt, process=process,
+                       conn=parent_conn, started=started, deadline=deadline)
+
+    def _wait_and_collect(self, configs, outcomes,
+                          queue: List[_Pending],
+                          live: Dict[int, _Worker]) -> None:
+        """One supervision step: wait for results, enforce deadlines."""
+        now = time.monotonic()
+        wait_timeout = 0.2
+        deadlines = [w.deadline for w in live.values()
+                     if w.deadline is not None]
+        if deadlines:
+            wait_timeout = min(wait_timeout, max(0.0, min(deadlines) - now))
+        by_conn = {w.conn: w for w in live.values()}
+        ready = mp_connection.wait(list(by_conn), timeout=wait_timeout)
+        for conn in ready:
+            worker = by_conn[conn]
+            live.pop(worker.index, None)
+            self._collect(worker, configs, outcomes, queue)
+        now = time.monotonic()
+        for worker in list(live.values()):
+            if worker.deadline is not None and now >= worker.deadline:
+                live.pop(worker.index, None)
+                self._kill_worker(worker)
+                self._trace("timeout", outcomes[worker.index].label,
+                            point=worker.index, attempt=worker.attempt,
+                            timeout=self.policy.timeout)
+                self._failure(
+                    worker, outcomes, queue,
+                    f"point timed out after {self.policy.timeout:g} s "
+                    f"(attempt {worker.attempt})", None)
+
+    def _collect(self, worker: _Worker, configs, outcomes,
+                 queue: List[_Pending]) -> None:
+        """Reap one finished (or dead) worker."""
+        message = None
+        try:
+            if worker.conn.poll():
+                message = worker.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        worker.process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if message is None:
+            code = worker.process.exitcode
+            if code is not None and code < 0:
+                try:
+                    desc = f"killed by signal {signal.Signals(-code).name}"
+                except ValueError:
+                    desc = f"killed by signal {-code}"
+            else:
+                desc = f"exit code {code}"
+            self._trace("crash", outcomes[worker.index].label,
+                        point=worker.index, attempt=worker.attempt,
+                        exitcode=code)
+            self._failure(worker, outcomes, queue,
+                          f"worker crashed ({desc}) before returning a "
+                          f"result", None)
+        elif message[0] == "ok":
+            result = message[1]
+            self.suite.record_point(configs[worker.index], result)
+            self._finish(outcomes[worker.index], STATUS_OK, result=result,
+                         attempts=worker.attempt,
+                         wall=time.monotonic() - worker.started)
+        else:
+            _tag, error, tb = message
+            self._failure(worker, outcomes, queue, error, tb)
+
+    def _failure(self, worker: _Worker, outcomes, queue: List[_Pending],
+                 error: str, tb: Optional[str]) -> None:
+        """Route one failed attempt: backoff-retry or quarantine."""
+        outcome = outcomes[worker.index]
+        if (worker.attempt <= self.policy.retries
+                and self._stop_signal is None and not self._abort):
+            delay = self.policy.delay(worker.attempt)
+            self._trace("retry", outcome.label, point=worker.index,
+                        attempt=worker.attempt, error=error, delay=delay)
+            queue.append(_Pending(worker.index, worker.attempt + 1,
+                                  time.monotonic() + delay))
+            return
+        self._finish(outcome, STATUS_FAILED, attempts=worker.attempt,
+                     error=error, tb=tb,
+                     wall=time.monotonic() - worker.started)
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        """Terminate (then kill) one worker; never raises."""
+        try:
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _finish(self, outcome: PointOutcome, status: str,
+                result: Optional[ResultLike] = None, attempts: int = 0,
+                error: Optional[str] = None, tb: Optional[str] = None,
+                wall: float = 0.0) -> None:
+        """Seal one outcome, quarantine failures, emit progress."""
+        outcome.status = status
+        outcome.result = result
+        outcome.attempts = attempts
+        outcome.error = error
+        outcome.traceback = tb
+        outcome.wall_time = wall
+        if status == STATUS_FAILED:
+            self._trace("quarantine", outcome.label, point=outcome.index,
+                        attempts=attempts, error=error)
+            if self.suite.store is not None:
+                self.suite.store.quarantine_add(outcome.key, {
+                    "campaign": self.campaign,
+                    "label": outcome.label,
+                    "error": error,
+                    "traceback": tb,
+                    "attempts": attempts,
+                    "quarantined_at": time.time(),
+                })
+            if self.fail_fast:
+                self._abort = True
+        if self.progress is not None:
+            self.progress(outcome)
+
+    def _write_checkpoint(self, report: ExecutionReport) -> None:
+        """Publish the campaign's progress snapshot to the store."""
+        store = self.suite.store
+        if store is None or not self.campaign:
+            return
+        store.write_checkpoint(self.campaign, {
+            "campaign": self.campaign,
+            "total": len(report.outcomes),
+            "interrupted": report.interrupted,
+            "completed": [o.key for o in report.outcomes if o.succeeded],
+            "failed": [o.key for o in report.outcomes
+                       if o.status == STATUS_FAILED],
+            "skipped": [o.key for o in report.outcomes
+                        if o.status == STATUS_SKIPPED],
+            "written_at": time.time(),
+        })
+
+    def _trace(self, name: str, lane: str, **args) -> None:
+        """Emit one CAT_HARNESS marker (wall-clock, zero duration)."""
+        if self.tracer is None:
+            return
+        now = time.time()
+        self.tracer.complete(name, CAT_HARNESS, "harness", lane,
+                             now, now, **args)

@@ -1,26 +1,39 @@
 """Execute campaigns through the result store.
 
 :func:`run_campaign` expands a :class:`~repro.campaign.spec.Campaign`
-to its point grid, serves every point already in the
-:class:`~repro.store.ResultStore` from disk (skip-on-hit), fans the
-remaining simulations over a process pool (reusing the suite's
-``jobs=N`` machinery), records fresh results back to the store, and
-tags every record with the campaign name and point coordinates so the
-Experiment Book can later regroup them from store contents alone.
+to its point grid and drives every point through the hardened
+:class:`~repro.campaign.executor.CampaignExecutor`: points already in
+the :class:`~repro.store.ResultStore` are served from disk
+(skip-on-hit), the remaining simulations run with per-point retry,
+timeout and worker-crash isolation under the given
+:class:`~repro.campaign.executor.RetryPolicy`, failures are
+quarantined instead of aborting the campaign, and fresh results are
+recorded back to the store and tagged with the campaign name and point
+coordinates so the Experiment Book can later regroup them from store
+contents alone.
 
 Progress is structured: each completed point emits a
 :class:`PointProgress` to the optional ``progress`` callback (the CLI
-renders them as one line per point), so long campaigns are observable
-without parsing stdout.
+renders them as one line per point, in completion order), so long
+campaigns are observable without parsing stdout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.campaign.executor import (
+    STATUS_CACHED,
+    CampaignExecutor,
+    ExecutionReport,
+    PointOutcome,
+    RetryPolicy,
+)
 from repro.campaign.spec import Campaign, CampaignPoint
+from repro.sim.trace import Tracer
 from repro.store import ResultStore
 
 #: Signature of the progress callback.
@@ -38,9 +51,18 @@ class PointProgress:
     key: str
     cached: bool
     execution_time: float
+    #: Outcome status (``ok``/``cached``/``failed``/``skipped``).
+    status: str = "ok"
+    #: Attempts the point took (0 when served from the store).
+    attempts: int = 1
 
     def render(self) -> str:
         """One-line human form (used by ``repro campaign run``)."""
+        if self.status == "failed":
+            suffix = (f" after {self.attempts} attempt(s)"
+                      if self.attempts > 1 else "")
+            return (f"[{self.index}/{self.total}] {self.campaign}: "
+                    f"{self.label:<32} FAILED{suffix} -> quarantine")
         origin = "store" if self.cached else "run  "
         return (f"[{self.index}/{self.total}] {self.campaign}: "
                 f"{self.label:<32} {origin}  {self.execution_time:9.1f} s")
@@ -61,11 +83,26 @@ class CampaignResult:
     """Everything one campaign run produced."""
 
     campaign: Campaign
+    #: Successful points only (grid order); failures live in
+    #: :attr:`outcomes` and the store's quarantine ledger.
     points: List[CampaignPointResult]
     #: Points simulated in this run (store misses).
     executed: int
     #: Points served from the disk store without simulating.
     from_store: int
+    #: Points that exhausted their retries (quarantined).
+    failed: int = 0
+    #: Points never attempted (interrupt or fail-fast abort).
+    skipped: int = 0
+    #: Whether SIGINT/SIGTERM stopped the run early.
+    interrupted: bool = False
+    #: Per-point outcomes for every grid point, grid order.
+    outcomes: List[PointOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """Whether every grid point produced a result."""
+        return not self.failed and not self.skipped and not self.interrupted
 
     def sweep_result(self, variant: str = "", trial: int = 0) -> SweepResult:
         """One variant's size×network grid as a figure-shaped sweep."""
@@ -101,13 +138,26 @@ def run_campaign(
     store: Optional[Union[ResultStore, str]] = None,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    policy: Optional[RetryPolicy] = None,
+    fail_fast: bool = False,
+    isolate: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CampaignResult:
     """Run every point of a campaign, skipping points already stored.
 
     With a ``store``, previously-computed points are served from disk
     (no simulation) and fresh points are recorded and tagged; without
     one the campaign still runs, just uncached. ``jobs > 1`` fans the
-    misses over a process pool with bit-identical results.
+    misses over supervised worker processes with bit-identical results.
+
+    ``policy`` configures per-point retries, exponential backoff and
+    wall-clock timeouts; a point that exhausts its retries is recorded
+    in the store's quarantine ledger and counted in ``failed`` — the
+    campaign completes instead of raising. ``fail_fast=True`` aborts
+    after the first quarantined point (the rest count as ``skipped``).
+    SIGINT/SIGTERM interrupt gracefully: completed points are already
+    durable in the store, a checkpoint is written, and the result comes
+    back with ``interrupted=True``.
     """
     if isinstance(store, str):
         store = ResultStore(store)
@@ -118,18 +168,47 @@ def run_campaign(
         store=store,
     )
     points = campaign.points()
-    keys = [suite.store_key(p.config) for p in points]
-    cached_before = [
-        store.contains(key) if store is not None else False for key in keys
-    ]
-    results = suite._run_points([p.config for p in points], jobs=jobs)
+    total = len(points)
+    emitted = {"count": 0}
+
+    def on_point(outcome: PointOutcome) -> None:
+        """Adapt one executor outcome to a PointProgress event."""
+        emitted["count"] += 1
+        if progress is None:
+            return
+        execution_time = (outcome.result.execution_time
+                          if outcome.result is not None else math.nan)
+        progress(PointProgress(
+            campaign=campaign.name,
+            index=emitted["count"],
+            total=total,
+            label=outcome.label,
+            key=outcome.key,
+            cached=outcome.status == STATUS_CACHED,
+            execution_time=execution_time,
+            status=outcome.status,
+            attempts=outcome.attempts,
+        ))
+
+    executor = CampaignExecutor(
+        suite,
+        policy=policy,
+        jobs=jobs,
+        fail_fast=fail_fast,
+        isolate=isolate,
+        tracer=tracer,
+        progress=on_point,
+        campaign=campaign.name,
+    )
+    report: ExecutionReport = executor.execute(
+        [p.config for p in points], labels=[p.label() for p in points])
 
     out: List[CampaignPointResult] = []
-    for i, (point, key, cached, result) in enumerate(
-        zip(points, keys, cached_before, results), start=1
-    ):
+    for point, outcome in zip(points, report.outcomes):
+        if not outcome.succeeded:
+            continue
         if store is not None:
-            store.tag(key, campaign.name, {
+            store.tag(outcome.key, campaign.name, {
                 "figure": campaign.figure,
                 "title": campaign.title,
                 "benchmark": campaign.benchmark,
@@ -141,21 +220,17 @@ def run_campaign(
                 "faulty": campaign.fault_plan is not None,
             })
         out.append(CampaignPointResult(
-            point=point, key=key, cached=cached, result=result,
+            point=point, key=outcome.key,
+            cached=outcome.status == STATUS_CACHED,
+            result=outcome.result,
         ))
-        if progress is not None:
-            progress(PointProgress(
-                campaign=campaign.name,
-                index=i,
-                total=len(points),
-                label=point.label(),
-                key=key,
-                cached=cached,
-                execution_time=result.execution_time,
-            ))
     return CampaignResult(
         campaign=campaign,
         points=out,
-        executed=sum(1 for c in cached_before if not c),
-        from_store=sum(1 for c in cached_before if c),
+        executed=report.executed,
+        from_store=report.from_store,
+        failed=report.failed,
+        skipped=report.skipped,
+        interrupted=report.interrupted,
+        outcomes=list(report.outcomes),
     )

@@ -337,6 +337,12 @@ def build_repro_parser() -> argparse.ArgumentParser:
     stats = store_sub.add_parser("stats", help="record counts and lifetime "
                                                "put/hit/miss counters")
     add_store_arg(stats)
+    verify = store_sub.add_parser(
+        "verify", help="fsck every record: parses, matches its key, "
+                       "matches the schema, provenance hashes back")
+    add_store_arg(verify)
+    verify.add_argument("--gc", action="store_true",
+                        help="sweep records that fail verification")
     ls = store_sub.add_parser("ls", help="list stored point keys")
     add_store_arg(ls)
     ls.add_argument("--long", "-l", action="store_true",
@@ -357,18 +363,46 @@ def build_repro_parser() -> argparse.ArgumentParser:
                                                "campaigns")
     campaign_sub = campaign.add_subparsers(dest="campaign_command",
                                            required=True)
+
+    def add_campaign_exec_args(p: argparse.ArgumentParser) -> None:
+        """Flags shared by ``campaign run`` and ``campaign resume``."""
+        p.add_argument("spec", metavar="SPEC",
+                       help="campaign spec file (TOML or JSON)")
+        p.add_argument("--name", default=None,
+                       help="campaign to run when SPEC holds several")
+        add_store_arg(p)
+        p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="simulate cache misses on N worker processes")
+        p.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress per-point progress lines")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry each failing point up to N times with "
+                            "exponential backoff (default: 0)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-point wall-clock limit; a worker that "
+                            "exceeds it is terminated (attempt counts as "
+                            "a retryable failure)")
+        p.add_argument("--backoff", type=float, default=0.1, metavar="SEC",
+                       help="base backoff before the first retry "
+                            "(doubles per retry; default: 0.1)")
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument("--fail-fast", action="store_true",
+                          help="abort the campaign at the first "
+                               "quarantined point (exit 1)")
+        mode.add_argument("--keep-going", action="store_true",
+                          help="exit 0 even when points were quarantined "
+                               "(default: complete the campaign but "
+                               "exit 1)")
+
     run = campaign_sub.add_parser(
         "run", help="execute a campaign spec through the store "
-                    "(skip-on-hit)")
-    run.add_argument("spec", metavar="SPEC",
-                     help="campaign spec file (TOML or JSON)")
-    run.add_argument("--name", default=None,
-                     help="campaign to run when SPEC holds several")
-    add_store_arg(run)
-    run.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
-                     help="simulate cache misses on N worker processes")
-    run.add_argument("--quiet", "-q", action="store_true",
-                     help="suppress per-point progress lines")
+                    "(skip-on-hit; failures are quarantined, not fatal)")
+    add_campaign_exec_args(run)
+    resume = campaign_sub.add_parser(
+        "resume", help="re-run only the campaign's missing and "
+                       "quarantined points (after a crash, interrupt, "
+                       "or partial failure)")
+    add_campaign_exec_args(resume)
 
     book = sub.add_parser("book", help="render the Experiment Book from "
                                        "store contents")
@@ -398,9 +432,24 @@ def _cmd_store(args) -> int:
         stats = store.stats()
         width = max(len(k) for k in stats)
         for key in ("root", "schema", "records", "stale_records", "bytes",
-                    "puts", "hits", "misses"):
+                    "puts", "hits", "misses", "quarantined"):
             print(f"{key.ljust(width)} : {stats[key]}")
         return 0
+    if args.store_command == "verify":
+        report = store.verify(gc=args.gc)
+        for problem in report.problems:
+            print(problem.render())
+        state = "OK" if report.clean else "PROBLEMS FOUND"
+        print(f"verified {report.checked} record(s): {report.ok} ok, "
+              f"{len(report.problems)} bad"
+              + (f", {report.swept} swept" if args.gc else "")
+              + f"  [{state}]")
+        if not report.meta_ok:
+            print(f"warning: store metadata {store.meta_path} is corrupt "
+                  f"(counters will reinitialize)", file=sys.stderr)
+        if report.clean or (args.gc and report.swept == len(report.problems)):
+            return 0
+        return 1
     if args.store_command == "ls":
         if not args.long:
             for key in store.keys():
@@ -439,19 +488,57 @@ def _cmd_store(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from repro.campaign import load_campaign, run_campaign
+    from repro.campaign import RetryPolicy, load_campaign, run_campaign
 
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
     campaign = load_campaign(args.spec, name=args.name)
-    progress = None if args.quiet else (lambda p: print(p.render()))
-    outcome = run_campaign(campaign, store=_repro_store(args),
-                           jobs=args.jobs, progress=progress)
-    print(f"campaign {campaign.name}: {len(outcome.points)} points, "
+    store = _repro_store(args)
+    try:
+        policy = RetryPolicy(retries=args.retries, backoff=args.backoff,
+                             timeout=args.timeout)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.campaign_command == "resume":
+        # Quarantined points get a fresh set of attempts; completed
+        # points are served from the store (skip-on-hit), so only the
+        # gap re-runs.
+        cleared = store.quarantine_clear(_campaign_keys(campaign, store))
+        if cleared:
+            print(f"cleared {cleared} quarantined point(s); retrying")
+    progress = None if args.quiet else (
+        lambda p: print(p.render(), flush=True))
+    outcome = run_campaign(campaign, store=store, jobs=args.jobs,
+                           progress=progress, policy=policy,
+                           fail_fast=args.fail_fast)
+    print(f"campaign {campaign.name}: {len(outcome.outcomes)} points, "
           f"{outcome.executed} simulated, {outcome.from_store} from "
-          f"the store")
+          f"the store, {outcome.failed} failed"
+          + (f", {outcome.skipped} skipped" if outcome.skipped else "")
+          + (" [interrupted]" if outcome.interrupted else ""),
+          flush=True)
+    if outcome.failed:
+        print(f"{outcome.failed} point(s) quarantined in "
+              f"{store.quarantine_path}; `repro campaign resume "
+              f"{args.spec}` retries them", file=sys.stderr)
+    if outcome.interrupted:
+        return 130
+    if outcome.failed and not args.keep_going:
+        return 1
     return 0
+
+
+def _campaign_keys(campaign, store):
+    """Store keys of every grid point of a campaign."""
+    from repro.core.suite import MicroBenchmarkSuite
+
+    suite = MicroBenchmarkSuite(
+        cluster=campaign.cluster_spec(), jobconf=campaign.jobconf(),
+        fault_plan=campaign.fault_plan, store=store,
+    )
+    return [suite.store_key(p.config) for p in campaign.points()]
 
 
 def _cmd_book(args) -> int:

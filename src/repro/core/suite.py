@@ -253,6 +253,65 @@ class MicroBenchmarkSuite:
         plan = fault_plan if fault_plan is not None else self.fault_plan
         return (config, self.cluster, self.jobconf, self.cost_model, plan)
 
+    # -- point-level execution hooks (campaign executor surface) ---------
+
+    def point_payload(self, config: BenchmarkConfig) -> tuple:
+        """The picklable payload that fully determines one point.
+
+        This is exactly what :func:`_run_point` consumes, so an
+        external executor (the hardened campaign engine, a future
+        distributed runner) can dispatch points to worker processes
+        without reaching into suite internals.
+        """
+        return self._point_key(config)
+
+    def lookup_point(self, config: BenchmarkConfig) -> Optional[ResultLike]:
+        """Serve one point from the memo cache or the disk store.
+
+        Returns ``None`` on a true miss (the point must be simulated).
+        Counts memo/store hits and misses exactly like
+        :meth:`run_config` does, so counter-based acceptance checks
+        ("the second run executed 0 simulations") keep holding when
+        points run through an external executor.
+        """
+        key = self._point_key(config)
+        cached = _RESULT_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            return cached
+        _CACHE_STATS["misses"] += 1
+        if self.store is not None:
+            stored = self.store.get(self.store_key(config))
+            if stored is not None:
+                _RESULT_CACHE[key] = stored
+                return stored
+        return None
+
+    def record_point(self, config: BenchmarkConfig,
+                     result: SimJobResult) -> None:
+        """Memoize and persist one freshly simulated point.
+
+        The completion half of the executor protocol: a worker process
+        simulated ``point_payload(config)`` and the parent records the
+        result (memo cache + disk store, with provenance).
+        """
+        _RESULT_CACHE[self._point_key(config)] = result
+        if self.store is not None:
+            self.store.put(self.store_key(config),
+                           StoredResult.from_sim_result(result),
+                           provenance=self._provenance(config))
+
+    def simulate_point(self, config: BenchmarkConfig) -> SimJobResult:
+        """Simulate one point in-process and record it (no lookup).
+
+        Used by the campaign executor's inline path after
+        :meth:`lookup_point` missed, so hits and misses are counted
+        exactly once per point.
+        """
+        result = _run_point(self.point_payload(config))
+        self.record_point(config, result)
+        return result
+
     def store_key(self, config: BenchmarkConfig,
                   fault_plan: Optional[FaultPlan] = None) -> str:
         """Stable content-addressed store key of one point (hex digest).
@@ -360,20 +419,12 @@ class MicroBenchmarkSuite:
             ]
         results: List[Optional[ResultLike]] = [None] * len(keys)
         pending: List[int] = []
-        for i, key in enumerate(keys):
-            cached = _RESULT_CACHE.get(key) if memoize else None
-            if cached is not None:
-                _CACHE_STATS["hits"] += 1
-                results[i] = cached
-                continue
+        for i, config in enumerate(configs):
             if memoize:
-                _CACHE_STATS["misses"] += 1
-                if self.store is not None:
-                    stored = self.store.get(self.store_key(configs[i]))
-                    if stored is not None:
-                        _RESULT_CACHE[key] = stored
-                        results[i] = stored
-                        continue
+                found = self.lookup_point(config)
+                if found is not None:
+                    results[i] = found
+                    continue
             pending.append(i)
         if pending:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
@@ -382,13 +433,7 @@ class MicroBenchmarkSuite:
                 ):
                     results[i] = result
                     if memoize:
-                        _RESULT_CACHE[keys[i]] = result
-                        if self.store is not None:
-                            self.store.put(
-                                self.store_key(configs[i]),
-                                StoredResult.from_sim_result(result),
-                                provenance=self._provenance(configs[i]),
-                            )
+                        self.record_point(configs[i], result)
         return results  # type: ignore[return-value]
 
     def compare_patterns(

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional
 
 __all__ = [
     "CAT_FAULT",
+    "CAT_HARNESS",
     "CAT_JOB",
     "CAT_NET",
     "CAT_PHASE",
@@ -54,6 +55,8 @@ CAT_NET = "net"       #: fabric flows
 CAT_SCHED = "sched"   #: slot/container waits, speculation, slowstart
 CAT_JOB = "job"       #: job-level markers
 CAT_FAULT = "fault"   #: injected faults and their recoveries
+CAT_HARNESS = "harness"  #: campaign-harness events (retries, timeouts,
+#: worker crashes, quarantines) — wall-clock times, not simulated time
 
 
 class TraceEvent:

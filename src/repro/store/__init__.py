@@ -27,20 +27,29 @@ from repro.store.keys import (
     point_key,
     stable_digest,
 )
+from repro.store.locks import FileLock, store_lock
 from repro.store.records import StoredResult
 from repro.store.store import (
     STORE_ENV_VAR,
     ResultStore,
     ResultStoreWarning,
+    VerifyProblem,
+    VerifyReport,
+    atomic_write_json,
     default_store_root,
 )
 
 __all__ = [
     "SCHEMA_VERSION",
     "STORE_ENV_VAR",
+    "FileLock",
     "ResultStore",
     "ResultStoreWarning",
     "StoredResult",
+    "VerifyProblem",
+    "VerifyReport",
+    "atomic_write_json",
+    "store_lock",
     "canonical",
     "canonical_json",
     "default_store_root",

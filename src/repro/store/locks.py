@@ -1,0 +1,154 @@
+"""Portable inter-process file locking for the result store.
+
+Two concurrent ``repro campaign run`` processes share one store, and
+the lifetime counters in ``store.json`` (and the quarantine ledger)
+are read-modify-write cycles: without mutual exclusion, increments are
+lost. :class:`FileLock` wraps those critical sections in an advisory
+exclusive lock on ``<root>/store.lock``:
+
+* POSIX — ``fcntl.flock`` (the normal case; what the multiprocess
+  stress test exercises);
+* Windows — ``msvcrt.locking`` on the first byte of the lockfile;
+* neither available, or the root is unwritable — the lock degrades to
+  a no-op so a read-only store never crashes; the store's own
+  read-only degradation mode handles the subsequent write failures.
+
+The lock is intentionally *not* reentrant and is always created fresh
+per critical section (acquisition costs one ``open`` + one syscall).
+Record writes themselves do not need it: they are blind atomic
+``os.replace`` publishes, safe under concurrency by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None  # type: ignore[assignment]
+
+try:  # Windows
+    import msvcrt
+except ImportError:  # pragma: no cover - platform dependent
+    msvcrt = None  # type: ignore[assignment]
+
+#: Lockfile name inside a store root.
+LOCK_FILENAME = "store.lock"
+
+
+class FileLock:
+    """An advisory exclusive inter-process lock on one file.
+
+    Use as a context manager::
+
+        with FileLock(root / "store.lock") as lock:
+            ...  # read-modify-write
+            # lock.acquired tells whether exclusion actually held
+
+    Acquisition never raises: on an unwritable root, a missing lock
+    primitive, or a timeout waiting for a peer, the context is entered
+    with :attr:`acquired` ``False`` and the caller proceeds best-effort
+    (the store's degradation mode catches any write that then fails).
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: float = 30.0,
+                 poll_interval: float = 0.005):
+        """Prepare a lock on ``path``; nothing is opened yet."""
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        #: Whether the exclusive lock is currently held.
+        self.acquired = False
+        self._handle = None
+
+    def acquire(self) -> bool:
+        """Try to take the lock; returns whether exclusion held."""
+        if self.acquired:
+            return True
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a+b")
+        except OSError:
+            self._handle = None
+            return False
+        if fcntl is None and msvcrt is None:  # pragma: no cover
+            # No lock primitive on this platform: holding the open
+            # handle is all we can do; report best-effort mode.
+            return False
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._try_lock()
+                self.acquired = True
+                return True
+            except OSError:
+                if time.monotonic() >= deadline:
+                    self._close()
+                    return False
+                time.sleep(self.poll_interval)
+
+    def _try_lock(self) -> None:
+        """One non-blocking lock attempt (raises OSError when held)."""
+        fd = self._handle.fileno()
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        elif msvcrt is not None:  # pragma: no cover - Windows only
+            self._handle.seek(0)
+            msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+
+    def release(self) -> None:
+        """Drop the lock (no-op when it was never acquired)."""
+        if self._handle is not None and self.acquired:
+            try:
+                fd = self._handle.fileno()
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                elif msvcrt is not None:  # pragma: no cover
+                    self._handle.seek(0)
+                    msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+            except OSError:  # pragma: no cover - nothing left to do
+                pass
+        self.acquired = False
+        self._close()
+
+    def _close(self) -> None:
+        """Close the lockfile handle, swallowing close errors."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "FileLock":
+        """Acquire (best-effort) and enter the critical section."""
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Release on exit, regardless of exceptions."""
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        """Release on garbage collection if the caller forgot."""
+        self.release()
+
+
+def store_lock(root: Union[str, Path], timeout: float = 30.0) -> FileLock:
+    """The canonical lock guarding a store root's metadata writes."""
+    return FileLock(Path(root) / LOCK_FILENAME, timeout=timeout)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe used by diagnostics (not the lock)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):  # pragma: no cover
+        return True
+    return True

@@ -4,6 +4,9 @@ Layout (all JSON, human-inspectable)::
 
     <root>/
       store.json              # schema version + lifetime counters
+      store.lock              # inter-process metadata lock
+      quarantine.json         # points that exhausted campaign retries
+      checkpoints/<name>.json # per-campaign progress checkpoints
       objects/<k[:2]>/<k>.json  # one record per point key
 
 Each record carries the key, the key schema version, a provenance
@@ -19,15 +22,28 @@ Design points:
   in ``store.json``; ``repro store stats`` prints them, so "the second
   run executed 0 simulations" is a checkable claim (``puts`` did not
   move).
+* **Counters survive concurrency.** The counter read-modify-write runs
+  under an inter-process :class:`~repro.store.locks.FileLock`, so two
+  concurrent ``repro campaign run`` processes never lose increments
+  (asserted by a multiprocess stress test).
 * **Corruption is a warning, not a crash.** A record that fails to
   parse or validate is skipped with a :class:`ResultStoreWarning`; the
-  point simply re-simulates (and :meth:`ResultStore.gc` can sweep the
-  bad file).
+  point simply re-simulates (and :meth:`ResultStore.gc` or
+  ``repro store verify --gc`` can sweep the bad file). A truncated
+  ``store.json`` reinitializes the counters with a warning.
+* **Unwritable roots degrade, they don't abort.** The first failed
+  write (read-only filesystem, disk full) flips the store into a
+  read-only mode: it warns once, keeps serving reads, and silently
+  drops further writes so a long campaign keeps simulating.
 * **Schema bumps invalidate.** Records whose ``schema`` differs from
   :data:`~repro.store.keys.SCHEMA_VERSION` never hit; ``gc`` removes
   them.
 * **Writes are atomic.** Records and counters go through a temp file +
   :func:`os.replace`, so concurrent readers never see half a record.
+* **Integrity is checkable.** :meth:`ResultStore.verify` is an fsck:
+  every record must parse, match its filename key, match the schema,
+  carry a loadable result payload, and (when provenance is present)
+  hash back to its own key.
 """
 
 from __future__ import annotations
@@ -36,14 +52,22 @@ import json
 import os
 import tempfile
 import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.store.keys import SCHEMA_VERSION
+from repro.store.keys import SCHEMA_VERSION, stable_digest
+from repro.store.locks import store_lock
 from repro.store.records import StoredResult
 
 #: Environment variable naming the default store directory.
 STORE_ENV_VAR = "REPRO_STORE"
+
+#: Filename of the quarantine ledger inside a store root.
+QUARANTINE_FILENAME = "quarantine.json"
+
+#: Directory of per-campaign checkpoint files inside a store root.
+CHECKPOINT_DIRNAME = "checkpoints"
 
 
 class ResultStoreWarning(UserWarning):
@@ -56,6 +80,51 @@ def default_store_root() -> Optional[str]:
     return root or None
 
 
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` via temp file + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class VerifyProblem:
+    """One integrity failure found by :meth:`ResultStore.verify`."""
+
+    path: Path
+    key: str
+    problem: str
+
+    def render(self) -> str:
+        """One-line human form (used by ``repro store verify``)."""
+        return f"{self.key[:16] or self.path.name}  {self.problem}"
+
+
+@dataclass
+class VerifyReport:
+    """What a store fsck pass found (and optionally swept)."""
+
+    checked: int = 0
+    ok: int = 0
+    meta_ok: bool = True
+    problems: List[VerifyProblem] = field(default_factory=list)
+    swept: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether every record (and the metadata file) verified."""
+        return self.meta_ok and not self.problems
+
+
 class ResultStore:
     """A directory of content-addressed simulation results."""
 
@@ -63,6 +132,9 @@ class ResultStore:
         """Open (without creating) the store rooted at ``root``."""
         self.root = Path(root)
         self._counters: Optional[Dict[str, int]] = None
+        #: Once True, every write is silently dropped (set on the first
+        #: failed write: read-only filesystem, disk full...).
+        self._read_only = False
 
     # -- paths -------------------------------------------------------------
 
@@ -76,49 +148,91 @@ class ResultStore:
         """Path of the counters/metadata file."""
         return self.root / "store.json"
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Path of the quarantine ledger."""
+        return self.root / QUARANTINE_FILENAME
+
+    def checkpoint_path(self, campaign: str) -> Path:
+        """Path of one campaign's progress checkpoint."""
+        return self.root / CHECKPOINT_DIRNAME / f"{campaign}.json"
+
     def record_path(self, key: str) -> Path:
         """Path of one record (two-level fan-out, git-object style)."""
         return self.objects_dir / key[:2] / f"{key}.json"
 
+    # -- degradation -------------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the store has degraded to read-only mode."""
+        return self._read_only
+
+    def _degrade(self, exc: OSError) -> None:
+        """Flip into read-only mode (warning once, never raising)."""
+        if not self._read_only:
+            warnings.warn(
+                f"store {self.root} is unwritable ({exc}); continuing in "
+                f"read-only mode — results are NOT being recorded",
+                ResultStoreWarning, stacklevel=4,
+            )
+            self._read_only = True
+
     # -- counters ----------------------------------------------------------
+
+    def _read_counters_file(self) -> Dict[str, int]:
+        """Fresh tolerant read of ``store.json`` (never raises)."""
+        counters = {"puts": 0, "hits": 0, "misses": 0}
+        try:
+            raw = self.meta_path.read_text()
+        except FileNotFoundError:
+            return counters
+        except OSError as exc:
+            warnings.warn(
+                f"unreadable store metadata {self.meta_path}: {exc}",
+                ResultStoreWarning, stacklevel=4,
+            )
+            return counters
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise ValueError("metadata is not a JSON object")
+            for name in counters:
+                counters[name] = int(data.get(name, 0))
+        except (ValueError, TypeError) as exc:
+            # Truncated/corrupt store.json (e.g. a process killed before
+            # the os.replace landed on an exotic filesystem): warn and
+            # reinitialize — the next write repairs the file.
+            warnings.warn(
+                f"corrupt store metadata {self.meta_path} ({exc}); "
+                f"reinitializing counters",
+                ResultStoreWarning, stacklevel=4,
+            )
+            counters = {"puts": 0, "hits": 0, "misses": 0}
+        return counters
 
     def _load_counters(self) -> Dict[str, int]:
         if self._counters is None:
-            counters = {"puts": 0, "hits": 0, "misses": 0}
-            try:
-                data = json.loads(self.meta_path.read_text())
-                for name in counters:
-                    counters[name] = int(data.get(name, 0))
-            except FileNotFoundError:
-                pass
-            except (OSError, ValueError) as exc:
-                warnings.warn(
-                    f"unreadable store metadata {self.meta_path}: {exc}",
-                    ResultStoreWarning, stacklevel=3,
-                )
-            self._counters = counters
+            self._counters = self._read_counters_file()
         return self._counters
 
     def _bump(self, counter: str) -> None:
-        counters = self._load_counters()
-        counters[counter] += 1
-        self._write_json(self.meta_path,
-                         dict(counters, schema=SCHEMA_VERSION))
+        """Increment one lifetime counter (locked read-modify-write)."""
+        if self._read_only:
+            return
+        try:
+            with store_lock(self.root):
+                counters = self._read_counters_file()
+                counters[counter] += 1
+                atomic_write_json(self.meta_path,
+                                  dict(counters, schema=SCHEMA_VERSION))
+                self._counters = counters
+        except OSError as exc:
+            self._degrade(exc)
 
     @staticmethod
     def _write_json(path: Path, payload: dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, payload)
 
     # -- record access -----------------------------------------------------
 
@@ -168,7 +282,11 @@ class ResultStore:
         provenance: Optional[dict] = None,
         tags: Optional[dict] = None,
     ) -> Path:
-        """Record one simulated point (counts as an executed simulation)."""
+        """Record one simulated point (counts as an executed simulation).
+
+        In read-only degradation mode the write is dropped silently
+        (the path is still returned so callers never special-case it).
+        """
         record = {
             "key": key,
             "schema": SCHEMA_VERSION,
@@ -177,7 +295,13 @@ class ResultStore:
             "result": result.to_dict(),
         }
         path = self.record_path(key)
-        self._write_json(path, record)
+        if self._read_only:
+            return path
+        try:
+            atomic_write_json(path, record)
+        except OSError as exc:
+            self._degrade(exc)
+            return path
         self._bump("puts")
         return path
 
@@ -186,17 +310,115 @@ class ResultStore:
 
         Tags are how the Experiment Book finds a campaign's points from
         store contents alone. Returns False when the record is missing.
+        The record read-modify-write runs under the store lock so two
+        concurrent campaigns never drop each other's tags.
         """
-        data = self._read_record(key)
-        if data is None:
-            return False
-        tags = data.setdefault("tags", {})
-        existing = tags.get(campaign)
-        if existing == (meta or {}):
-            return True
-        tags[campaign] = meta or {}
-        self._write_json(self.record_path(key), data)
-        return True
+        if self._read_only:
+            return self.contains(key)
+        try:
+            with store_lock(self.root):
+                data = self._read_record(key)
+                if data is None:
+                    return False
+                tags = data.setdefault("tags", {})
+                existing = tags.get(campaign)
+                if existing == (meta or {}):
+                    return True
+                tags[campaign] = meta or {}
+                atomic_write_json(self.record_path(key), data)
+                return True
+        except OSError as exc:
+            self._degrade(exc)
+            return self.contains(key)
+
+    # -- quarantine ledger -------------------------------------------------
+
+    def quarantine(self) -> Dict[str, dict]:
+        """The quarantine ledger: point key → failure entry."""
+        try:
+            data = json.loads(self.quarantine_path.read_text())
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable quarantine ledger {self.quarantine_path}: "
+                f"{exc}; treating as empty",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return {}
+        entries = data.get("points") if isinstance(data, dict) else None
+        return entries if isinstance(entries, dict) else {}
+
+    def quarantine_add(self, key: str, entry: dict) -> None:
+        """Record one exhausted point in the ledger (locked RMW)."""
+        if self._read_only:
+            return
+        try:
+            with store_lock(self.root):
+                entries = self.quarantine()
+                entries[key] = entry
+                atomic_write_json(self.quarantine_path,
+                                  {"schema": SCHEMA_VERSION,
+                                   "points": entries})
+        except OSError as exc:
+            self._degrade(exc)
+
+    def quarantine_clear(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop ledger entries (all of them, or just ``keys``).
+
+        Returns the number of entries removed. Used by
+        ``repro campaign resume`` so quarantined points get a fresh set
+        of attempts.
+        """
+        if self._read_only:
+            return 0
+        try:
+            with store_lock(self.root):
+                entries = self.quarantine()
+                if keys is None:
+                    removed = len(entries)
+                    entries = {}
+                else:
+                    removed = 0
+                    for key in keys:
+                        if entries.pop(key, None) is not None:
+                            removed += 1
+                if removed:
+                    atomic_write_json(self.quarantine_path,
+                                      {"schema": SCHEMA_VERSION,
+                                       "points": entries})
+                return removed
+        except OSError as exc:
+            self._degrade(exc)
+            return 0
+
+    # -- campaign checkpoints ----------------------------------------------
+
+    def write_checkpoint(self, campaign: str, payload: dict) -> Optional[Path]:
+        """Publish one campaign's progress checkpoint atomically."""
+        path = self.checkpoint_path(campaign)
+        if self._read_only:
+            return None
+        try:
+            atomic_write_json(path, dict(payload, schema=SCHEMA_VERSION))
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+        return path
+
+    def read_checkpoint(self, campaign: str) -> Optional[dict]:
+        """Load one campaign's checkpoint, if present and parsable."""
+        try:
+            data = json.loads(self.checkpoint_path(campaign).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable checkpoint for campaign {campaign!r}: {exc}",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return None
+        return data if isinstance(data, dict) else None
 
     # -- inspection --------------------------------------------------------
 
@@ -217,8 +439,13 @@ class ResultStore:
                 yield key, data
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus on-disk footprint."""
-        counters = dict(self._load_counters())
+        """Counters plus on-disk footprint.
+
+        Counters are re-read from disk so a long-lived handle sees
+        bumps made by concurrent processes, not its own stale cache.
+        """
+        self._counters = self._read_counters_file()
+        counters = dict(self._counters)
         records = 0
         stale = 0
         nbytes = 0
@@ -236,8 +463,77 @@ class ResultStore:
         counters.update(
             root=str(self.root), schema=SCHEMA_VERSION,
             records=records, stale_records=stale, bytes=nbytes,
+            quarantined=len(self.quarantine()),
         )
         return counters
+
+    def verify(self, gc: bool = False) -> VerifyReport:
+        """Fsck every record; optionally sweep the ones that fail.
+
+        Checks, per record file: JSON parses to an object, the embedded
+        ``key`` matches the filename, ``schema`` matches
+        :data:`SCHEMA_VERSION`, the result payload loads as a
+        :class:`StoredResult`, and — when a provenance block is present
+        — the provenance hashes back to the record's own key (the
+        content-address actually addresses the content). ``gc=True``
+        unlinks every failing file (exactly the set that would
+        otherwise warn as :class:`ResultStoreWarning` or never hit).
+        """
+        report = VerifyReport()
+        meta = None
+        if self.meta_path.exists():
+            try:
+                meta = json.loads(self.meta_path.read_text())
+                if not isinstance(meta, dict):
+                    raise ValueError("metadata is not a JSON object")
+            except (OSError, ValueError):
+                report.meta_ok = False
+        paths = (sorted(self.objects_dir.glob("*/*.json"))
+                 if self.objects_dir.is_dir() else [])
+        for path in paths:
+            report.checked += 1
+            problem = self._verify_one(path)
+            if problem is None:
+                report.ok += 1
+                continue
+            report.problems.append(
+                VerifyProblem(path=path, key=path.stem, problem=problem))
+            if gc:
+                try:
+                    path.unlink()
+                    report.swept += 1
+                except OSError:  # pragma: no cover - races/permissions
+                    pass
+        return report
+
+    @staticmethod
+    def _verify_one(path: Path) -> Optional[str]:
+        """The integrity problem of one record file, or None if sound."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return f"unparsable: {exc}"
+        if not isinstance(data, dict):
+            return "not a JSON object"
+        if data.get("key") != path.stem:
+            return (f"key mismatch: record says "
+                    f"{str(data.get('key'))[:16]!r}")
+        if data.get("schema") != SCHEMA_VERSION:
+            return (f"stale schema {data.get('schema')!r} "
+                    f"(current: {SCHEMA_VERSION})")
+        try:
+            StoredResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            return f"malformed result payload: {exc}"
+        provenance = data.get("provenance")
+        if provenance:
+            try:
+                digest = stable_digest(provenance)
+            except TypeError as exc:
+                return f"unhashable provenance: {exc}"
+            if digest != path.stem:
+                return "provenance does not hash to the record key"
+        return None
 
     def gc(self, remove_all: bool = False) -> int:
         """Remove stale (wrong-schema or unreadable) records.

@@ -209,3 +209,127 @@ class TestWarmStartAcceptance:
         assert any(line.split(":")[-1].strip() == "4"
                    for line in stats_out.splitlines()
                    if line.startswith("puts"))
+
+
+class TestHardenedCampaignCli:
+    """ISSUE 5 surface: exit codes, --keep-going, resume, new flags."""
+
+    def test_new_flags_parse(self):
+        parser = build_repro_parser()
+        args = parser.parse_args(
+            ["campaign", "run", "spec.json", "--retries", "2",
+             "--timeout", "5", "--backoff", "0.5", "--keep-going"])
+        assert (args.retries, args.timeout, args.backoff) == (2, 5.0, 0.5)
+        assert args.keep_going and not args.fail_fast
+        args = parser.parse_args(
+            ["campaign", "resume", "spec.json", "--fail-fast"])
+        assert args.campaign_command == "resume" and args.fail_fast
+
+    def test_fail_fast_and_keep_going_exclude(self, capsys):
+        with pytest.raises(SystemExit):
+            build_repro_parser().parse_args(
+                ["campaign", "run", "s.json", "--fail-fast",
+                 "--keep-going"])
+        capsys.readouterr()
+
+    def test_invalid_policy_is_a_usage_error(self, spec_path, tmp_path,
+                                             capsys):
+        rc = repro_main(["campaign", "run", str(spec_path),
+                         "--store", str(tmp_path / "s"), "--retries", "-1"])
+        assert rc == 2
+        assert "retries" in capsys.readouterr().err
+
+    def test_quarantined_point_exits_nonzero(self, spec_path, tmp_path,
+                                             monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1")
+        monkeypatch.setenv("REPRO_CHAOS_ATTEMPTS", "99")
+        store = str(tmp_path / "store")
+        rc = repro_main(["campaign", "run", str(spec_path),
+                         "--store", store])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "3 simulated, 0 from the store, 1 failed" in captured.out
+        assert "quarantined" in captured.err
+        assert "campaign resume" in captured.err
+
+    def test_keep_going_exits_zero_on_quarantine(self, spec_path, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1")
+        monkeypatch.setenv("REPRO_CHAOS_ATTEMPTS", "99")
+        rc = repro_main(["campaign", "run", str(spec_path),
+                         "--store", str(tmp_path / "store"),
+                         "--keep-going"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_resume_reruns_only_the_gap(self, spec_path, tmp_path,
+                                        monkeypatch, capsys):
+        store = str(tmp_path / "store")
+        monkeypatch.setenv("REPRO_CHAOS_CRASH", "1")
+        monkeypatch.setenv("REPRO_CHAOS_ATTEMPTS", "99")
+        assert repro_main(["campaign", "run", str(spec_path),
+                           "--store", store, "--quiet"]) == 1
+        capsys.readouterr()
+        monkeypatch.delenv("REPRO_CHAOS_CRASH")
+        monkeypatch.delenv("REPRO_CHAOS_ATTEMPTS")
+        clear_result_cache()
+        rc = repro_main(["campaign", "resume", str(spec_path),
+                         "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cleared 1 quarantined point(s)" in out
+        assert "1 simulated, 3 from the store, 0 failed" in out
+        assert ResultStore(store).quarantine() == {}
+
+    def test_resume_on_complete_campaign_is_all_hits(self, spec_path,
+                                                     tmp_path, capsys):
+        store = str(tmp_path / "store")
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        clear_result_cache()
+        rc = repro_main(["campaign", "resume", str(spec_path),
+                         "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 simulated, 4 from the store" in out
+
+
+class TestStoreVerifyCli:
+    def test_clean_store_verifies_ok(self, spec_path, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        repro_main(["campaign", "run", str(spec_path), "--store", store,
+                    "--quiet"])
+        capsys.readouterr()
+        rc = repro_main(["store", "verify", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 ok, 0 bad" in out and "[OK]" in out
+
+    def test_corrupt_record_fails_verify(self, spec_path, tmp_path,
+                                         capsys):
+        store_root = tmp_path / "store"
+        repro_main(["campaign", "run", str(spec_path),
+                    "--store", str(store_root), "--quiet"])
+        capsys.readouterr()
+        victim = next(store_root.glob("objects/*/*.json"))
+        victim.write_text("{ torn")
+        rc = repro_main(["store", "verify", "--store", str(store_root)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "PROBLEMS FOUND" in out and "unparsable" in out
+
+    def test_verify_gc_sweeps_and_exits_zero(self, spec_path, tmp_path,
+                                             capsys):
+        store_root = tmp_path / "store"
+        repro_main(["campaign", "run", str(spec_path),
+                    "--store", str(store_root), "--quiet"])
+        capsys.readouterr()
+        victim = next(store_root.glob("objects/*/*.json"))
+        victim.write_text("{ torn")
+        rc = repro_main(["store", "verify", "--gc",
+                         "--store", str(store_root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 swept" in out
+        assert repro_main(["store", "verify",
+                           "--store", str(store_root)]) == 0

@@ -1,0 +1,134 @@
+"""Inter-process store locking: exclusion and exact concurrent counts.
+
+The headline satellite bug: ``ResultStore`` counter updates were
+read-modify-write with no inter-process lock, so two concurrent
+``campaign run`` processes lost puts/hits/misses increments. These
+tests assert the :class:`~repro.store.FileLock` actually excludes and
+that a multiprocess stress run lands on the *exact* final count.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.store import FileLock, ResultStore, store_lock
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+
+class TestFileLock:
+    def test_basic_acquire_release(self, tmp_path):
+        lock = FileLock(tmp_path / "l.lock")
+        assert lock.acquire() is True
+        assert lock.acquired
+        lock.release()
+        assert not lock.acquired
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(tmp_path / "l.lock") as lock:
+            assert lock.acquired
+        assert not lock.acquired
+
+    def test_second_holder_times_out(self, tmp_path):
+        path = tmp_path / "l.lock"
+        with FileLock(path):
+            contender = FileLock(path, timeout=0.1, poll_interval=0.01)
+            assert contender.acquire() is False
+            assert not contender.acquired
+
+    def test_reacquirable_after_release(self, tmp_path):
+        path = tmp_path / "l.lock"
+        with FileLock(path):
+            pass
+        with FileLock(path, timeout=0.5) as second:
+            assert second.acquired
+
+    def test_unwritable_root_degrades_without_raising(self, tmp_path,
+                                                      monkeypatch):
+        def deny(self, *a, **kw):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr("pathlib.Path.mkdir", deny)
+        lock = FileLock(tmp_path / "no" / "l.lock")
+        assert lock.acquire() is False  # degraded, not crashed
+
+    def test_store_lock_names_the_lockfile(self, tmp_path):
+        lock = store_lock(tmp_path)
+        assert lock.path == tmp_path / "store.lock"
+
+
+def _miss_worker(args):
+    """Stress worker: each miss is one locked counter increment."""
+    root, worker_id, count = args
+    store = ResultStore(root)
+    for i in range(count):
+        store.get(f"{i % 16:02x}missing-{worker_id}-{i}")
+
+
+def _put_worker(args):
+    """Stress worker for puts: records + counter, concurrently."""
+    import warnings
+
+    from repro.store import StoredResult
+
+    root, worker_id, count, payload = args
+    store = ResultStore(root)
+    result = StoredResult.from_dict(payload)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for i in range(count):
+            store.put(f"{i % 16:02x}{worker_id}{i:04d}" + "f" * 48, result)
+
+
+class TestConcurrentCounters:
+    """ISSUE satellite: concurrent campaigns must not lose increments."""
+
+    WORKERS = 4
+    PER_WORKER = 25
+
+    def test_concurrent_misses_count_exactly(self, tmp_path):
+        root = str(tmp_path / "store")
+        with multiprocessing.Pool(self.WORKERS) as pool:
+            pool.map(_miss_worker,
+                     [(root, w, self.PER_WORKER)
+                      for w in range(self.WORKERS)])
+        stats = ResultStore(root).stats()
+        assert stats["misses"] == self.WORKERS * self.PER_WORKER
+        assert stats["hits"] == 0
+        assert stats["puts"] == 0
+
+    def test_concurrent_puts_count_exactly(self, tmp_path, sim_result):
+        from repro.store import StoredResult
+
+        root = str(tmp_path / "store")
+        payload = StoredResult.from_sim_result(sim_result).to_dict()
+        with multiprocessing.Pool(self.WORKERS) as pool:
+            pool.map(_put_worker,
+                     [(root, w, self.PER_WORKER, payload)
+                      for w in range(self.WORKERS)])
+        store = ResultStore(root)
+        assert store.stats()["puts"] == self.WORKERS * self.PER_WORKER
+        assert len(list(store.keys())) == self.WORKERS * self.PER_WORKER
+
+    def test_metadata_is_never_torn(self, tmp_path):
+        """After the stress run store.json is whole, parsable JSON."""
+        root = str(tmp_path / "store")
+        with multiprocessing.Pool(2) as pool:
+            pool.map(_miss_worker, [(root, w, 10) for w in range(2)])
+        data = json.loads((tmp_path / "store" / "store.json").read_text())
+        assert data["misses"] == 20
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    """One real (tiny) simulation to serialize in stress puts."""
+    from repro.core.config import BenchmarkConfig
+    from repro.core.suite import MicroBenchmarkSuite
+    from repro.hadoop.cluster import cluster_a
+
+    config = BenchmarkConfig.from_shuffle_size(
+        2e7, pattern="avg", network="1GigE", num_maps=4, num_reduces=2,
+        key_size=256, value_size=256)
+    return MicroBenchmarkSuite(cluster=cluster_a(2)).run_config(
+        config, memoize=False)

@@ -1,0 +1,228 @@
+"""Store hardening: verify fsck, degradation, truncation, quarantine."""
+
+import json
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.suite import MicroBenchmarkSuite, clear_result_cache
+from repro.hadoop.cluster import cluster_a
+from repro.store import (
+    ResultStore,
+    ResultStoreWarning,
+    StoredResult,
+    point_key,
+)
+
+
+def tiny_config(network="1GigE", **overrides):
+    kwargs = dict(num_maps=4, num_reduces=2, key_size=256, value_size=256)
+    kwargs.update(overrides)
+    return BenchmarkConfig.from_shuffle_size(2e7, pattern="avg",
+                                             network=network, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2))
+    return suite.run_config(tiny_config(), memoize=False)
+
+
+def _fill(tmp_path, sim_result, n=2):
+    """A store with n records written the real way (with provenance)."""
+    clear_result_cache()
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2),
+                                store=tmp_path / "store")
+    keys = []
+    for seed in range(n):
+        config = tiny_config(seed=seed + 1)
+        suite.run_config(config)
+        keys.append(suite.store_key(config))
+    clear_result_cache()
+    return ResultStore(tmp_path / "store"), keys
+
+
+class TestVerify:
+    def test_clean_store_verifies(self, tmp_path, sim_result):
+        store, _keys = _fill(tmp_path, sim_result)
+        report = store.verify()
+        assert report.clean
+        assert report.checked == 2 and report.ok == 2
+        assert report.problems == []
+
+    def test_unparsable_record_is_reported(self, tmp_path, sim_result):
+        store, keys = _fill(tmp_path, sim_result)
+        store.record_path(keys[0]).write_text("{ nope")
+        report = store.verify()
+        assert not report.clean
+        assert len(report.problems) == 1
+        assert "unparsable" in report.problems[0].problem
+
+    def test_key_mismatch_is_reported(self, tmp_path, sim_result):
+        store, keys = _fill(tmp_path, sim_result)
+        record = json.loads(store.record_path(keys[0]).read_text())
+        record["key"] = "f" * 64
+        store.record_path(keys[0]).write_text(json.dumps(record))
+        report = store.verify()
+        assert any("key mismatch" in p.problem for p in report.problems)
+
+    def test_stale_schema_is_reported(self, tmp_path, sim_result):
+        store, keys = _fill(tmp_path, sim_result)
+        record = json.loads(store.record_path(keys[0]).read_text())
+        record["schema"] = 999
+        store.record_path(keys[0]).write_text(json.dumps(record))
+        report = store.verify()
+        assert any("stale schema" in p.problem for p in report.problems)
+
+    def test_malformed_payload_is_reported(self, tmp_path, sim_result):
+        store, keys = _fill(tmp_path, sim_result)
+        record = json.loads(store.record_path(keys[0]).read_text())
+        del record["result"]["execution_time"]
+        store.record_path(keys[0]).write_text(json.dumps(record))
+        report = store.verify()
+        assert any("malformed result" in p.problem for p in report.problems)
+
+    def test_tampered_provenance_is_reported(self, tmp_path, sim_result):
+        """The content-address must actually address the content."""
+        store, keys = _fill(tmp_path, sim_result)
+        record = json.loads(store.record_path(keys[0]).read_text())
+        record["provenance"]["config"]["seed"] = 424242
+        store.record_path(keys[0]).write_text(json.dumps(record))
+        report = store.verify()
+        assert any("provenance does not hash" in p.problem
+                   for p in report.problems)
+
+    def test_verify_gc_sweeps_only_problems(self, tmp_path, sim_result):
+        store, keys = _fill(tmp_path, sim_result)
+        store.record_path(keys[0]).write_text("garbage")
+        report = store.verify(gc=True)
+        assert report.swept == 1
+        assert list(store.keys()) == sorted(keys[1:])
+        assert store.verify().clean
+
+    def test_corrupt_metadata_flagged(self, tmp_path, sim_result):
+        store, _keys = _fill(tmp_path, sim_result)
+        store.meta_path.write_text('{"puts": 2, "hi')  # killed mid-write
+        report = store.verify()
+        assert report.meta_ok is False
+
+
+class TestTruncatedMetadata:
+    """Satellite: truncated store.json must warn + reinit, not raise."""
+
+    def test_truncated_meta_reinitializes_counters(self, tmp_path,
+                                                   sim_result):
+        store, _keys = _fill(tmp_path, sim_result)
+        store.meta_path.write_text('{"puts": 2, "hi')
+        fresh = ResultStore(store.root)
+        with pytest.warns(ResultStoreWarning, match="reinitializing"):
+            stats = fresh.stats()
+        assert stats["puts"] == 0  # reinitialized
+
+    def test_next_write_repairs_the_file(self, tmp_path, sim_result):
+        store, _keys = _fill(tmp_path, sim_result)
+        store.meta_path.write_text("")
+        fresh = ResultStore(store.root)
+        with pytest.warns(ResultStoreWarning, match="reinitializing"):
+            fresh.get("ab" * 32)  # miss -> locked bump rewrites meta
+        data = json.loads(store.meta_path.read_text())
+        assert data["misses"] == 1
+
+
+class TestReadOnlyDegradation:
+    """Unwritable/full roots degrade to read-only; simulation goes on."""
+
+    def _break_writes(self, monkeypatch):
+        import repro.store.store as store_mod
+
+        def disk_full(path, payload):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(store_mod, "atomic_write_json", disk_full)
+
+    def test_put_degrades_with_one_warning(self, tmp_path, sim_result,
+                                           monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        self._break_writes(monkeypatch)
+        stored = StoredResult.from_sim_result(sim_result)
+        with pytest.warns(ResultStoreWarning, match="read-only"):
+            store.put("ab" * 32, stored)
+        assert store.read_only
+        # Further writes are silently dropped, not re-warned.
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            store.put("cd" * 32, stored)
+            store.quarantine_add("ef" * 32, {"error": "x"})
+            assert store.write_checkpoint("c", {}) is None
+
+    def test_degraded_store_still_serves_reads(self, tmp_path, sim_result,
+                                               monkeypatch):
+        key = point_key(sim_result.config, cluster_a(2))
+        store = ResultStore(tmp_path / "store")
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        self._break_writes(monkeypatch)
+        with pytest.warns(ResultStoreWarning, match="read-only"):
+            store.get("ab" * 32)  # miss-bump write fails -> degrade
+        assert store.contains(key)
+        assert store.get(key) is not None  # hit served, bump dropped
+
+    def test_suite_keeps_simulating_on_degraded_store(self, tmp_path,
+                                                      monkeypatch):
+        """ISSUE: warn, keep simulating, don't crash."""
+        clear_result_cache()
+        suite = MicroBenchmarkSuite(cluster=cluster_a(2),
+                                    store=tmp_path / "store")
+        self._break_writes(monkeypatch)
+        with pytest.warns(ResultStoreWarning, match="read-only"):
+            result = suite.run_config(tiny_config())
+        assert result.execution_time > 0
+        clear_result_cache()
+
+
+class TestQuarantineLedger:
+    def test_add_read_clear_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.quarantine() == {}
+        store.quarantine_add("aa" * 32, {"error": "boom", "attempts": 2})
+        store.quarantine_add("bb" * 32, {"error": "bang", "attempts": 1})
+        ledger = store.quarantine()
+        assert set(ledger) == {"aa" * 32, "bb" * 32}
+        assert ledger["aa" * 32]["error"] == "boom"
+        assert store.quarantine_clear(["aa" * 32, "zz" * 32]) == 1
+        assert set(store.quarantine()) == {"bb" * 32}
+        assert store.quarantine_clear() == 1
+        assert store.quarantine() == {}
+
+    def test_unreadable_ledger_is_empty_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
+        store.quarantine_path.write_text("{ nope")
+        with pytest.warns(ResultStoreWarning, match="quarantine"):
+            assert store.quarantine() == {}
+
+    def test_quarantined_count_in_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.quarantine_add("aa" * 32, {"error": "boom"})
+        assert store.stats()["quarantined"] == 1
+
+
+class TestCheckpoints:
+    def test_checkpoint_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        path = store.write_checkpoint("fig2", {"total": 4,
+                                               "completed": ["a"]})
+        assert path is not None and path.exists()
+        data = store.read_checkpoint("fig2")
+        assert data["total"] == 4 and data["completed"] == ["a"]
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert ResultStore(tmp_path / "store").read_checkpoint("x") is None
+
+    def test_corrupt_checkpoint_warns(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        path = store.checkpoint_path("fig2")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ nope")
+        with pytest.warns(ResultStoreWarning, match="checkpoint"):
+            assert store.read_checkpoint("fig2") is None

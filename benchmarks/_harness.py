@@ -20,14 +20,20 @@ benchmark runs — and anything else pointed at that store, e.g.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Dict, Sequence
+
+import pytest
 
 from repro import MicroBenchmarkSuite, cluster_a, cluster_b, JobConf
 from repro.analysis import format_table, improvement_pct
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Allowed wall-clock slack vs a committed baseline in smoke mode.
+SMOKE_FACTOR = float(os.environ.get("PERF_SMOKE_FACTOR", "2.0"))
 
 #: Shipped campaign specs (the paper figures as data).
 CAMPAIGN_DIR = pathlib.Path(__file__).parent / "campaigns"
@@ -104,3 +110,42 @@ def one_shot(benchmark, fn):
     """Run ``fn`` once under pytest-benchmark (simulations are
     deterministic, so repeated rounds add nothing)."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def check_or_record(name: str, measured: dict,
+                    baseline_path: pathlib.Path,
+                    factor: float = None) -> None:
+    """Guard one wall-clock measurement against its committed baseline.
+
+    ``measured["seconds"]`` is the guarded value; other keys are
+    informational and stored alongside it in ``baseline_path``.
+
+    * ``PERF_BASELINE=1`` — rewrite the baseline entry and return.
+    * ``PERF_SMOKE=1`` — assert no regression beyond ``factor`` (default
+      :data:`SMOKE_FACTOR`) times the baseline. A bench whose baseline
+      entry is missing (or lacks ``seconds``) *skips* with a pointer to
+      the recording command instead of erroring, so new benches can
+      land before their baselines.
+    * Neither — measure-and-print only (safe on arbitrary machines).
+    """
+    baselines = (json.loads(baseline_path.read_text())
+                 if baseline_path.exists() else {})
+    if os.environ.get("PERF_BASELINE"):
+        baselines[name] = measured
+        baseline_path.write_text(json.dumps(baselines, indent=2,
+                                            sort_keys=True) + "\n")
+        return
+    baseline = baselines.get(name)
+    if not os.environ.get("PERF_SMOKE"):
+        return
+    if baseline is None or "seconds" not in baseline:
+        pytest.skip(
+            f"no committed baseline {name!r} in {baseline_path.name}; "
+            f"run PERF_BASELINE=1 pytest {baseline_path.parent.name}/ "
+            f"to record one")
+    factor = factor if factor is not None else SMOKE_FACTOR
+    limit = factor * baseline["seconds"]
+    assert measured["seconds"] <= limit, (
+        f"{name}: {measured['seconds']:.3f}s exceeds "
+        f"{factor}x baseline ({baseline['seconds']:.3f}s)"
+    )

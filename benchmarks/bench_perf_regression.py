@@ -26,7 +26,14 @@ import os
 import pathlib
 import time
 
-from _harness import YARN_PARAMS, one_shot, record, suite_cluster_a
+from _harness import (
+    SMOKE_FACTOR,
+    YARN_PARAMS,
+    check_or_record,
+    one_shot,
+    record,
+    suite_cluster_a,
+)
 
 from repro.core.config import BenchmarkConfig
 from repro.hadoop.cluster import cluster_a
@@ -35,9 +42,6 @@ from repro.net.solver import compute_max_min, solve_max_min_grouped
 from repro.sim.trace import Tracer
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_fabric.json"
-
-#: Allowed wall-clock slack vs the committed baseline in smoke mode.
-SMOKE_FACTOR = float(os.environ.get("PERF_SMOKE_FACTOR", "2.0"))
 
 #: The trace bus promises zero overhead when disabled: emit sites are a
 #: single attribute check. This is the allowed regression of the
@@ -53,26 +57,10 @@ def _load_baselines() -> dict:
 
 
 def _check_or_record(name: str, measured: dict) -> None:
-    """Record ``measured`` under ``name`` or compare against baseline.
-
-    ``measured["seconds"]`` is the guarded wall-clock value; any other
-    keys are informational and stored alongside it.
-    """
-    baselines = _load_baselines()
-    if os.environ.get("PERF_BASELINE"):
-        baselines[name] = measured
-        BASELINE_PATH.write_text(json.dumps(baselines, indent=2,
-                                            sort_keys=True) + "\n")
-        return
-    baseline = baselines.get(name)
-    if baseline is None:
-        return
-    if os.environ.get("PERF_SMOKE"):
-        limit = SMOKE_FACTOR * baseline["seconds"]
-        assert measured["seconds"] <= limit, (
-            f"{name}: {measured['seconds']:.3f}s exceeds "
-            f"{SMOKE_FACTOR}x baseline ({baseline['seconds']:.3f}s)"
-        )
+    """Record ``measured`` under ``name`` or compare against baseline
+    (see :func:`_harness.check_or_record`; smoke mode skips with a
+    clear message when the baseline entry is missing)."""
+    check_or_record(name, measured, BASELINE_PATH)
 
 
 class _SyntheticFlow:
@@ -196,24 +184,14 @@ def bench_trace_overhead_disabled(benchmark):
            f"{sim_time:.4f}s simulated ({len(traced.trace)} trace events "
            "when enabled)")
 
-    baselines = _load_baselines()
-    if os.environ.get("PERF_BASELINE"):
-        baselines["trace_overhead_disabled"] = {
-            "seconds": wall, "sim_time": sim_time,
-        }
-        BASELINE_PATH.write_text(json.dumps(baselines, indent=2,
-                                            sort_keys=True) + "\n")
-        return
-    baseline = baselines.get("trace_overhead_disabled")
-    if baseline is None:
-        return
-    assert sim_time == baseline["sim_time"], (
-        f"simulated time drifted: {sim_time!r} != {baseline['sim_time']!r}"
-    )
-    if os.environ.get("PERF_SMOKE"):
-        factor = max(TRACE_OVERHEAD_LIMIT, SMOKE_FACTOR)
-        limit = factor * baseline["seconds"]
-        assert wall <= limit, (
-            f"tracing-disabled wall clock regressed: {wall:.3f}s exceeds "
-            f"{factor}x baseline ({baseline['seconds']:.3f}s)"
+    baseline = _load_baselines().get("trace_overhead_disabled")
+    if (baseline is not None and "sim_time" in baseline
+            and not os.environ.get("PERF_BASELINE")):
+        assert sim_time == baseline["sim_time"], (
+            f"simulated time drifted: {sim_time!r} != "
+            f"{baseline['sim_time']!r}"
         )
+    check_or_record("trace_overhead_disabled",
+                    {"seconds": wall, "sim_time": sim_time},
+                    BASELINE_PATH,
+                    factor=max(TRACE_OVERHEAD_LIMIT, SMOKE_FACTOR))

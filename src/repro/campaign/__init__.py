@@ -8,6 +8,11 @@ several trials each. This package turns those sweeps into data:
   (axes, params, variants, trials, fault plan) loadable from TOML or
   JSON (``load_campaign`` / ``load_campaigns``), expandable to exact
   :class:`~repro.core.config.BenchmarkConfig` grid points.
+* :mod:`repro.campaign.batch` — :func:`plan_batches` and
+  :class:`BatchPlan`, the simulation-equivalence planner: cold points
+  whose configs project to the same residue signature share one
+  simulation, and the result is replicated onto the siblings
+  byte-identically.
 * :mod:`repro.campaign.executor` — :class:`CampaignExecutor` and
   :class:`RetryPolicy`, the hardened per-point engine: supervised
   worker processes, retries with exponential backoff, wall-clock
@@ -30,6 +35,12 @@ from repro.campaign.spec import (
     load_campaign,
     load_campaigns,
 )
+from repro.campaign.batch import (
+    BatchPlan,
+    ResidueGroup,
+    plan_batches,
+    residue_signature,
+)
 from repro.campaign.executor import (
     CampaignExecutor,
     ExecutionReport,
@@ -44,6 +55,7 @@ from repro.campaign.runner import (
 )
 
 __all__ = [
+    "BatchPlan",
     "Campaign",
     "CampaignExecutor",
     "CampaignPoint",
@@ -52,8 +64,11 @@ __all__ = [
     "ExecutionReport",
     "PointOutcome",
     "PointProgress",
+    "ResidueGroup",
     "RetryPolicy",
     "load_campaign",
     "load_campaigns",
+    "plan_batches",
+    "residue_signature",
     "run_campaign",
 ]

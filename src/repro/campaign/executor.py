@@ -53,11 +53,13 @@ import os
 import signal
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.batch import plan_batches, replicate_result
 from repro.core.config import BenchmarkConfig
+from repro.core.matrix import precompute_matrices
 from repro.core.suite import MicroBenchmarkSuite, ResultLike, _run_point
 from repro.sim.trace import CAT_HARNESS, Tracer
 
@@ -138,6 +140,16 @@ class ExecutionReport:
     interrupted: bool = False
     #: The signal that interrupted the run, when any.
     stop_signal: Optional[int] = None
+    #: Whether this pass ran the batch (equivalence-class) scheduler.
+    batched: bool = False
+    #: Simulations the batch plan intended to run (one per equivalence
+    #: class of the cold points); equals the cold-point count when
+    #: batching is off or nothing collapses.
+    unique_simulations: int = 0
+    #: Per-stage wall-clock seconds (store-lookup / shared-setup /
+    #: simulate / record, plus whatever the caller seeds — the runner
+    #: adds expand and tag time).
+    profile: Dict[str, float] = field(default_factory=dict)
 
     def _count(self, status: str) -> int:
         return sum(1 for o in self.outcomes if o.status == status)
@@ -258,6 +270,7 @@ class CampaignExecutor:
         jobs: int = 1,
         fail_fast: bool = False,
         isolate: Optional[bool] = None,
+        batch: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         progress=None,
         campaign: str = "",
@@ -272,11 +285,29 @@ class CampaignExecutor:
         #: None = auto (isolate when jobs>1, a timeout is set, or a
         #: chaos hook is armed); True/False forces the mode.
         self.isolate = isolate
+        #: None = auto (batch unless a chaos hook is armed or isolation
+        #: is forced on); True/False forces the mode. ``False`` is the
+        #: strict per-point loop — the oracle the batch path is
+        #: benchmarked and parity-tested against.
+        self.batch = batch
         self.tracer = tracer
         #: Called with each finished :class:`PointOutcome`
         #: (completion order).
         self.progress = progress
         self.campaign = campaign
+        #: Stage seconds merged into the profile before execution (the
+        #: runner seeds campaign-expansion time here).
+        self.profile_base: Dict[str, float] = {}
+        #: Optional ``(campaign_name, metas)`` with one tag-meta dict
+        #: per config (set by the runner). When present, replicated
+        #: sibling records are written with their campaign tag already
+        #: in place, so the runner's post-hoc tag pass reads — but
+        #: never rewrites — them (the bytes match put-then-tag
+        #: exactly).
+        self.tag_plan: Optional[Tuple[str, Sequence[Optional[dict]]]] = None
+        #: Per-stage wall-clock seconds of the last ``execute`` pass.
+        self.profile: Dict[str, float] = {}
+        self._unit_of: Dict[int, Tuple[int, ...]] = {}
         self._stop_signal: Optional[int] = None
         self._abort = False
 
@@ -294,28 +325,65 @@ class CampaignExecutor:
         ]
         self._stop_signal = None
         self._abort = False
+        self._unit_of = {}
+        profile = {"store-lookup": 0.0, "shared-setup": 0.0,
+                   "simulate": 0.0, "record": 0.0}
+        for stage, seconds in self.profile_base.items():
+            profile[stage] = profile.get(stage, 0.0) + seconds
+        self.profile = profile
+        batched = self._should_batch()
+        unique = 0
         old_handlers = self._install_signal_handlers()
         try:
             pending: List[int] = []
-            for i, config in enumerate(configs):
-                if self._stop_signal is not None:
-                    break
-                found = self.suite.lookup_point(config)
-                if found is not None:
-                    self._finish(outcomes[i], STATUS_CACHED, result=found)
-                else:
-                    pending.append(i)
+            stage_started = time.monotonic()
+            if batched:
+                for i, found in enumerate(self.suite.lookup_points(configs)):
+                    if found is not None:
+                        self._finish(outcomes[i], STATUS_CACHED, result=found)
+                    else:
+                        pending.append(i)
+            else:
+                for i, config in enumerate(configs):
+                    if self._stop_signal is not None:
+                        break
+                    found = self.suite.lookup_point(config)
+                    if found is not None:
+                        self._finish(outcomes[i], STATUS_CACHED, result=found)
+                    else:
+                        pending.append(i)
+            profile["store-lookup"] += time.monotonic() - stage_started
             if pending and not self._stop_signal:
-                if self._should_isolate():
-                    self._run_isolated(configs, outcomes, pending)
+                if batched:
+                    stage_started = time.monotonic()
+                    plan = plan_batches(self.suite, configs, pending)
+                    units: List[Tuple[int, ...]] = [
+                        group.members for group in plan.groups
+                    ]
+                    precompute_matrices(
+                        configs[unit[0]] for unit in units)
+                    profile["shared-setup"] += (time.monotonic()
+                                                - stage_started)
+                    unique = plan.unique
+                    self._trace("batch-plan", self.campaign or "campaign",
+                                points=plan.points, unique=plan.unique,
+                                collapsed=plan.collapsed)
                 else:
-                    self._run_inline(configs, outcomes, pending)
+                    units = [(i,) for i in pending]
+                    unique = len(units)
+                if self._should_isolate():
+                    self._run_isolated(configs, outcomes, units)
+                else:
+                    self._run_inline(configs, outcomes, units)
         finally:
             self._restore_signal_handlers(old_handlers)
         report = ExecutionReport(
             outcomes=outcomes,
             interrupted=self._stop_signal is not None,
             stop_signal=self._stop_signal,
+            batched=batched,
+            unique_simulations=unique,
+            profile=dict(profile),
         )
         self._write_checkpoint(report)
         return report
@@ -351,37 +419,72 @@ class CampaignExecutor:
         return (self.jobs > 1 or self.policy.timeout is not None
                 or _chaos_hooks_enabled())
 
+    def _should_batch(self) -> bool:
+        """Whether to run the equivalence-class batch scheduler.
+
+        Auto mode keeps the strict per-point loop under chaos hooks and
+        forced isolation (the robustness tests' ground truth); the
+        explicit flag wins either way, so batch+chaos composition is
+        testable.
+        """
+        if self.batch is not None:
+            return self.batch
+        return not _chaos_hooks_enabled() and self.isolate is not True
+
     # -- inline path -------------------------------------------------------
 
-    def _run_inline(self, configs, outcomes, pending: List[int]) -> None:
-        """Run misses in-process (no timeout enforcement possible)."""
-        for i in pending:
+    def _run_inline(self, configs, outcomes,
+                    units: List[Tuple[int, ...]]) -> None:
+        """Run miss units in-process (no timeout enforcement possible).
+
+        Each unit is one equivalence class: its first member simulates
+        (through :meth:`~repro.core.suite.MicroBenchmarkSuite.\
+simulate_point`, so test wrappers around the suite still intercept),
+        the rest are replicated from that result. Per-point mode passes
+        all-singleton units, making this byte-for-byte the legacy loop.
+        """
+        profile = self.profile
+        for unit in units:
             if self._stop_signal is not None or self._abort:
                 return
+            rep = unit[0]
             attempt = 0
             started = time.monotonic()
             while True:
                 attempt += 1
+                attempt_started = time.monotonic()
                 try:
-                    result = self.suite.simulate_point(configs[i])
+                    result = self.suite.simulate_point(configs[rep])
                 except KeyboardInterrupt:
                     self._stop_signal = signal.SIGINT
                     return
                 except Exception as exc:
+                    profile["simulate"] += (time.monotonic()
+                                            - attempt_started)
                     error = f"{type(exc).__name__}: {exc}"
                     if (attempt <= self.policy.retries
                             and self._stop_signal is None):
-                        self._retry_wait(outcomes[i], attempt, error)
+                        self._retry_wait(outcomes[rep], attempt, error)
                         continue
-                    self._finish(outcomes[i], STATUS_FAILED,
-                                 attempts=attempt, error=error,
-                                 tb=traceback.format_exc(),
-                                 wall=time.monotonic() - started)
+                    tb = traceback.format_exc()
+                    wall = time.monotonic() - started
+                    for i in unit:
+                        self._finish(outcomes[i], STATUS_FAILED,
+                                     attempts=attempt, error=error,
+                                     tb=tb, wall=wall)
                     break
                 else:
-                    self._finish(outcomes[i], STATUS_OK, result=result,
-                                 attempts=attempt,
-                                 wall=time.monotonic() - started)
+                    profile["simulate"] += (time.monotonic()
+                                            - attempt_started)
+                    wall = time.monotonic() - started
+                    self._finish(outcomes[rep], STATUS_OK, result=result,
+                                 attempts=attempt, wall=wall)
+                    if len(unit) > 1:
+                        stage_started = time.monotonic()
+                        self._replicate(configs, outcomes, unit, result,
+                                        attempt, wall)
+                        profile["record"] += (time.monotonic()
+                                              - stage_started)
                     break
 
     def _retry_wait(self, outcome: PointOutcome, attempt: int,
@@ -395,10 +498,20 @@ class CampaignExecutor:
 
     # -- isolated path -----------------------------------------------------
 
-    def _run_isolated(self, configs, outcomes, pending: List[int]) -> None:
-        """Run misses in supervised worker processes."""
+    def _run_isolated(self, configs, outcomes,
+                      units: List[Tuple[int, ...]]) -> None:
+        """Run miss units in supervised worker processes.
+
+        Each unit's representative is dispatched to a worker; when it
+        reports back, the unit's remaining members are replicated in
+        the parent (see :meth:`_collect`). A crashed/hung/failing
+        representative fails its whole unit — every member is
+        quarantined under its own key, so ``campaign resume`` re-runs
+        exactly those points.
+        """
         ctx = multiprocessing.get_context()
-        queue: List[_Pending] = [_Pending(i, 1) for i in pending]
+        self._unit_of = {unit[0]: unit for unit in units}
+        queue: List[_Pending] = [_Pending(unit[0], 1) for unit in units]
         live: Dict[int, _Worker] = {}
         try:
             while queue or live:
@@ -499,10 +612,17 @@ class CampaignExecutor:
                           f"result", None)
         elif message[0] == "ok":
             result = message[1]
+            wall = time.monotonic() - worker.started
+            self.profile["simulate"] += wall
             self.suite.record_point(configs[worker.index], result)
             self._finish(outcomes[worker.index], STATUS_OK, result=result,
-                         attempts=worker.attempt,
-                         wall=time.monotonic() - worker.started)
+                         attempts=worker.attempt, wall=wall)
+            unit = self._unit_of.get(worker.index, (worker.index,))
+            if len(unit) > 1:
+                stage_started = time.monotonic()
+                self._replicate(configs, outcomes, unit, result,
+                                worker.attempt, wall)
+                self.profile["record"] += time.monotonic() - stage_started
         else:
             _tag, error, tb = message
             self._failure(worker, outcomes, queue, error, tb)
@@ -519,9 +639,10 @@ class CampaignExecutor:
             queue.append(_Pending(worker.index, worker.attempt + 1,
                                   time.monotonic() + delay))
             return
-        self._finish(outcome, STATUS_FAILED, attempts=worker.attempt,
-                     error=error, tb=tb,
-                     wall=time.monotonic() - worker.started)
+        wall = time.monotonic() - worker.started
+        for i in self._unit_of.get(worker.index, (worker.index,)):
+            self._finish(outcomes[i], STATUS_FAILED, attempts=worker.attempt,
+                         error=error, tb=tb, wall=wall)
 
     def _kill_worker(self, worker: _Worker) -> None:
         """Terminate (then kill) one worker; never raises."""
@@ -539,6 +660,30 @@ class CampaignExecutor:
             pass
 
     # -- bookkeeping -------------------------------------------------------
+
+    def _replicate(self, configs, outcomes, unit: Tuple[int, ...],
+                   result, attempts: int, wall: float) -> None:
+        """Serve a unit's siblings from its representative's result.
+
+        Each sibling gets the representative's payload under its own
+        config (byte-identical to simulating it directly — see
+        :mod:`repro.campaign.batch`), recorded through one batched
+        store write, and finishes ``STATUS_OK`` like any other
+        simulated point.
+        """
+        clones = [(i, replicate_result(result, configs[i]))
+                  for i in unit[1:]]
+        if self.tag_plan is not None:
+            name, metas = self.tag_plan
+            self.suite.record_points(
+                [(configs[i], clone, {name: metas[i]})
+                 for i, clone in clones])
+        else:
+            self.suite.record_points(
+                [(configs[i], clone) for i, clone in clones])
+        for i, clone in clones:
+            self._finish(outcomes[i], STATUS_OK, result=clone,
+                         attempts=attempts, wall=wall)
 
     def _finish(self, outcome: PointOutcome, status: str,
                 result: Optional[ResultLike] = None, attempts: int = 0,
@@ -582,6 +727,9 @@ class CampaignExecutor:
                        if o.status == STATUS_FAILED],
             "skipped": [o.key for o in report.outcomes
                         if o.status == STATUS_SKIPPED],
+            "batched": report.batched,
+            "unique_simulations": report.unique_simulations,
+            "profile": report.profile,
             "written_at": time.time(),
         })
 

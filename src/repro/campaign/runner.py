@@ -21,6 +21,7 @@ campaigns are observable without parsing stdout.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
@@ -98,6 +99,17 @@ class CampaignResult:
     interrupted: bool = False
     #: Per-point outcomes for every grid point, grid order.
     outcomes: List[PointOutcome] = field(default_factory=list)
+    #: Per-stage wall-clock seconds (expand / store-lookup /
+    #: shared-setup / simulate / record), also embedded in the
+    #: campaign checkpoint; rendered by ``repro campaign run
+    #: --profile``.
+    profile: Dict[str, float] = field(default_factory=dict)
+    #: Distinct simulations the batch planner ran for the cold points
+    #: (< ``executed`` when equivalence classes collapsed; equals it in
+    #: per-point mode).
+    unique_simulations: int = 0
+    #: Whether the batch (equivalence-class) scheduler ran.
+    batched: bool = False
 
     @property
     def completed(self) -> bool:
@@ -141,6 +153,7 @@ def run_campaign(
     policy: Optional[RetryPolicy] = None,
     fail_fast: bool = False,
     isolate: Optional[bool] = None,
+    batch: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
 ) -> CampaignResult:
     """Run every point of a campaign, skipping points already stored.
@@ -158,6 +171,12 @@ def run_campaign(
     SIGINT/SIGTERM interrupt gracefully: completed points are already
     durable in the store, a checkpoint is written, and the result comes
     back with ``interrupted=True``.
+
+    ``batch=None`` lets the executor group the cold points into
+    simulation-equivalence classes and simulate one representative per
+    class (bit-identical store contents, large wall-clock wins on
+    trial-heavy sweeps); ``batch=False`` forces the strict per-point
+    loop, the oracle the batch path is benchmarked against.
     """
     if isinstance(store, str):
         store = ResultStore(store)
@@ -167,7 +186,9 @@ def run_campaign(
         fault_plan=campaign.fault_plan,
         store=store,
     )
+    expand_started = time.monotonic()
     points = campaign.points()
+    expand_seconds = time.monotonic() - expand_started
     total = len(points)
     emitted = {"count": 0}
 
@@ -190,40 +211,63 @@ def run_campaign(
             attempts=outcome.attempts,
         ))
 
+    def point_meta(point: CampaignPoint) -> dict:
+        """The campaign tag stamped onto one point's store record."""
+        return {
+            "figure": campaign.figure,
+            "title": campaign.title,
+            "benchmark": campaign.benchmark,
+            "variant": point.variant,
+            "shuffle_gb": point.shuffle_gb,
+            "network": point.network,
+            "trial": point.trial,
+            "baseline": campaign.baseline or campaign.networks[0],
+            "faulty": campaign.fault_plan is not None,
+        }
+
+    metas = [point_meta(point) for point in points]
     executor = CampaignExecutor(
         suite,
         policy=policy,
         jobs=jobs,
         fail_fast=fail_fast,
         isolate=isolate,
+        batch=batch,
         tracer=tracer,
         progress=on_point,
         campaign=campaign.name,
     )
+    executor.profile_base = {"expand": expand_seconds}
+    # Replicated sibling records are written with their campaign tag in
+    # place, so the tag pass below skips rewriting them.
+    executor.tag_plan = (campaign.name, metas)
     report: ExecutionReport = executor.execute(
         [p.config for p in points], labels=[p.label() for p in points])
 
+    tag_started = time.monotonic()
     out: List[CampaignPointResult] = []
-    for point, outcome in zip(points, report.outcomes):
+    succeeded: List[tuple] = []
+    for i, (point, outcome) in enumerate(zip(points, report.outcomes)):
         if not outcome.succeeded:
             continue
-        if store is not None:
-            store.tag(outcome.key, campaign.name, {
-                "figure": campaign.figure,
-                "title": campaign.title,
-                "benchmark": campaign.benchmark,
-                "variant": point.variant,
-                "shuffle_gb": point.shuffle_gb,
-                "network": point.network,
-                "trial": point.trial,
-                "baseline": campaign.baseline or campaign.networks[0],
-                "faulty": campaign.fault_plan is not None,
-            })
+        succeeded.append((i, outcome))
         out.append(CampaignPointResult(
             point=point, key=outcome.key,
             cached=outcome.status == STATUS_CACHED,
             result=outcome.result,
         ))
+    if store is not None:
+        if report.batched:
+            store.tag_many([
+                (outcome.key, campaign.name, metas[i])
+                for i, outcome in succeeded
+            ])
+        else:
+            for i, outcome in succeeded:
+                store.tag(outcome.key, campaign.name, metas[i])
+    profile = dict(report.profile)
+    profile["record"] = (profile.get("record", 0.0)
+                         + time.monotonic() - tag_started)
     return CampaignResult(
         campaign=campaign,
         points=out,
@@ -233,4 +277,7 @@ def run_campaign(
         skipped=report.skipped,
         interrupted=report.interrupted,
         outcomes=list(report.outcomes),
+        profile=profile,
+        unique_simulations=report.unique_simulations,
+        batched=report.batched,
     )

@@ -393,6 +393,18 @@ def build_repro_parser() -> argparse.ArgumentParser:
                           help="exit 0 even when points were quarantined "
                                "(default: complete the campaign but "
                                "exit 1)")
+        batching = p.add_mutually_exclusive_group()
+        batching.add_argument("--batch", dest="batch", action="store_true",
+                              default=None,
+                              help="force the equivalence-class batch "
+                                   "scheduler (default: auto)")
+        batching.add_argument("--no-batch", dest="batch",
+                              action="store_false",
+                              help="force the strict per-point loop")
+        p.add_argument("--profile", action="store_true",
+                       help="print the per-stage wall-clock breakdown "
+                            "(expand / store-lookup / shared-setup / "
+                            "simulate / record) after the campaign")
 
     run = campaign_sub.add_parser(
         "run", help="execute a campaign spec through the store "
@@ -430,9 +442,12 @@ def _cmd_store(args) -> int:
     store = _repro_store(args)
     if args.store_command == "stats":
         stats = store.stats()
+        lookups = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = (f"{100.0 * stats['hits'] / lookups:.1f}%"
+                             if lookups else "n/a")
         width = max(len(k) for k in stats)
         for key in ("root", "schema", "records", "stale_records", "bytes",
-                    "puts", "hits", "misses", "quarantined"):
+                    "puts", "hits", "misses", "hit_rate", "quarantined"):
             print(f"{key.ljust(width)} : {stats[key]}")
         return 0
     if args.store_command == "verify":
@@ -512,13 +527,28 @@ def _cmd_campaign(args) -> int:
         lambda p: print(p.render(), flush=True))
     outcome = run_campaign(campaign, store=store, jobs=args.jobs,
                            progress=progress, policy=policy,
-                           fail_fast=args.fail_fast)
+                           fail_fast=args.fail_fast, batch=args.batch)
     print(f"campaign {campaign.name}: {len(outcome.outcomes)} points, "
           f"{outcome.executed} simulated, {outcome.from_store} from "
           f"the store, {outcome.failed} failed"
           + (f", {outcome.skipped} skipped" if outcome.skipped else "")
           + (" [interrupted]" if outcome.interrupted else ""),
           flush=True)
+    if args.profile:
+        stages = ["expand", "store-lookup", "shared-setup", "simulate",
+                  "record"]
+        print("stage breakdown:")
+        for stage in stages:
+            print(f"  {stage.ljust(12)} : "
+                  f"{outcome.profile.get(stage, 0.0):9.3f} s")
+        extra = sorted(set(outcome.profile) - set(stages))
+        for stage in extra:
+            print(f"  {stage.ljust(12)} : {outcome.profile[stage]:9.3f} s")
+        print(f"  {'total'.ljust(12)} : "
+              f"{sum(outcome.profile.values()):9.3f} s")
+        if outcome.batched and outcome.executed:
+            print(f"  batch plan: {outcome.executed} cold point(s) -> "
+                  f"{outcome.unique_simulations} unique simulation(s)")
     if outcome.failed:
         print(f"{outcome.failed} point(s) quarantined in "
               f"{store.quarantine_path}; `repro campaign resume "

@@ -190,6 +190,12 @@ class MicroBenchmarkSuite:
         self.store: Optional[ResultStore] = (
             ResultStore(store) if isinstance(store, (str, Path)) else store
         )
+        #: Memo-key -> store-key digest cache. A point's store key is a
+        #: canonical-JSON digest (~0.5 ms); the batch executor derives
+        #: it up to three times per point (lookup, keys list, record),
+        #: so it is cached on the same full point key as the result
+        #: memo.
+        self._store_key_cache: Dict[tuple, str] = {}
 
     # -- single runs ----------------------------------------------------
 
@@ -287,6 +293,37 @@ class MicroBenchmarkSuite:
                 return stored
         return None
 
+    def lookup_points(
+        self, configs: Sequence[BenchmarkConfig]
+    ) -> List[Optional[ResultLike]]:
+        """Serve many points from the memo cache and disk store at once.
+
+        Semantically ``[self.lookup_point(c) for c in configs]`` —
+        identical results and identical final counter values — but all
+        memo misses are resolved against the store through one
+        :meth:`~repro.store.ResultStore.get_batch` call (one counter
+        lock) instead of one locked round-trip per point.
+        """
+        results: List[Optional[ResultLike]] = [None] * len(configs)
+        store_queries: List[Tuple[int, str]] = []
+        for i, config in enumerate(configs):
+            key = self._point_key(config)
+            cached = _RESULT_CACHE.get(key)
+            if cached is not None:
+                _CACHE_STATS["hits"] += 1
+                results[i] = cached
+                continue
+            _CACHE_STATS["misses"] += 1
+            if self.store is not None:
+                store_queries.append((i, self.store_key(config)))
+        if store_queries:
+            stored = self.store.get_batch([k for _i, k in store_queries])
+            for (i, _key), result in zip(store_queries, stored):
+                if result is not None:
+                    _RESULT_CACHE[self._point_key(configs[i])] = result
+                    results[i] = result
+        return results
+
     def record_point(self, config: BenchmarkConfig,
                      result: SimJobResult) -> None:
         """Memoize and persist one freshly simulated point.
@@ -300,6 +337,35 @@ class MicroBenchmarkSuite:
             self.store.put(self.store_key(config),
                            StoredResult.from_sim_result(result),
                            provenance=self._provenance(config))
+
+    def record_points(
+        self, entries: Iterable[Tuple[BenchmarkConfig, ResultLike]]
+    ) -> None:
+        """Memoize and persist many points with one store counter bump.
+
+        The batch executor records a whole equivalence class (the
+        representative's result replicated onto its siblings) through
+        this; ``StoredResult`` values pass through to disk unchanged,
+        so replicated records are byte-identical to loop-path records.
+        An entry may carry an optional third element — a campaign tags
+        dict written with the record (see
+        :meth:`~repro.store.ResultStore.put_many`), which turns the
+        runner's post-hoc tag pass into a read-only skip for that
+        record.
+        """
+        puts: List[Tuple[str, StoredResult, Optional[dict],
+                         Optional[dict]]] = []
+        for entry in entries:
+            config, result = entry[0], entry[1]
+            tags = entry[2] if len(entry) > 2 else None
+            _RESULT_CACHE[self._point_key(config)] = result
+            if self.store is not None:
+                stored = (result if isinstance(result, StoredResult)
+                          else StoredResult.from_sim_result(result))
+                puts.append((self.store_key(config), stored,
+                             self._provenance(config), tags))
+        if puts and self.store is not None:
+            self.store.put_many(puts)
 
     def simulate_point(self, config: BenchmarkConfig) -> SimJobResult:
         """Simulate one point in-process and record it (no lookup).
@@ -320,8 +386,14 @@ class MicroBenchmarkSuite:
         the store schema version; see :func:`repro.store.point_key`.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
-        return point_key(config, self.cluster, jobconf=self.jobconf,
-                         cost_model=self.cost_model, fault_plan=plan)
+        cache_key = self._point_key(config, plan)
+        cached = self._store_key_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        key = point_key(config, self.cluster, jobconf=self.jobconf,
+                        cost_model=self.cost_model, fault_plan=plan)
+        self._store_key_cache[cache_key] = key
+        return key
 
     def _provenance(self, config: BenchmarkConfig,
                     fault_plan: Optional[FaultPlan] = None) -> dict:

@@ -42,7 +42,11 @@ from repro.hadoop.runtime import (  # noqa: F401 - re-exported compat names
     attempt_fails as _attempt_fails,
     create_runtime,
 )
-from repro.net.fabric import NetworkFabric
+from repro.net.fabric import (
+    DEFAULT_LOOPBACK_BANDWIDTH,
+    NetworkFabric,
+    link_table_for,
+)
 from repro.net.interconnect import get_interconnect
 from repro.net.transport import TransportModel, transport_for
 from repro.sim.kernel import Simulator
@@ -115,7 +119,18 @@ def run_simulated_job(
         uplink = cluster.rack_uplink_bandwidth(
             interconnect.sustained_bandwidth
         )
-    fabric = NetworkFabric(sim, interconnect, rack_uplink_bandwidth=uplink)
+    hosts = tuple(
+        (name, cluster.rack_of(i))
+        for i, name in enumerate(cluster.slave_names())
+    )
+    fabric = NetworkFabric(
+        sim,
+        interconnect,
+        rack_uplink_bandwidth=uplink,
+        link_table=link_table_for(
+            interconnect, DEFAULT_LOOPBACK_BANDWIDTH, uplink, hosts
+        ),
+    )
     nodes: List[SimNode] = [
         SimNode(sim, name, cluster.node, fabric, rack=cluster.rack_of(i))
         for i, name in enumerate(cluster.slave_names())

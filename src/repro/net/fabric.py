@@ -38,7 +38,7 @@ import itertools
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.net.interconnect import InterconnectSpec
-from repro.net.solver import compute_max_min, solve_max_min_grouped
+from repro.net.solver import LinkClassTable, compute_max_min, solve_max_min_grouped
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import ByteCounter, UtilizationTracker
@@ -46,10 +46,13 @@ from repro.sim.trace import CAT_NET
 
 __all__ = [
     "DEFAULT_LOOPBACK_BANDWIDTH",
+    "FabricLinkTable",
     "FabricNode",
     "Flow",
     "NetworkFabric",
+    "clear_link_table_cache",
     "compute_max_min",
+    "link_table_for",
 ]
 
 _EPS = 1e-6
@@ -155,6 +158,104 @@ class FabricNode:
         return f"<FabricNode {self.name} rack={self.rack}>"
 
 
+class FabricLinkTable:
+    """Frozen, shareable link topology for one fabric equivalence class.
+
+    A fabric's link structure is fully determined by the interconnect,
+    the loopback/uplink bandwidths and the (host, rack) layout — none
+    of which change during a healthy simulation. This table
+    precomputes, once per class:
+
+    * ``links[(src, dst)]`` — the traversed-link tuple of every
+      possible flow, interned through a :class:`~repro.net.solver.\
+LinkClassTable` so equal tuples are pointer-equal across flows (and
+      across every simulation sharing the table);
+    * ``caps[link]`` — the pristine capacity of every link, computed
+      with the exact expressions :meth:`NetworkFabric._cap_of` uses.
+
+    Tables are immutable after construction and safe to share between
+    concurrent simulations; fault injection never mutates them (a
+    faulted fabric falls back to computing scaled capacities itself).
+    Obtain shared instances through :func:`link_table_for`.
+    """
+
+    __slots__ = ("interconnect_name", "loopback_bandwidth",
+                 "rack_uplink_bandwidth", "hosts", "links", "caps")
+
+    def __init__(
+        self,
+        interconnect: InterconnectSpec,
+        loopback_bandwidth: float,
+        rack_uplink_bandwidth: Optional[float],
+        hosts: Tuple[Tuple[str, int], ...],
+    ):
+        """Precompute link tuples and capacities for ``hosts``
+        (name, rack) pairs on the given interconnect."""
+        self.interconnect_name = interconnect.name
+        self.loopback_bandwidth = loopback_bandwidth
+        self.rack_uplink_bandwidth = rack_uplink_bandwidth
+        self.hosts = tuple(hosts)
+        classes = LinkClassTable()
+        racks = dict(self.hosts)
+        links: Dict[Tuple[str, str], Tuple[Hashable, ...]] = {}
+        caps: Dict[Hashable, float] = {}
+        sustained = interconnect.sustained_bandwidth
+        for name, _rack in self.hosts:
+            links[(name, name)] = classes.intern((("loop", name),))
+            caps[("loop", name)] = loopback_bandwidth
+            caps[("out", name)] = sustained
+            caps[("in", name)] = sustained
+        for src, src_rack in self.hosts:
+            for dst, dst_rack in self.hosts:
+                if src == dst:
+                    continue
+                tup: Tuple[Hashable, ...] = (("out", src), ("in", dst))
+                if rack_uplink_bandwidth is not None and src_rack != dst_rack:
+                    tup = tup + (("rack-up", src_rack),
+                                 ("rack-down", dst_rack))
+                links[(src, dst)] = classes.intern(tup)
+        if rack_uplink_bandwidth is not None:
+            for rack in {r for _name, r in self.hosts}:
+                caps[("rack-up", rack)] = rack_uplink_bandwidth
+                caps[("rack-down", rack)] = rack_uplink_bandwidth
+        self.links = links
+        self.caps = caps
+
+
+#: Process-wide FabricLinkTable cache, keyed by the class-defining
+#: fields. Tables are tiny (O(hosts^2) small tuples) and immutable, so
+#: the cache is unbounded like the matrix cache.
+_LINK_TABLE_CACHE: Dict[tuple, FabricLinkTable] = {}
+
+
+def link_table_for(
+    interconnect: InterconnectSpec,
+    loopback_bandwidth: float,
+    rack_uplink_bandwidth: Optional[float],
+    hosts: Tuple[Tuple[str, int], ...],
+) -> FabricLinkTable:
+    """The shared frozen link table of one fabric class (cached).
+
+    Every simulation of the same (interconnect, bandwidths, host
+    layout) class receives the *same* table object, so link tuples are
+    interned process-wide and the per-job topology walk happens once
+    per class instead of once per flow per job.
+    """
+    key = (interconnect.name, loopback_bandwidth, rack_uplink_bandwidth,
+           tuple(hosts))
+    table = _LINK_TABLE_CACHE.get(key)
+    if table is None:
+        table = FabricLinkTable(interconnect, loopback_bandwidth,
+                                rack_uplink_bandwidth, tuple(hosts))
+        _LINK_TABLE_CACHE[key] = table
+    return table
+
+
+def clear_link_table_cache() -> None:
+    """Drop all cached fabric link tables (mainly for tests)."""
+    _LINK_TABLE_CACHE.clear()
+
+
 class NetworkFabric:
     """The cluster network: nodes, NIC capacities, max-min flow rates."""
 
@@ -165,20 +266,34 @@ class NetworkFabric:
         loopback_bandwidth: float = DEFAULT_LOOPBACK_BANDWIDTH,
         rack_uplink_bandwidth: Optional[float] = None,
         solver: str = "incremental",
+        link_table: Optional[FabricLinkTable] = None,
     ):
         """``rack_uplink_bandwidth`` caps each rack's aggregate traffic
         to/from the core switch (bytes/s, each direction). ``None``
         models the paper's single non-blocking switch. ``solver`` picks
         ``"incremental"`` (grouped fast solver + change-point skipping)
         or ``"reference"`` (the plain water-filling recompute); both
-        produce bit-identical timings."""
+        produce bit-identical timings. ``link_table`` supplies a shared
+        precomputed :class:`FabricLinkTable` for this fabric's class
+        (see :func:`link_table_for`); it must describe the same
+        interconnect and bandwidths, and unknown (src, dst) pairs or
+        fault-scaled capacities fall back to computing locally."""
         if solver not in ("incremental", "reference"):
             raise ValueError(f"unknown solver {solver!r}")
+        if link_table is not None and (
+                link_table.interconnect_name != interconnect.name
+                or link_table.loopback_bandwidth != loopback_bandwidth
+                or link_table.rack_uplink_bandwidth != rack_uplink_bandwidth):
+            raise ValueError(
+                "link_table was built for a different fabric class "
+                f"({link_table.interconnect_name!r}) than this fabric "
+                f"({interconnect.name!r})")
         self.sim = sim
         self.interconnect = interconnect
         self.loopback_bandwidth = loopback_bandwidth
         self.rack_uplink_bandwidth = rack_uplink_bandwidth
         self.solver = solver
+        self._link_table = link_table
         self.nodes: Dict[str, FabricNode] = {}
         self._active: List[Flow] = []
         self._last = sim.now
@@ -309,6 +424,11 @@ class NetworkFabric:
     # -- rate bookkeeping ---------------------------------------------------
 
     def _links_of(self, flow: Flow) -> Tuple[Hashable, ...]:
+        table = self._link_table
+        if table is not None:
+            links = table.links.get((flow.src, flow.dst))
+            if links is not None:
+                return links
         if flow.src == flow.dst:
             return (("loop", flow.src),)
         links: Tuple[Hashable, ...] = (("out", flow.src), ("in", flow.dst))
@@ -322,6 +442,10 @@ class NetworkFabric:
         return links
 
     def _cap_of(self, link: Hashable) -> float:
+        if self._link_table is not None and not self._link_factors:
+            cap = self._link_table.caps.get(link)
+            if cap is not None:
+                return cap
         kind = link[0]
         if kind == "loop":
             cap = self.loopback_bandwidth

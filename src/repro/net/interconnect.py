@@ -169,3 +169,14 @@ def get_interconnect(name: str) -> InterconnectSpec:
         known = sorted(INTERCONNECTS) + sorted(_ALIASES)
         raise KeyError(f"unknown interconnect {name!r}; known: {known}")
     return spec
+
+
+def canonical_name(name: str) -> str:
+    """Resolve any interconnect name or alias to its canonical name.
+
+    Two configs whose ``network`` strings are different aliases of the
+    same fabric (``"ipoib-qdr"`` vs ``"IPoIB-QDR(32Gbps)"``) simulate
+    identically, so equivalence-class keys (campaign batching, store
+    provenance) use this resolved form.
+    """
+    return get_interconnect(name).name

@@ -48,7 +48,36 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Tuple
 
-__all__ = ["compute_max_min", "solve_max_min_grouped"]
+__all__ = ["LinkClassTable", "compute_max_min", "solve_max_min_grouped"]
+
+
+class LinkClassTable:
+    """Interning table for flow link tuples (the solver's class keys).
+
+    :func:`solve_max_min_grouped` keys its equivalence classes by each
+    flow's traversed-link tuple. Those tuples are structurally
+    identical across every flow of one (src, dst) pair — and, in a
+    batched campaign, across every fabric of one equivalence class —
+    so interning them makes equal keys *pointer-equal*: each distinct
+    tuple is hashed once at intern time, and dict operations on the
+    class tables short-circuit on identity. This is purely an
+    allocation/identity optimization; the tuples' values (and hence
+    every solver result) are untouched.
+    """
+
+    __slots__ = ("_classes",)
+
+    def __init__(self) -> None:
+        """Start with no interned link tuples."""
+        self._classes: Dict[Tuple[Hashable, ...], Tuple[Hashable, ...]] = {}
+
+    def intern(self, links: Tuple[Hashable, ...]) -> Tuple[Hashable, ...]:
+        """Return the canonical instance of ``links`` (first one wins)."""
+        return self._classes.setdefault(links, links)
+
+    def __len__(self) -> int:
+        """Number of distinct link tuples interned so far."""
+        return len(self._classes)
 
 
 def compute_max_min(

@@ -216,19 +216,30 @@ class ResultStore:
             self._counters = self._read_counters_file()
         return self._counters
 
-    def _bump(self, counter: str) -> None:
-        """Increment one lifetime counter (locked read-modify-write)."""
-        if self._read_only:
+    def _bump_many(self, deltas: Dict[str, int]) -> None:
+        """Add several counter deltas under one lock acquisition.
+
+        Batched campaign stages funnel a whole batch's worth of
+        hits/misses/puts through here, turning O(points) locked
+        read-modify-writes into one.
+        """
+        deltas = {name: n for name, n in deltas.items() if n}
+        if not deltas or self._read_only:
             return
         try:
             with store_lock(self.root):
                 counters = self._read_counters_file()
-                counters[counter] += 1
+                for name, n in deltas.items():
+                    counters[name] = counters.get(name, 0) + n
                 atomic_write_json(self.meta_path,
                                   dict(counters, schema=SCHEMA_VERSION))
                 self._counters = counters
         except OSError as exc:
             self._degrade(exc)
+
+    def _bump(self, counter: str) -> None:
+        """Increment one lifetime counter (locked read-modify-write)."""
+        self._bump_many({counter: 1})
 
     @staticmethod
     def _write_json(path: Path, payload: dict) -> None:
@@ -275,6 +286,37 @@ class ResultStore:
         self._bump("hits")
         return result
 
+    def get_batch(self, keys: Iterable[str]) -> List[Optional[StoredResult]]:
+        """Look up many results; counts every hit/miss in one bump.
+
+        Semantically equivalent to ``[self.get(k) for k in keys]`` —
+        same results, same warnings, same final counter values — but
+        the counter file is locked and rewritten once instead of once
+        per key.
+        """
+        results: List[Optional[StoredResult]] = []
+        hits = 0
+        misses = 0
+        for key in keys:
+            data = self._read_record(key)
+            result = None
+            if data is not None:
+                try:
+                    result = StoredResult.from_dict(data["result"])
+                except (KeyError, ValueError) as exc:
+                    warnings.warn(
+                        f"skipping malformed store record "
+                        f"{self.record_path(key)}: {exc}",
+                        ResultStoreWarning, stacklevel=2,
+                    )
+            if result is None:
+                misses += 1
+            else:
+                hits += 1
+            results.append(result)
+        self._bump_many({"hits": hits, "misses": misses})
+        return results
+
     def put(
         self,
         key: str,
@@ -305,6 +347,46 @@ class ResultStore:
         self._bump("puts")
         return path
 
+    def put_many(
+        self,
+        entries: Iterable[Tuple[str, StoredResult, Optional[dict],
+                                Optional[dict]]],
+    ) -> List[Path]:
+        """Record many points with one counter bump at the end.
+
+        ``entries`` yields ``(key, result, provenance, tags)`` tuples.
+        Writing campaign tags at put time makes a later
+        :meth:`tag`/:meth:`tag_many` of the same ``{campaign: meta}``
+        a read-only no-op (records are dumped with the same sorted-key
+        formatting either way, so the bytes are identical). Each record
+        file is still written atomically on its own (readers never see
+        a half record); only the ``puts`` counter read-modify-write is
+        coalesced. A failed write degrades the store exactly like
+        :meth:`put` and skips the remaining writes.
+        """
+        paths: List[Path] = []
+        written = 0
+        for key, result, provenance, tags in entries:
+            record = {
+                "key": key,
+                "schema": SCHEMA_VERSION,
+                "provenance": provenance or {},
+                "tags": tags or {},
+                "result": result.to_dict(),
+            }
+            path = self.record_path(key)
+            paths.append(path)
+            if self._read_only:
+                continue
+            try:
+                atomic_write_json(path, record)
+            except OSError as exc:
+                self._degrade(exc)
+                continue
+            written += 1
+        self._bump_many({"puts": written})
+        return paths
+
     def tag(self, key: str, campaign: str, meta: Optional[dict] = None) -> bool:
         """Stamp a campaign tag onto an existing record.
 
@@ -330,6 +412,35 @@ class ResultStore:
         except OSError as exc:
             self._degrade(exc)
             return self.contains(key)
+
+    def tag_many(
+        self,
+        entries: Iterable[Tuple[str, str, Optional[dict]]],
+    ) -> int:
+        """Stamp many campaign tags under one store-lock acquisition.
+
+        ``entries`` yields ``(key, campaign, meta)`` triples. Returns
+        the number of records that carry the tag afterwards (missing
+        records are skipped, like :meth:`tag` returning False).
+        """
+        entries = list(entries)
+        if self._read_only:
+            return sum(1 for key, _c, _m in entries if self.contains(key))
+        tagged = 0
+        try:
+            with store_lock(self.root):
+                for key, campaign, meta in entries:
+                    data = self._read_record(key)
+                    if data is None:
+                        continue
+                    tags = data.setdefault("tags", {})
+                    if tags.get(campaign) != (meta or {}):
+                        tags[campaign] = meta or {}
+                        atomic_write_json(self.record_path(key), data)
+                    tagged += 1
+        except OSError as exc:
+            self._degrade(exc)
+        return tagged
 
     # -- quarantine ledger -------------------------------------------------
 

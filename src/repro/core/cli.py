@@ -137,9 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
         "persistent content-addressed result store (docs/MODEL.md, "
         "'The caching contract')",
     )
-    caching.add_argument("--store", default=None, metavar="DIR",
-                         help="back runs with the on-disk result store at "
-                              "DIR (default: $REPRO_STORE when set)")
+    caching.add_argument("--store", default=None, metavar="ROOT",
+                         help="back runs with the persistent result store "
+                              "at ROOT: a directory, or sqlite:PATH for "
+                              "the SQLite backend (default: $REPRO_STORE "
+                              "when set)")
     caching.add_argument("--no-store", action="store_true",
                          help="disable the disk store even if "
                               "$REPRO_STORE is set")
@@ -327,9 +329,10 @@ def build_repro_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_store_arg(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--store", default=None, metavar="DIR",
-                       help="result store directory (default: "
-                            "$REPRO_STORE, else .repro-store)")
+        p.add_argument("--store", default=None, metavar="ROOT",
+                       help="result store root: a directory, or "
+                            "sqlite:PATH for the SQLite backend "
+                            "(default: $REPRO_STORE, else .repro-store)")
 
     store = sub.add_parser("store", help="inspect or maintain a result "
                                          "store")
@@ -337,6 +340,10 @@ def build_repro_parser() -> argparse.ArgumentParser:
     stats = store_sub.add_parser("stats", help="record counts and lifetime "
                                                "put/hit/miss counters")
     add_store_arg(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the stats as one JSON object "
+                            "(for automation; hit_rate is a float "
+                            "0-100, or null with no lookups)")
     verify = store_sub.add_parser(
         "verify", help="fsck every record: parses, matches its key, "
                        "matches the schema, provenance hashes back")
@@ -348,6 +355,8 @@ def build_repro_parser() -> argparse.ArgumentParser:
     ls.add_argument("--long", "-l", action="store_true",
                     help="also show benchmark, network, size and "
                          "campaign tags per record")
+    ls.add_argument("--campaign", default=None, metavar="NAME",
+                    help="only records tagged by campaign NAME")
     gc = store_sub.add_parser("gc", help="remove stale (wrong-schema or "
                                          "unreadable) records")
     add_store_arg(gc)
@@ -358,6 +367,15 @@ def build_repro_parser() -> argparse.ArgumentParser:
     add_store_arg(export)
     export.add_argument("--output", "-o", default=None, metavar="PATH",
                         help="write to PATH instead of stdout")
+    migrate = store_sub.add_parser(
+        "migrate", help="copy one store into another (any backend to "
+                        "any backend), key-for-key and byte-identical")
+    migrate.add_argument("source", metavar="SRC",
+                         help="source store root (directory or "
+                              "sqlite:PATH)")
+    migrate.add_argument("destination", metavar="DST",
+                         help="destination store root (directory or "
+                              "sqlite:PATH)")
 
     campaign = sub.add_parser("campaign", help="run declarative benchmark "
                                                "campaigns")
@@ -439,15 +457,25 @@ def _repro_store(args):
 
 
 def _cmd_store(args) -> int:
+    if args.store_command == "migrate":
+        return _cmd_store_migrate(args)
     store = _repro_store(args)
     if args.store_command == "stats":
         stats = store.stats()
         lookups = stats["hits"] + stats["misses"]
+        if args.json:
+            import json
+
+            stats["hit_rate"] = (100.0 * stats["hits"] / lookups
+                                 if lookups else None)
+            print(json.dumps(stats, indent=1, sort_keys=True))
+            return 0
         stats["hit_rate"] = (f"{100.0 * stats['hits'] / lookups:.1f}%"
                              if lookups else "n/a")
         width = max(len(k) for k in stats)
-        for key in ("root", "schema", "records", "stale_records", "bytes",
-                    "puts", "hits", "misses", "hit_rate", "quarantined"):
+        for key in ("root", "backend", "schema", "records",
+                    "stale_records", "bytes", "puts", "hits", "misses",
+                    "hit_rate", "quarantined"):
             print(f"{key.ljust(width)} : {stats[key]}")
         return 0
     if args.store_command == "verify":
@@ -460,19 +488,24 @@ def _cmd_store(args) -> int:
               + (f", {report.swept} swept" if args.gc else "")
               + f"  [{state}]")
         if not report.meta_ok:
-            print(f"warning: store metadata {store.meta_path} is corrupt "
-                  f"(counters will reinitialize)", file=sys.stderr)
+            print(f"warning: metadata of the {store.describe()} is "
+                  f"corrupt (counters will reinitialize)", file=sys.stderr)
         if report.clean or (args.gc and report.swept == len(report.problems)):
             return 0
         return 1
     if args.store_command == "ls":
         if not args.long:
-            for key in store.keys():
+            keys = (store.campaign_keys(args.campaign)
+                    if args.campaign else store.keys())
+            for key in keys:
                 print(key)
             return 0
         from repro.store import StoredResult
 
         for key, record in store.records():
+            if args.campaign and args.campaign not in (
+                    record.get("tags") or {}):
+                continue
             try:
                 result = StoredResult.from_dict(record["result"])
             except (KeyError, ValueError):
@@ -500,6 +533,18 @@ def _cmd_store(args) -> int:
                 print(line)
         return 0
     raise AssertionError(args.store_command)
+
+
+def _cmd_store_migrate(args) -> int:
+    from repro.store import migrate_store
+
+    try:
+        report = migrate_store(args.source, args.destination)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
 
 
 def _cmd_campaign(args) -> int:
@@ -551,7 +596,7 @@ def _cmd_campaign(args) -> int:
                   f"{outcome.unique_simulations} unique simulation(s)")
     if outcome.failed:
         print(f"{outcome.failed} point(s) quarantined in "
-              f"{store.quarantine_path}; `repro campaign resume "
+              f"{store.quarantine_location}; `repro campaign resume "
               f"{args.spec}` retries them", file=sys.stderr)
     if outcome.interrupted:
         return 130

@@ -9,16 +9,38 @@ repeated campaigns warm-start across processes:
   version); independent of ``PYTHONHASHSEED`` and process identity.
 * :mod:`repro.store.records` — :class:`StoredResult`, the durable
   JSON-round-trippable subset of a ``SimJobResult``.
-* :mod:`repro.store.store` — :class:`ResultStore`, the on-disk record
-  directory with hit/miss/put counters, corruption tolerance, schema
-  invalidation and ``gc``/``export`` maintenance.
+* :mod:`repro.store.backend` — the :class:`StoreBackend` contract the
+  facade drives, plus root-URL resolution (``sqlite:PATH`` et al).
+* :mod:`repro.store.fs` / :mod:`repro.store.sqlite` — the two
+  backends: the human-inspectable record directory (sharded counter
+  files) and one WAL-mode SQLite database (indexed tags, fast stats).
+* :mod:`repro.store.store` — :class:`ResultStore`, the facade with
+  hit/miss/put counters, corruption tolerance, schema invalidation and
+  ``gc``/``export`` maintenance.
+* :mod:`repro.store.migrate` — lossless, byte-identical store-to-store
+  copies across backends (``repro store migrate``).
 
 Attach a store to a suite (``MicroBenchmarkSuite(store=...)``), the
-CLI (``--store DIR``) or a campaign run, and every simulated point is
+CLI (``--store ROOT``) or a campaign run, and every simulated point is
 recorded once and replayed forever — bit-identical, with provenance.
-See ``docs/MODEL.md`` ("The caching contract") and ``docs/API.md``.
+See ``docs/STORE.md``, ``docs/MODEL.md`` ("The caching contract") and
+``docs/API.md``.
 """
 
+from repro.store.backend import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    FSYNC_ENV_VAR,
+    ResultStoreWarning,
+    StoreBackend,
+    VerifyProblem,
+    VerifyReport,
+    atomic_write_json,
+    create_backend,
+    dump_record_text,
+    split_root,
+)
+from repro.store.fs import FilesystemBackend
 from repro.store.keys import (
     SCHEMA_VERSION,
     canonical,
@@ -28,27 +50,36 @@ from repro.store.keys import (
     stable_digest,
 )
 from repro.store.locks import FileLock, store_lock
+from repro.store.migrate import MigrationReport, migrate_store
 from repro.store.records import StoredResult
+from repro.store.sqlite import SQLiteBackend
 from repro.store.store import (
     STORE_ENV_VAR,
     ResultStore,
-    ResultStoreWarning,
-    VerifyProblem,
-    VerifyReport,
-    atomic_write_json,
     default_store_root,
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "FSYNC_ENV_VAR",
     "SCHEMA_VERSION",
     "STORE_ENV_VAR",
     "FileLock",
+    "FilesystemBackend",
+    "MigrationReport",
     "ResultStore",
     "ResultStoreWarning",
+    "SQLiteBackend",
+    "StoreBackend",
     "StoredResult",
     "VerifyProblem",
     "VerifyReport",
     "atomic_write_json",
+    "create_backend",
+    "dump_record_text",
+    "migrate_store",
+    "split_root",
     "store_lock",
     "canonical",
     "canonical_json",

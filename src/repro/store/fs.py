@@ -1,0 +1,567 @@
+"""The directory-tree store backend (human-inspectable JSON files).
+
+Layout (all JSON)::
+
+    <root>/
+      store.json                # schema stamp (+ legacy counters)
+      store.lock                # inter-process metadata lock
+      counters/shard-<nn>.json  # sharded lifetime counters
+      counters/shard-<nn>.lock  # one lock per shard
+      locks/<aa>.lock           # per-key-prefix tag locks
+      quarantine.json           # points that exhausted campaign retries
+      checkpoints/<name>.json   # per-campaign progress checkpoints
+      objects/<k[:2]>/<k>.json  # one record per point key
+
+**Sharded counters.** The seed layout kept all lifetime counters in
+``store.json`` behind one ``store.lock``, so every concurrent writer's
+read-modify-write serialized on a single fcntl lock (and, under
+contention, on the lock's sleep/poll loop). Counters now live in
+:data:`COUNTER_SHARDS` shard files: each process bumps only the shard
+selected by its PID, under that shard's own lock, so concurrent
+campaign runners almost never contend. Totals are the sum over shards
+(plus any legacy ``store.json`` counters, which keep counting so
+pre-shard stores upgrade in place); :meth:`FilesystemBackend.counters`
+aggregates on every read.
+
+**Per-prefix tag locks.** Tag read-modify-writes lock
+``locks/<key[:2]>.lock`` instead of the store-wide lock, so concurrent
+campaigns tagging different records proceed in parallel (two campaigns
+tagging the *same* record still exclude each other).
+
+``FilesystemBackend(root, sharded=False)`` restores the seed
+single-lock behavior — kept only as the contention baseline for
+``benchmarks/bench_store_backends.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.store.backend import (
+    ResultStoreWarning,
+    StoreBackend,
+    VerifyProblem,
+    VerifyReport,
+    atomic_write_json,
+)
+from repro.store.keys import SCHEMA_VERSION, stable_digest
+from repro.store.locks import FileLock, store_lock
+from repro.store.records import StoredResult
+
+#: Filename of the quarantine ledger inside a store root.
+QUARANTINE_FILENAME = "quarantine.json"
+
+#: Directory of per-campaign checkpoint files inside a store root.
+CHECKPOINT_DIRNAME = "checkpoints"
+
+#: Directory of sharded counter files inside a store root.
+COUNTER_DIRNAME = "counters"
+
+#: Directory of per-key-prefix tag locks inside a store root.
+LOCK_DIRNAME = "locks"
+
+#: Number of counter shards. Processes map to shards by PID, so up to
+#: this many concurrent writers bump counters without sharing a lock.
+COUNTER_SHARDS = 16
+
+#: Names every counter file carries (other names are preserved too).
+COUNTER_NAMES = ("puts", "hits", "misses")
+
+
+def _zero_counters() -> Dict[str, int]:
+    return {name: 0 for name in COUNTER_NAMES}
+
+
+class FilesystemBackend(StoreBackend):
+    """Content-addressed records as a fanned-out directory of JSON."""
+
+    scheme = "filesystem"
+
+    def __init__(self, root: Union[str, Path], sharded: bool = True):
+        """Open (without creating) the directory store at ``root``.
+
+        ``sharded=False`` funnels counters and tags through the single
+        ``store.lock`` like the pre-backend store did — the measured
+        baseline in ``bench_store_backends.py``, not for production.
+        """
+        self.root = Path(root)
+        self.sharded = sharded
+        #: Once True, every write is silently dropped (set on the first
+        #: failed write: read-only filesystem, disk full...).
+        self._read_only = False
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the per-key record files."""
+        return self.root / "objects"
+
+    @property
+    def meta_path(self) -> Path:
+        """Path of the schema-stamp/legacy-counters file."""
+        return self.root / "store.json"
+
+    @property
+    def counters_dir(self) -> Path:
+        """Directory holding the sharded counter files."""
+        return self.root / COUNTER_DIRNAME
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Path of the quarantine ledger."""
+        return self.root / QUARANTINE_FILENAME
+
+    def checkpoint_path(self, campaign: str) -> Path:
+        """Path of one campaign's progress checkpoint."""
+        return self.root / CHECKPOINT_DIRNAME / f"{campaign}.json"
+
+    def record_path(self, key: str) -> Path:
+        """Path of one record (two-level fan-out, git-object style)."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def shard_path(self, shard: int) -> Path:
+        """Path of one counter shard file."""
+        return self.counters_dir / f"shard-{shard:02d}.json"
+
+    def _shard_lock(self, shard: int) -> FileLock:
+        """The lock guarding one counter shard's read-modify-write."""
+        return FileLock(self.counters_dir / f"shard-{shard:02d}.lock")
+
+    def _tag_lock(self, key: str) -> FileLock:
+        """The lock guarding tag RMWs on one key prefix."""
+        if not self.sharded:
+            return store_lock(self.root)
+        return FileLock(self.root / LOCK_DIRNAME / f"{key[:2]}.lock")
+
+    def describe(self) -> str:
+        """One-line human description of this backend."""
+        return f"filesystem store at {self.root}"
+
+    def quarantine_location(self) -> str:
+        """Where the quarantine ledger lives."""
+        return str(self.quarantine_path)
+
+    # -- degradation -------------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the store has degraded to read-only mode."""
+        return self._read_only
+
+    def _degrade(self, exc: OSError) -> None:
+        """Flip into read-only mode (warning once, never raising)."""
+        if not self._read_only:
+            warnings.warn(
+                f"store {self.root} is unwritable ({exc}); continuing in "
+                f"read-only mode — results are NOT being recorded",
+                ResultStoreWarning, stacklevel=4,
+            )
+            self._read_only = True
+
+    # -- counters ----------------------------------------------------------
+
+    def _read_counter_file(self, path: Path) -> Dict[str, int]:
+        """Fresh tolerant read of one counter file (never raises)."""
+        counters = _zero_counters()
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            return counters
+        except OSError as exc:
+            warnings.warn(
+                f"unreadable store metadata {path}: {exc}",
+                ResultStoreWarning, stacklevel=4,
+            )
+            return counters
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise ValueError("metadata is not a JSON object")
+            for name, value in data.items():
+                if name == "schema":
+                    continue
+                counters[name] = int(value)
+        except (ValueError, TypeError) as exc:
+            # Truncated/corrupt counter file (e.g. a process killed
+            # mid-write on an exotic filesystem): warn and reinitialize
+            # — the next write repairs the file.
+            warnings.warn(
+                f"corrupt store metadata {path} ({exc}); "
+                f"reinitializing counters",
+                ResultStoreWarning, stacklevel=4,
+            )
+            counters = _zero_counters()
+        return counters
+
+    def _counter_shard(self) -> int:
+        """This process's counter shard (stable per PID)."""
+        return os.getpid() % COUNTER_SHARDS
+
+    def bump_counters(self, deltas: Dict[str, int]) -> None:
+        """Add counter deltas under this process's shard lock.
+
+        In ``sharded=False`` compatibility mode the deltas go into
+        ``store.json`` under the store-wide lock instead (the seed
+        path, with its cross-process contention).
+        """
+        deltas = {name: n for name, n in deltas.items() if n}
+        if not deltas or self._read_only:
+            return
+        if self.sharded:
+            shard = self._counter_shard()
+            lock, path = self._shard_lock(shard), self.shard_path(shard)
+        else:
+            lock, path = store_lock(self.root), self.meta_path
+        try:
+            with lock:
+                counters = self._read_counter_file(path)
+                for name, n in deltas.items():
+                    counters[name] = counters.get(name, 0) + n
+                # Counter shards are statistics: losing the very last
+                # bump in a power cut is harmless, so skip the fsync.
+                atomic_write_json(path,
+                                  dict(counters, schema=SCHEMA_VERSION),
+                                  durable=False)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def counters(self) -> Dict[str, int]:
+        """Totals over every shard plus any legacy ``store.json`` counts."""
+        totals = self._read_counter_file(self.meta_path)
+        if self.counters_dir.is_dir():
+            for path in sorted(self.counters_dir.glob("shard-*.json")):
+                for name, value in self._read_counter_file(path).items():
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # -- records -----------------------------------------------------------
+
+    def read_record(self, key: str) -> Optional[dict]:
+        """Parse one record file; warn and return None if unusable."""
+        path = self.record_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"skipping corrupted store record {path}: {exc}",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return None
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+            return None
+        return data
+
+    def write_record(self, key: str, record: dict) -> bool:
+        """Atomically publish one record file; False when dropped."""
+        if self._read_only:
+            return False
+        try:
+            atomic_write_json(self.record_path(key), record)
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        return True
+
+    def write_records(self, entries: Iterable[Tuple[str, dict]]) -> int:
+        """Publish many record files (each one atomic on its own)."""
+        written = 0
+        for key, record in entries:
+            if self.write_record(key, record):
+                written += 1
+        return written
+
+    def update_tags(
+        self, entries: Iterable[Tuple[str, str, Optional[dict]]]
+    ) -> int:
+        """Merge campaign tags, holding each key-prefix lock once.
+
+        Entries are grouped by lock so a batch over one campaign's
+        records acquires each contended lock a single time; concurrent
+        campaigns tagging different prefixes don't exclude each other
+        (unless ``sharded=False`` forces the store-wide seed lock).
+        """
+        tagged = 0
+        by_prefix: Dict[str, List[Tuple[str, str, Optional[dict]]]] = {}
+        for entry in entries:
+            group = entry[0][:2] if self.sharded else ""
+            by_prefix.setdefault(group, []).append(entry)
+        for group in sorted(by_prefix):
+            batch = by_prefix[group]
+            if self._read_only:
+                tagged += sum(1 for key, _c, _m in batch
+                              if self.read_record(key) is not None)
+                continue
+            try:
+                with self._tag_lock(batch[0][0]):
+                    for key, campaign, meta in batch:
+                        data = self.read_record(key)
+                        if data is None:
+                            continue
+                        tags = data.setdefault("tags", {})
+                        if tags.get(campaign) != (meta or {}):
+                            tags[campaign] = meta or {}
+                            atomic_write_json(self.record_path(key), data)
+                        tagged += 1
+            except OSError as exc:
+                self._degrade(exc)
+                tagged += sum(1 for key, _c, _m in batch
+                              if self.read_record(key) is not None)
+        return tagged
+
+    # -- quarantine ledger -------------------------------------------------
+
+    def quarantine(self) -> Dict[str, dict]:
+        """The quarantine ledger: point key → failure entry."""
+        try:
+            data = json.loads(self.quarantine_path.read_text())
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable quarantine ledger {self.quarantine_path}: "
+                f"{exc}; treating as empty",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return {}
+        entries = data.get("points") if isinstance(data, dict) else None
+        return entries if isinstance(entries, dict) else {}
+
+    def quarantine_add(self, key: str, entry: dict) -> None:
+        """Record one exhausted point in the ledger (locked RMW)."""
+        if self._read_only:
+            return
+        try:
+            with store_lock(self.root):
+                entries = self.quarantine()
+                entries[key] = entry
+                atomic_write_json(self.quarantine_path,
+                                  {"schema": SCHEMA_VERSION,
+                                   "points": entries})
+        except OSError as exc:
+            self._degrade(exc)
+
+    def quarantine_clear(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop ledger entries (all of them, or just ``keys``)."""
+        if self._read_only:
+            return 0
+        try:
+            with store_lock(self.root):
+                entries = self.quarantine()
+                if keys is None:
+                    removed = len(entries)
+                    entries = {}
+                else:
+                    removed = 0
+                    for key in keys:
+                        if entries.pop(key, None) is not None:
+                            removed += 1
+                if removed:
+                    atomic_write_json(self.quarantine_path,
+                                      {"schema": SCHEMA_VERSION,
+                                       "points": entries})
+                return removed
+        except OSError as exc:
+            self._degrade(exc)
+            return 0
+
+    # -- campaign checkpoints ----------------------------------------------
+
+    def write_checkpoint(self, campaign: str, payload: dict) -> bool:
+        """Publish one campaign's progress checkpoint atomically."""
+        if self._read_only:
+            return False
+        try:
+            atomic_write_json(self.checkpoint_path(campaign), payload)
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        return True
+
+    def read_checkpoint(self, campaign: str) -> Optional[dict]:
+        """Load one campaign's checkpoint, if present and parsable."""
+        try:
+            data = json.loads(self.checkpoint_path(campaign).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable checkpoint for campaign {campaign!r}: {exc}",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return None
+        return data if isinstance(data, dict) else None
+
+    def checkpoints(self) -> Dict[str, dict]:
+        """Every parsable checkpoint, by campaign name."""
+        out: Dict[str, dict] = {}
+        checkpoint_dir = self.root / CHECKPOINT_DIRNAME
+        if not checkpoint_dir.is_dir():
+            return out
+        for path in sorted(checkpoint_dir.glob("*.json")):
+            data = self.read_checkpoint(path.stem)
+            if data is not None:
+                out[path.stem] = data
+        return out
+
+    # -- inspection --------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """All record keys on disk (any schema), sorted."""
+        if not self.objects_dir.is_dir():
+            return iter(())
+        return iter(sorted(
+            path.stem
+            for path in self.objects_dir.glob("*/*.json")
+        ))
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """(key, record) pairs for every usable current-schema record."""
+        for key in self.keys():
+            data = self.read_record(key)
+            if data is not None:
+                yield key, data
+
+    def dump(self) -> Iterator[Tuple[str, dict]]:
+        """(key, record) for every parsable record, any schema."""
+        for key in self.keys():
+            path = self.record_path(key)
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                warnings.warn(
+                    f"skipping corrupted store record {path}: {exc}",
+                    ResultStoreWarning, stacklevel=3,
+                )
+                continue
+            if isinstance(data, dict):
+                yield key, data
+
+    def campaign_keys(self, campaign: str) -> List[str]:
+        """Sorted keys of the records tagged by one campaign (scan)."""
+        return [key for key, record in self.records()
+                if campaign in (record.get("tags") or {})]
+
+    def stats_counts(self) -> Dict[str, int]:
+        """Record/stale counts plus on-disk record bytes."""
+        records = 0
+        stale = 0
+        nbytes = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*.json"):
+                nbytes += path.stat().st_size
+                try:
+                    schema = json.loads(path.read_text()).get("schema")
+                except (OSError, ValueError):
+                    schema = None
+                if schema == SCHEMA_VERSION:
+                    records += 1
+                else:
+                    stale += 1
+        return {"records": records, "stale_records": stale, "bytes": nbytes}
+
+    def verify(self, gc: bool = False) -> VerifyReport:
+        """Fsck every record; optionally sweep the ones that fail.
+
+        Checks, per record file: JSON parses to an object, the embedded
+        ``key`` matches the filename, ``schema`` matches
+        :data:`SCHEMA_VERSION`, the result payload loads as a
+        :class:`StoredResult`, and — when a provenance block is present
+        — the provenance hashes back to the record's own key (the
+        content-address actually addresses the content). The metadata
+        check covers ``store.json`` *and* every counter shard file.
+        ``gc=True`` unlinks every failing record file.
+        """
+        report = VerifyReport()
+        meta_files = [self.meta_path]
+        if self.counters_dir.is_dir():
+            meta_files.extend(sorted(self.counters_dir.glob("shard-*.json")))
+        for path in meta_files:
+            if not path.exists():
+                continue
+            try:
+                if not isinstance(json.loads(path.read_text()), dict):
+                    raise ValueError("metadata is not a JSON object")
+            except (OSError, ValueError):
+                report.meta_ok = False
+        paths = (sorted(self.objects_dir.glob("*/*.json"))
+                 if self.objects_dir.is_dir() else [])
+        for path in paths:
+            report.checked += 1
+            problem = self._verify_one(path)
+            if problem is None:
+                report.ok += 1
+                continue
+            report.problems.append(
+                VerifyProblem(path=path, key=path.stem, problem=problem))
+            if gc:
+                try:
+                    path.unlink()
+                    report.swept += 1
+                except OSError:  # pragma: no cover - races/permissions
+                    pass
+        return report
+
+    @staticmethod
+    def _verify_one(path: Path) -> Optional[str]:
+        """The integrity problem of one record file, or None if sound."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return f"unparsable: {exc}"
+        return verify_record(path.stem, data)
+
+    def gc(self, remove_all: bool = False) -> int:
+        """Remove stale (wrong-schema or unreadable) records.
+
+        ``remove_all=True`` empties the store instead. Returns the
+        number of record files removed.
+        """
+        removed = 0
+        if not self.objects_dir.is_dir():
+            return removed
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            if not remove_all:
+                try:
+                    if json.loads(path.read_text()).get("schema") == SCHEMA_VERSION:
+                        continue
+                except (OSError, ValueError):
+                    pass
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def verify_record(key: str, data: object) -> Optional[str]:
+    """The integrity problem of one parsed record, or None if sound.
+
+    Shared by both backends so ``repro store verify`` applies the
+    identical contract regardless of backing.
+    """
+    if not isinstance(data, dict):
+        return "not a JSON object"
+    if data.get("key") != key:
+        return (f"key mismatch: record says "
+                f"{str(data.get('key'))[:16]!r}")
+    if data.get("schema") != SCHEMA_VERSION:
+        return (f"stale schema {data.get('schema')!r} "
+                f"(current: {SCHEMA_VERSION})")
+    try:
+        StoredResult.from_dict(data["result"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return f"malformed result payload: {exc}"
+    provenance = data.get("provenance")
+    if provenance:
+        try:
+            digest = stable_digest(provenance)
+        except TypeError as exc:
+            return f"unhashable provenance: {exc}"
+        if digest != key:
+            return "provenance does not hash to the record key"
+    return None

@@ -1,47 +1,55 @@
-"""The content-addressed, on-disk result store.
+"""The content-addressed result store (facade over pluggable backends).
 
-Layout (all JSON, human-inspectable)::
+:class:`ResultStore` owns the store *policy* — record envelopes,
+:class:`~repro.store.records.StoredResult` (de)serialization, warm-start
+hit/miss/put accounting — and delegates all persistent state to a
+:class:`~repro.store.backend.StoreBackend`:
 
-    <root>/
-      store.json              # schema version + lifetime counters
-      store.lock              # inter-process metadata lock
-      quarantine.json         # points that exhausted campaign retries
-      checkpoints/<name>.json # per-campaign progress checkpoints
-      objects/<k[:2]>/<k>.json  # one record per point key
+* :class:`~repro.store.fs.FilesystemBackend` (default) — the
+  human-inspectable ``objects/<aa>/<key>.json`` directory layout with
+  sharded counter files;
+* :class:`~repro.store.sqlite.SQLiteBackend` — one WAL-mode SQLite
+  database, selected by a ``sqlite:PATH`` root, a ``*.db``/``*.sqlite``
+  path, or ``$REPRO_STORE_BACKEND=sqlite`` (see
+  :func:`~repro.store.backend.split_root` for the full rules).
 
 Each record carries the key, the key schema version, a provenance
 block (the canonical key components: config, cluster, jobconf, cost
 model, fault plan, resolved interconnect), campaign tags added by
 :mod:`repro.campaign`, and the :class:`~repro.store.records.StoredResult`
-payload.
+payload. Both backends store the identical record document — the same
+canonical JSON text — so ``repro store migrate`` moves stores between
+backings byte-for-byte and the bit-identity contract (hex-exact warm
+starts) holds regardless of backend.
 
-Design points:
+Design points (the backend contract enforces these; see
+:class:`~repro.store.backend.StoreBackend`):
 
 * **Warm starts are observable.** The store keeps lifetime ``puts``
-  (simulations executed and recorded), ``hits`` and ``misses`` counters
-  in ``store.json``; ``repro store stats`` prints them, so "the second
-  run executed 0 simulations" is a checkable claim (``puts`` did not
-  move).
-* **Counters survive concurrency.** The counter read-modify-write runs
-  under an inter-process :class:`~repro.store.locks.FileLock`, so two
-  concurrent ``repro campaign run`` processes never lose increments
-  (asserted by a multiprocess stress test).
+  (simulations executed and recorded), ``hits`` and ``misses``
+  counters; ``repro store stats`` prints them, so "the second run
+  executed 0 simulations" is a checkable claim (``puts`` did not move).
+* **Counters survive concurrency.** Counter updates are exact under
+  multi-process concurrency — per-shard file locks on the filesystem
+  backend, transactional upserts on SQLite (asserted by a multiprocess
+  stress test against both).
 * **Corruption is a warning, not a crash.** A record that fails to
   parse or validate is skipped with a :class:`ResultStoreWarning`; the
-  point simply re-simulates (and :meth:`ResultStore.gc` or
-  ``repro store verify --gc`` can sweep the bad file). A truncated
-  ``store.json`` reinitializes the counters with a warning.
+  point simply re-simulates (and ``repro store verify --gc`` can sweep
+  it).
 * **Unwritable roots degrade, they don't abort.** The first failed
-  write (read-only filesystem, disk full) flips the store into a
+  write (read-only filesystem, disk full) flips the backend into a
   read-only mode: it warns once, keeps serving reads, and silently
   drops further writes so a long campaign keeps simulating.
 * **Schema bumps invalidate.** Records whose ``schema`` differs from
   :data:`~repro.store.keys.SCHEMA_VERSION` never hit; ``gc`` removes
   them.
-* **Writes are atomic.** Records and counters go through a temp file +
-  :func:`os.replace`, so concurrent readers never see half a record.
+* **Writes are atomic and durable.** Record files go through temp file
+  + fsync + ``os.replace`` (rows through SQLite transactions), so
+  concurrent readers never see half a record and a crash never leaves
+  a zero-length one.
 * **Integrity is checkable.** :meth:`ResultStore.verify` is an fsck:
-  every record must parse, match its filename key, match the schema,
+  every record must parse, match its stored key, match the schema,
   carry a loadable result payload, and (when provenance is present)
   hash back to its own key.
 """
@@ -50,240 +58,126 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import warnings
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.store.keys import SCHEMA_VERSION, stable_digest
-from repro.store.locks import store_lock
+# Re-exported here for compatibility: these names lived in this module
+# before the backend split.
+from repro.store.backend import (  # noqa: F401  (re-exports)
+    ResultStoreWarning,
+    StoreBackend,
+    VerifyProblem,
+    VerifyReport,
+    atomic_write_json,
+    create_backend,
+)
+from repro.store.fs import CHECKPOINT_DIRNAME, QUARANTINE_FILENAME  # noqa: F401
+from repro.store.keys import SCHEMA_VERSION
 from repro.store.records import StoredResult
 
-#: Environment variable naming the default store directory.
+#: Environment variable naming the default store root.
 STORE_ENV_VAR = "REPRO_STORE"
-
-#: Filename of the quarantine ledger inside a store root.
-QUARANTINE_FILENAME = "quarantine.json"
-
-#: Directory of per-campaign checkpoint files inside a store root.
-CHECKPOINT_DIRNAME = "checkpoints"
-
-
-class ResultStoreWarning(UserWarning):
-    """Raised (as a warning) when a store record cannot be used."""
 
 
 def default_store_root() -> Optional[str]:
-    """The store directory named by ``$REPRO_STORE``, if any."""
+    """The store root named by ``$REPRO_STORE``, if any."""
     root = os.environ.get(STORE_ENV_VAR, "").strip()
     return root or None
 
 
-def atomic_write_json(path: Path, payload: dict) -> None:
-    """Publish ``payload`` at ``path`` via temp file + ``os.replace``."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-@dataclass
-class VerifyProblem:
-    """One integrity failure found by :meth:`ResultStore.verify`."""
-
-    path: Path
-    key: str
-    problem: str
-
-    def render(self) -> str:
-        """One-line human form (used by ``repro store verify``)."""
-        return f"{self.key[:16] or self.path.name}  {self.problem}"
-
-
-@dataclass
-class VerifyReport:
-    """What a store fsck pass found (and optionally swept)."""
-
-    checked: int = 0
-    ok: int = 0
-    meta_ok: bool = True
-    problems: List[VerifyProblem] = field(default_factory=list)
-    swept: int = 0
-
-    @property
-    def clean(self) -> bool:
-        """Whether every record (and the metadata file) verified."""
-        return self.meta_ok and not self.problems
-
-
 class ResultStore:
-    """A directory of content-addressed simulation results."""
+    """Content-addressed simulation results over a pluggable backend."""
 
-    def __init__(self, root: Union[str, Path]):
-        """Open (without creating) the store rooted at ``root``."""
-        self.root = Path(root)
-        self._counters: Optional[Dict[str, int]] = None
-        #: Once True, every write is silently dropped (set on the first
-        #: failed write: read-only filesystem, disk full...).
-        self._read_only = False
+    def __init__(self, root: Union[str, Path],
+                 backend: Union[None, str, StoreBackend] = None):
+        """Open (without creating) the store rooted at ``root``.
 
-    # -- paths -------------------------------------------------------------
+        ``root`` accepts a directory, a ``sqlite:PATH`` / ``file:PATH``
+        URL, or a database path; ``backend`` optionally forces a backend
+        by name (``"filesystem"`` / ``"sqlite"``) or supplies a
+        ready-made :class:`StoreBackend` instance.
+        """
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+            self.root = Path(root)
+        else:
+            self.backend, display = create_backend(root, backend=backend)
+            self.root = Path(display)
+
+    def describe(self) -> str:
+        """One-line human description (backend and location)."""
+        return self.backend.describe()
+
+    # -- paths (filesystem backend only) -----------------------------------
 
     @property
     def objects_dir(self) -> Path:
-        """Directory holding the per-key record files."""
-        return self.root / "objects"
+        """Directory holding the record files (filesystem backend)."""
+        return self.backend.objects_dir
 
     @property
     def meta_path(self) -> Path:
-        """Path of the counters/metadata file."""
-        return self.root / "store.json"
+        """Path of the legacy counters file (filesystem backend)."""
+        return self.backend.meta_path
 
     @property
     def quarantine_path(self) -> Path:
-        """Path of the quarantine ledger."""
-        return self.root / QUARANTINE_FILENAME
+        """Path of the quarantine ledger (filesystem backend)."""
+        return self.backend.quarantine_path
 
     def checkpoint_path(self, campaign: str) -> Path:
-        """Path of one campaign's progress checkpoint."""
-        return self.root / CHECKPOINT_DIRNAME / f"{campaign}.json"
+        """Path of one campaign's checkpoint (filesystem backend)."""
+        return self.backend.checkpoint_path(campaign)
 
     def record_path(self, key: str) -> Path:
-        """Path of one record (two-level fan-out, git-object style)."""
-        return self.objects_dir / key[:2] / f"{key}.json"
+        """Path of one record file (filesystem backend)."""
+        return self.backend.record_path(key)
+
+    @property
+    def quarantine_location(self) -> str:
+        """Human pointer to the quarantine ledger (any backend)."""
+        return self.backend.quarantine_location()
 
     # -- degradation -------------------------------------------------------
 
     @property
     def read_only(self) -> bool:
         """Whether the store has degraded to read-only mode."""
-        return self._read_only
-
-    def _degrade(self, exc: OSError) -> None:
-        """Flip into read-only mode (warning once, never raising)."""
-        if not self._read_only:
-            warnings.warn(
-                f"store {self.root} is unwritable ({exc}); continuing in "
-                f"read-only mode — results are NOT being recorded",
-                ResultStoreWarning, stacklevel=4,
-            )
-            self._read_only = True
-
-    # -- counters ----------------------------------------------------------
-
-    def _read_counters_file(self) -> Dict[str, int]:
-        """Fresh tolerant read of ``store.json`` (never raises)."""
-        counters = {"puts": 0, "hits": 0, "misses": 0}
-        try:
-            raw = self.meta_path.read_text()
-        except FileNotFoundError:
-            return counters
-        except OSError as exc:
-            warnings.warn(
-                f"unreadable store metadata {self.meta_path}: {exc}",
-                ResultStoreWarning, stacklevel=4,
-            )
-            return counters
-        try:
-            data = json.loads(raw)
-            if not isinstance(data, dict):
-                raise ValueError("metadata is not a JSON object")
-            for name in counters:
-                counters[name] = int(data.get(name, 0))
-        except (ValueError, TypeError) as exc:
-            # Truncated/corrupt store.json (e.g. a process killed before
-            # the os.replace landed on an exotic filesystem): warn and
-            # reinitialize — the next write repairs the file.
-            warnings.warn(
-                f"corrupt store metadata {self.meta_path} ({exc}); "
-                f"reinitializing counters",
-                ResultStoreWarning, stacklevel=4,
-            )
-            counters = {"puts": 0, "hits": 0, "misses": 0}
-        return counters
-
-    def _load_counters(self) -> Dict[str, int]:
-        if self._counters is None:
-            self._counters = self._read_counters_file()
-        return self._counters
-
-    def _bump_many(self, deltas: Dict[str, int]) -> None:
-        """Add several counter deltas under one lock acquisition.
-
-        Batched campaign stages funnel a whole batch's worth of
-        hits/misses/puts through here, turning O(points) locked
-        read-modify-writes into one.
-        """
-        deltas = {name: n for name, n in deltas.items() if n}
-        if not deltas or self._read_only:
-            return
-        try:
-            with store_lock(self.root):
-                counters = self._read_counters_file()
-                for name, n in deltas.items():
-                    counters[name] = counters.get(name, 0) + n
-                atomic_write_json(self.meta_path,
-                                  dict(counters, schema=SCHEMA_VERSION))
-                self._counters = counters
-        except OSError as exc:
-            self._degrade(exc)
-
-    def _bump(self, counter: str) -> None:
-        """Increment one lifetime counter (locked read-modify-write)."""
-        self._bump_many({counter: 1})
-
-    @staticmethod
-    def _write_json(path: Path, payload: dict) -> None:
-        atomic_write_json(path, payload)
+        return self.backend.read_only
 
     # -- record access -----------------------------------------------------
 
-    def _read_record(self, key: str) -> Optional[dict]:
-        """Parse one record file; warn and return None if unusable."""
-        path = self.record_path(key)
-        try:
-            data = json.loads(path.read_text())
-        except FileNotFoundError:
+    def _record_ref(self, key: str) -> str:
+        """How warnings point at one record (path or db+key)."""
+        record_path = getattr(self.backend, "record_path", None)
+        if record_path is not None:
+            return str(record_path(key))
+        return f"{key[:16]} in {self.backend.describe()}"
+
+    def _load_result(self, key: str,
+                     data: Optional[dict]) -> Optional[StoredResult]:
+        """Parse one record document's payload; warn if malformed."""
+        if data is None:
             return None
-        except (OSError, ValueError) as exc:
+        try:
+            return StoredResult.from_dict(data["result"])
+        except (KeyError, ValueError) as exc:
             warnings.warn(
-                f"skipping corrupted store record {path}: {exc}",
-                ResultStoreWarning, stacklevel=3,
+                f"skipping malformed store record {self._record_ref(key)}: "
+                f"{exc}", ResultStoreWarning, stacklevel=3,
             )
             return None
-        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
-            return None
-        return data
 
     def contains(self, key: str) -> bool:
         """Whether a usable record exists (no counter side effects)."""
-        return self._read_record(key) is not None
+        return self.backend.read_record(key) is not None
 
     def get(self, key: str) -> Optional[StoredResult]:
         """Look up a result; counts a hit or a miss."""
-        data = self._read_record(key)
-        if data is None:
-            self._bump("misses")
-            return None
-        try:
-            result = StoredResult.from_dict(data["result"])
-        except (KeyError, ValueError) as exc:
-            warnings.warn(
-                f"skipping malformed store record {self.record_path(key)}: "
-                f"{exc}", ResultStoreWarning, stacklevel=2,
-            )
-            self._bump("misses")
-            return None
-        self._bump("hits")
+        result = self._load_result(key, self.backend.read_record(key))
+        self.backend.bump_counters(
+            {"hits": 1} if result is not None else {"misses": 1})
         return result
 
     def get_batch(self, keys: Iterable[str]) -> List[Optional[StoredResult]]:
@@ -291,31 +185,40 @@ class ResultStore:
 
         Semantically equivalent to ``[self.get(k) for k in keys]`` —
         same results, same warnings, same final counter values — but
-        the counter file is locked and rewritten once instead of once
-        per key.
+        the counters are updated once instead of once per key.
         """
         results: List[Optional[StoredResult]] = []
         hits = 0
         misses = 0
         for key in keys:
-            data = self._read_record(key)
-            result = None
-            if data is not None:
-                try:
-                    result = StoredResult.from_dict(data["result"])
-                except (KeyError, ValueError) as exc:
-                    warnings.warn(
-                        f"skipping malformed store record "
-                        f"{self.record_path(key)}: {exc}",
-                        ResultStoreWarning, stacklevel=2,
-                    )
+            result = self._load_result(key, self.backend.read_record(key))
             if result is None:
                 misses += 1
             else:
                 hits += 1
             results.append(result)
-        self._bump_many({"hits": hits, "misses": misses})
+        self.backend.bump_counters({"hits": hits, "misses": misses})
         return results
+
+    @staticmethod
+    def _envelope(key: str, result: StoredResult,
+                  provenance: Optional[dict],
+                  tags: Optional[dict]) -> dict:
+        """The record document one put persists."""
+        return {
+            "key": key,
+            "schema": SCHEMA_VERSION,
+            "provenance": provenance or {},
+            "tags": tags or {},
+            "result": result.to_dict(),
+        }
+
+    def _record_location(self, key: str) -> Path:
+        """Where one record lands (file path, or the db for SQLite)."""
+        record_path = getattr(self.backend, "record_path", None)
+        if record_path is not None:
+            return record_path(key)
+        return self.backend.location
 
     def put(
         self,
@@ -327,25 +230,12 @@ class ResultStore:
         """Record one simulated point (counts as an executed simulation).
 
         In read-only degradation mode the write is dropped silently
-        (the path is still returned so callers never special-case it).
+        (a location is still returned so callers never special-case it).
         """
-        record = {
-            "key": key,
-            "schema": SCHEMA_VERSION,
-            "provenance": provenance or {},
-            "tags": tags or {},
-            "result": result.to_dict(),
-        }
-        path = self.record_path(key)
-        if self._read_only:
-            return path
-        try:
-            atomic_write_json(path, record)
-        except OSError as exc:
-            self._degrade(exc)
-            return path
-        self._bump("puts")
-        return path
+        record = self._envelope(key, result, provenance, tags)
+        if self.backend.write_record(key, record):
+            self.backend.bump_counters({"puts": 1})
+        return self._record_location(key)
 
     def put_many(
         self,
@@ -357,122 +247,51 @@ class ResultStore:
         ``entries`` yields ``(key, result, provenance, tags)`` tuples.
         Writing campaign tags at put time makes a later
         :meth:`tag`/:meth:`tag_many` of the same ``{campaign: meta}``
-        a read-only no-op (records are dumped with the same sorted-key
-        formatting either way, so the bytes are identical). Each record
-        file is still written atomically on its own (readers never see
-        a half record); only the ``puts`` counter read-modify-write is
-        coalesced. A failed write degrades the store exactly like
-        :meth:`put` and skips the remaining writes.
+        a read-only no-op (records serialize with the same canonical
+        formatting either way, so the stored bytes are identical). Each
+        record write is still individually atomic; only the ``puts``
+        counter update is coalesced. A failed write degrades the store
+        exactly like :meth:`put` and drops the remaining writes.
         """
-        paths: List[Path] = []
-        written = 0
-        for key, result, provenance, tags in entries:
-            record = {
-                "key": key,
-                "schema": SCHEMA_VERSION,
-                "provenance": provenance or {},
-                "tags": tags or {},
-                "result": result.to_dict(),
-            }
-            path = self.record_path(key)
-            paths.append(path)
-            if self._read_only:
-                continue
-            try:
-                atomic_write_json(path, record)
-            except OSError as exc:
-                self._degrade(exc)
-                continue
-            written += 1
-        self._bump_many({"puts": written})
-        return paths
+        entries = list(entries)
+        written = self.backend.write_records(
+            (key, self._envelope(key, result, provenance, tags))
+            for key, result, provenance, tags in entries)
+        self.backend.bump_counters({"puts": written})
+        return [self._record_location(key) for key, _r, _p, _t in entries]
 
-    def tag(self, key: str, campaign: str, meta: Optional[dict] = None) -> bool:
+    def tag(self, key: str, campaign: str,
+            meta: Optional[dict] = None) -> bool:
         """Stamp a campaign tag onto an existing record.
 
         Tags are how the Experiment Book finds a campaign's points from
         store contents alone. Returns False when the record is missing.
-        The record read-modify-write runs under the store lock so two
+        The record read-modify-write is locked (or transactional) so two
         concurrent campaigns never drop each other's tags.
         """
-        if self._read_only:
-            return self.contains(key)
-        try:
-            with store_lock(self.root):
-                data = self._read_record(key)
-                if data is None:
-                    return False
-                tags = data.setdefault("tags", {})
-                existing = tags.get(campaign)
-                if existing == (meta or {}):
-                    return True
-                tags[campaign] = meta or {}
-                atomic_write_json(self.record_path(key), data)
-                return True
-        except OSError as exc:
-            self._degrade(exc)
-            return self.contains(key)
+        return self.backend.update_tags([(key, campaign, meta)]) == 1
 
     def tag_many(
         self,
         entries: Iterable[Tuple[str, str, Optional[dict]]],
     ) -> int:
-        """Stamp many campaign tags under one store-lock acquisition.
+        """Stamp many campaign tags with minimal lock traffic.
 
         ``entries`` yields ``(key, campaign, meta)`` triples. Returns
         the number of records that carry the tag afterwards (missing
         records are skipped, like :meth:`tag` returning False).
         """
-        entries = list(entries)
-        if self._read_only:
-            return sum(1 for key, _c, _m in entries if self.contains(key))
-        tagged = 0
-        try:
-            with store_lock(self.root):
-                for key, campaign, meta in entries:
-                    data = self._read_record(key)
-                    if data is None:
-                        continue
-                    tags = data.setdefault("tags", {})
-                    if tags.get(campaign) != (meta or {}):
-                        tags[campaign] = meta or {}
-                        atomic_write_json(self.record_path(key), data)
-                    tagged += 1
-        except OSError as exc:
-            self._degrade(exc)
-        return tagged
+        return self.backend.update_tags(entries)
 
     # -- quarantine ledger -------------------------------------------------
 
     def quarantine(self) -> Dict[str, dict]:
         """The quarantine ledger: point key → failure entry."""
-        try:
-            data = json.loads(self.quarantine_path.read_text())
-        except FileNotFoundError:
-            return {}
-        except (OSError, ValueError) as exc:
-            warnings.warn(
-                f"unreadable quarantine ledger {self.quarantine_path}: "
-                f"{exc}; treating as empty",
-                ResultStoreWarning, stacklevel=3,
-            )
-            return {}
-        entries = data.get("points") if isinstance(data, dict) else None
-        return entries if isinstance(entries, dict) else {}
+        return self.backend.quarantine()
 
     def quarantine_add(self, key: str, entry: dict) -> None:
-        """Record one exhausted point in the ledger (locked RMW)."""
-        if self._read_only:
-            return
-        try:
-            with store_lock(self.root):
-                entries = self.quarantine()
-                entries[key] = entry
-                atomic_write_json(self.quarantine_path,
-                                  {"schema": SCHEMA_VERSION,
-                                   "points": entries})
-        except OSError as exc:
-            self._degrade(exc)
+        """Record one exhausted point in the ledger."""
+        self.backend.quarantine_add(key, entry)
 
     def quarantine_clear(self, keys: Optional[Iterable[str]] = None) -> int:
         """Drop ledger entries (all of them, or just ``keys``).
@@ -481,99 +300,50 @@ class ResultStore:
         ``repro campaign resume`` so quarantined points get a fresh set
         of attempts.
         """
-        if self._read_only:
-            return 0
-        try:
-            with store_lock(self.root):
-                entries = self.quarantine()
-                if keys is None:
-                    removed = len(entries)
-                    entries = {}
-                else:
-                    removed = 0
-                    for key in keys:
-                        if entries.pop(key, None) is not None:
-                            removed += 1
-                if removed:
-                    atomic_write_json(self.quarantine_path,
-                                      {"schema": SCHEMA_VERSION,
-                                       "points": entries})
-                return removed
-        except OSError as exc:
-            self._degrade(exc)
-            return 0
+        return self.backend.quarantine_clear(keys)
 
     # -- campaign checkpoints ----------------------------------------------
 
-    def write_checkpoint(self, campaign: str, payload: dict) -> Optional[Path]:
+    def write_checkpoint(self, campaign: str,
+                         payload: dict) -> Optional[Path]:
         """Publish one campaign's progress checkpoint atomically."""
-        path = self.checkpoint_path(campaign)
-        if self._read_only:
+        if not self.backend.write_checkpoint(
+                campaign, dict(payload, schema=SCHEMA_VERSION)):
             return None
-        try:
-            atomic_write_json(path, dict(payload, schema=SCHEMA_VERSION))
-        except OSError as exc:
-            self._degrade(exc)
-            return None
-        return path
+        checkpoint_path = getattr(self.backend, "checkpoint_path", None)
+        if checkpoint_path is not None:
+            return checkpoint_path(campaign)
+        return self.backend.location
 
     def read_checkpoint(self, campaign: str) -> Optional[dict]:
         """Load one campaign's checkpoint, if present and parsable."""
-        try:
-            data = json.loads(self.checkpoint_path(campaign).read_text())
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError) as exc:
-            warnings.warn(
-                f"unreadable checkpoint for campaign {campaign!r}: {exc}",
-                ResultStoreWarning, stacklevel=3,
-            )
-            return None
-        return data if isinstance(data, dict) else None
+        return self.backend.read_checkpoint(campaign)
 
     # -- inspection --------------------------------------------------------
 
     def keys(self) -> Iterator[str]:
-        """All record keys on disk (any schema), sorted."""
-        if not self.objects_dir.is_dir():
-            return iter(())
-        return iter(sorted(
-            path.stem
-            for path in self.objects_dir.glob("*/*.json")
-        ))
+        """All record keys present (any schema), sorted."""
+        return self.backend.keys()
 
     def records(self) -> Iterator[Tuple[str, dict]]:
         """(key, record) pairs for every usable current-schema record."""
-        for key in self.keys():
-            data = self._read_record(key)
-            if data is not None:
-                yield key, data
+        return self.backend.records()
+
+    def campaign_keys(self, campaign: str) -> List[str]:
+        """Sorted keys of the records one campaign tagged."""
+        return self.backend.campaign_keys(campaign)
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus on-disk footprint.
+        """Counters plus storage footprint.
 
-        Counters are re-read from disk so a long-lived handle sees
-        bumps made by concurrent processes, not its own stale cache.
+        Counters are re-read from the backend so a long-lived handle
+        sees bumps made by concurrent processes, not a stale cache.
         """
-        self._counters = self._read_counters_file()
-        counters = dict(self._counters)
-        records = 0
-        stale = 0
-        nbytes = 0
-        if self.objects_dir.is_dir():
-            for path in self.objects_dir.glob("*/*.json"):
-                nbytes += path.stat().st_size
-                try:
-                    schema = json.loads(path.read_text()).get("schema")
-                except (OSError, ValueError):
-                    schema = None
-                if schema == SCHEMA_VERSION:
-                    records += 1
-                else:
-                    stale += 1
+        counters: Dict[str, object] = dict(self.backend.counters())
+        counters.update(self.backend.stats_counts())
         counters.update(
             root=str(self.root), schema=SCHEMA_VERSION,
-            records=records, stale_records=stale, bytes=nbytes,
+            backend=self.backend.scheme,
             quarantined=len(self.quarantine()),
         )
         return counters
@@ -581,90 +351,25 @@ class ResultStore:
     def verify(self, gc: bool = False) -> VerifyReport:
         """Fsck every record; optionally sweep the ones that fail.
 
-        Checks, per record file: JSON parses to an object, the embedded
-        ``key`` matches the filename, ``schema`` matches
-        :data:`SCHEMA_VERSION`, the result payload loads as a
-        :class:`StoredResult`, and — when a provenance block is present
-        — the provenance hashes back to the record's own key (the
-        content-address actually addresses the content). ``gc=True``
-        unlinks every failing file (exactly the set that would
-        otherwise warn as :class:`ResultStoreWarning` or never hit).
+        Checks, per record: it parses to an object, the embedded ``key``
+        matches the stored key, ``schema`` matches
+        :data:`~repro.store.keys.SCHEMA_VERSION`, the result payload
+        loads as a :class:`StoredResult`, and — when a provenance block
+        is present — the provenance hashes back to the record's own key
+        (the content-address actually addresses the content).
+        ``gc=True`` sweeps every failing record (exactly the set that
+        would otherwise warn as :class:`ResultStoreWarning` or never
+        hit).
         """
-        report = VerifyReport()
-        meta = None
-        if self.meta_path.exists():
-            try:
-                meta = json.loads(self.meta_path.read_text())
-                if not isinstance(meta, dict):
-                    raise ValueError("metadata is not a JSON object")
-            except (OSError, ValueError):
-                report.meta_ok = False
-        paths = (sorted(self.objects_dir.glob("*/*.json"))
-                 if self.objects_dir.is_dir() else [])
-        for path in paths:
-            report.checked += 1
-            problem = self._verify_one(path)
-            if problem is None:
-                report.ok += 1
-                continue
-            report.problems.append(
-                VerifyProblem(path=path, key=path.stem, problem=problem))
-            if gc:
-                try:
-                    path.unlink()
-                    report.swept += 1
-                except OSError:  # pragma: no cover - races/permissions
-                    pass
-        return report
-
-    @staticmethod
-    def _verify_one(path: Path) -> Optional[str]:
-        """The integrity problem of one record file, or None if sound."""
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError) as exc:
-            return f"unparsable: {exc}"
-        if not isinstance(data, dict):
-            return "not a JSON object"
-        if data.get("key") != path.stem:
-            return (f"key mismatch: record says "
-                    f"{str(data.get('key'))[:16]!r}")
-        if data.get("schema") != SCHEMA_VERSION:
-            return (f"stale schema {data.get('schema')!r} "
-                    f"(current: {SCHEMA_VERSION})")
-        try:
-            StoredResult.from_dict(data["result"])
-        except (KeyError, TypeError, ValueError) as exc:
-            return f"malformed result payload: {exc}"
-        provenance = data.get("provenance")
-        if provenance:
-            try:
-                digest = stable_digest(provenance)
-            except TypeError as exc:
-                return f"unhashable provenance: {exc}"
-            if digest != path.stem:
-                return "provenance does not hash to the record key"
-        return None
+        return self.backend.verify(gc=gc)
 
     def gc(self, remove_all: bool = False) -> int:
         """Remove stale (wrong-schema or unreadable) records.
 
         ``remove_all=True`` empties the store instead. Returns the
-        number of record files removed.
+        number of records removed.
         """
-        removed = 0
-        if not self.objects_dir.is_dir():
-            return removed
-        for path in sorted(self.objects_dir.glob("*/*.json")):
-            if not remove_all:
-                try:
-                    if json.loads(path.read_text()).get("schema") == SCHEMA_VERSION:
-                        continue
-                except (OSError, ValueError):
-                    pass
-            path.unlink()
-            removed += 1
-        return removed
+        return self.backend.gc(remove_all=remove_all)
 
     def export(self) -> Iterator[str]:
         """Each usable record as one JSON line (``repro store export``)."""

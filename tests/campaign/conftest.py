@@ -1,0 +1,7 @@
+"""Campaign-test fixtures.
+
+Re-exports the store backend parameterization so the chaos resume
+tests run against both store backends.
+"""
+
+from tests.store.conftest import backend_name  # noqa: F401

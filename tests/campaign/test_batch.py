@@ -164,14 +164,18 @@ class TestGoldenIdentity:
 
 
 class TestLoopParity:
+    # Stores are pinned to the filesystem backend: these tests compare
+    # objects/ trees byte-for-byte, which only exists in that layout
+    # (and must not be redirected by $REPRO_STORE_BACKEND=sqlite CI
+    # legs). Cross-backend parity has its own suite in tests/store.
     def test_trials_collapse_with_byte_identical_store(self, tmp_path):
         campaign = Campaign(**TRIALS10)
         loop = run_campaign(campaign,
-                            store=ResultStore(tmp_path / "loop"),
+                            store=ResultStore(tmp_path / "loop", backend="filesystem"),
                             batch=False)
         clear_result_cache()
         batch = run_campaign(campaign,
-                             store=ResultStore(tmp_path / "batch"),
+                             store=ResultStore(tmp_path / "batch", backend="filesystem"),
                              batch=True)
         assert loop.completed and batch.completed
         assert loop.executed == batch.executed == 10
@@ -184,8 +188,8 @@ class TestLoopParity:
         assert len(loop_tree) == 10
         assert loop_tree == batch_tree
         counters = ("puts", "hits", "misses")
-        loop_stats = ResultStore(tmp_path / "loop").stats()
-        batch_stats = ResultStore(tmp_path / "batch").stats()
+        loop_stats = ResultStore(tmp_path / "loop", backend="filesystem").stats()
+        batch_stats = ResultStore(tmp_path / "batch", backend="filesystem").stats()
         assert ({k: loop_stats[k] for k in counters}
                 == {k: batch_stats[k] for k in counters})
 
@@ -195,7 +199,7 @@ class TestLoopParity:
                                    benchmark="MR-RAND",
                                    shuffle_gbs=(0.02,), trials=3))
         result = run_campaign(campaign,
-                              store=ResultStore(tmp_path / "store"),
+                              store=ResultStore(tmp_path / "store", backend="filesystem"),
                               batch=True)
         assert result.completed and result.executed == 3
         assert result.unique_simulations == 3
@@ -203,19 +207,19 @@ class TestLoopParity:
     def test_jobs_4_batch_matches_jobs_1(self, tmp_path):
         campaign = Campaign(**TRIALS10)
         serial = run_campaign(campaign,
-                              store=ResultStore(tmp_path / "j1"),
+                              store=ResultStore(tmp_path / "j1", backend="filesystem"),
                               batch=True, jobs=1)
         clear_result_cache()
         parallel = run_campaign(campaign,
-                                store=ResultStore(tmp_path / "j4"),
+                                store=ResultStore(tmp_path / "j4", backend="filesystem"),
                                 batch=True, jobs=4)
         assert serial.completed and parallel.completed
         assert serial.executed == parallel.executed == 10
         assert (serial.unique_simulations
                 == parallel.unique_simulations == 2)
         assert _object_tree(tmp_path / "j1") == _object_tree(tmp_path / "j4")
-        assert (ResultStore(tmp_path / "j1").stats()["puts"]
-                == ResultStore(tmp_path / "j4").stats()["puts"] == 10)
+        assert (ResultStore(tmp_path / "j1", backend="filesystem").stats()["puts"]
+                == ResultStore(tmp_path / "j4", backend="filesystem").stats()["puts"] == 10)
 
 
 class TestResidueSignatures:
@@ -261,7 +265,7 @@ class TestRobustnessComposition:
     def test_flaky_representative_retries_whole_group_ok(self, tmp_path):
         campaign = Campaign(**dict(TRIALS10, shuffle_gbs=(0.02,),
                                    trials=3))
-        suite = _suite_for(campaign, ResultStore(tmp_path / "store"))
+        suite = _suite_for(campaign, ResultStore(tmp_path / "store", backend="filesystem"))
         configs = [p.config for p in campaign.points()]
         flaky = FlakySuite(suite, {suite.store_key(configs[0]): 1})
         report = CampaignExecutor(
@@ -273,7 +277,7 @@ class TestRobustnessComposition:
                    for o in report.outcomes)
 
     def test_exhausted_group_quarantines_every_member(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
+        store = ResultStore(tmp_path / "store", backend="filesystem")
         campaign = Campaign(**dict(TRIALS10, shuffle_gbs=(0.02,),
                                    trials=3))
         suite = _suite_for(campaign, store)
@@ -294,7 +298,7 @@ class TestRobustnessComposition:
         campaign = Campaign(**dict(TRIALS10, name="chaos-batch",
                                    trials=3))
         clean = run_campaign(campaign,
-                             store=ResultStore(tmp_path / "clean"),
+                             store=ResultStore(tmp_path / "clean", backend="filesystem"),
                              batch=True)
         assert clean.completed and clean.unique_simulations == 2
         clear_result_cache()
@@ -305,7 +309,7 @@ class TestRobustnessComposition:
         victim = plan.groups[1]
         monkeypatch.setenv(ENV_CHAOS_CRASH, str(victim.representative))
         monkeypatch.setenv(ENV_CHAOS_ATTEMPTS, "99")
-        store = ResultStore(tmp_path / "store")
+        store = ResultStore(tmp_path / "store", backend="filesystem")
         result = run_campaign(campaign, store=store, batch=True,
                               policy=RetryPolicy(retries=1, backoff=0.0))
         assert result.failed == len(victim.members)
@@ -328,7 +332,7 @@ class TestRobustnessComposition:
 
 class TestProfileSurface:
     def test_profile_in_result_and_checkpoint(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
+        store = ResultStore(tmp_path / "store", backend="filesystem")
         campaign = Campaign(**TRIALS10)
         result = run_campaign(campaign, store=store, batch=True)
         for stage in ("expand", "store-lookup", "shared-setup",

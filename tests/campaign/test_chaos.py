@@ -29,6 +29,8 @@ from repro.core.suite import clear_result_cache
 from repro.sim.trace import CAT_HARNESS, Tracer
 from repro.store import ResultStore
 
+from tests.store.conftest import store_root
+
 #: Three tiny points (~2 ms of simulation each), one network.
 TINY3 = dict(
     name="chaos3",
@@ -74,9 +76,14 @@ def times_of(result):
 
 class TestWorkerCrash:
     def test_sigkill_quarantines_point_campaign_completes(
-            self, campaign, tmp_path, monkeypatch, baseline_times):
-        """ISSUE acceptance: SIGKILL one worker; others finish."""
-        store = ResultStore(tmp_path / "store")
+            self, campaign, tmp_path, monkeypatch, baseline_times,
+            backend_name):
+        """ISSUE acceptance: SIGKILL one worker; others finish.
+
+        Runs against both store backends: crash-quarantine-resume is a
+        store-contract workflow, not a filesystem detail.
+        """
+        store = ResultStore(store_root(tmp_path, backend_name))
         monkeypatch.setenv(ENV_CHAOS_CRASH, "1")   # sabotage point 1
         monkeypatch.setenv(ENV_CHAOS_ATTEMPTS, "99")  # every attempt
         result = run_campaign(campaign, store=store,
@@ -167,18 +174,23 @@ sys.exit(repro_main(["campaign", "run", sys.argv[1],
 
 class TestGracefulInterrupt:
     def test_sigint_checkpoints_then_resume_fills_the_gap(
-            self, campaign, tmp_path, baseline_times, monkeypatch):
-        """SIGINT a real `repro campaign run`; resume completes it."""
+            self, campaign, tmp_path, baseline_times, monkeypatch,
+            backend_name):
+        """SIGINT a real `repro campaign run`; resume completes it.
+
+        Runs against both store backends via the real CLI ``--store``
+        root string.
+        """
         spec = tmp_path / "chaos3.json"
         spec.write_text(json.dumps(campaign.to_dict()))
-        store_root = tmp_path / "store"
+        root = store_root(tmp_path, backend_name)
         env = dict(__import__("os").environ,
                    PYTHONPATH="src",
                    REPRO_CHAOS_HANG="2",         # third point hangs...
                    REPRO_CHAOS_HANG_SECS="60")   # ...for a minute
         proc = subprocess.Popen(
             [sys.executable, "-u", "-c", SIGINT_CHILD,
-             str(spec), str(store_root)],
+             str(spec), root],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env, cwd="/root/repo")
         try:
@@ -202,7 +214,7 @@ class TestGracefulInterrupt:
         assert proc.returncode == 130, (lines, out)
         assert "[interrupted]" in out
 
-        store = ResultStore(store_root)
+        store = ResultStore(root)
         # Completed points are durable; the store holds only whole
         # records (no torn writes from the interrupt).
         assert store.stats()["puts"] == 2
@@ -217,7 +229,7 @@ class TestGracefulInterrupt:
 
         clear_result_cache()
         rc = repro_main(["campaign", "resume", str(spec),
-                         "--store", str(store_root), "--quiet"])
+                         "--store", root, "--quiet"])
         assert rc == 0
         assert store.stats()["puts"] == 3  # delta == the gap
         suite_times = {}

@@ -1,0 +1,7 @@
+"""Core-test fixtures.
+
+Re-exports the store backend parameterization so the CLI store tests
+run against both store backends.
+"""
+
+from tests.store.conftest import backend_name  # noqa: F401

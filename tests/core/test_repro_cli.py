@@ -16,6 +16,8 @@ from repro.core.cli import build_repro_parser, main, repro_main
 from repro.core.suite import clear_result_cache
 from repro.store import ResultStore
 
+from tests.store.conftest import store_root as cli_store_root
+
 TINY_SPEC = {
     "name": "tiny",
     "figure": "Fig. T",
@@ -333,3 +335,76 @@ class TestStoreVerifyCli:
         assert "1 swept" in out
         assert repro_main(["store", "verify",
                            "--store", str(store_root)]) == 0
+
+
+class TestStoreCliExtensions:
+    """`stats --json`, `ls --campaign`, and `store migrate` — both
+    backends, through the real CLI."""
+
+    def _run_campaign(self, spec_path, store):
+        assert repro_main(["campaign", "run", str(spec_path),
+                           "--store", store, "--quiet"]) == 0
+
+    def test_stats_json_is_machine_readable(self, spec_path, tmp_path,
+                                            capsys, backend_name):
+        store = cli_store_root(tmp_path, backend_name)
+        self._run_campaign(spec_path, store)
+        capsys.readouterr()
+        assert repro_main(["store", "stats", "--json",
+                           "--store", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 4
+        assert stats["puts"] == 4
+        assert stats["backend"] == backend_name
+        assert stats["hit_rate"] == 0.0  # 4 misses, 0 hits
+
+    def test_stats_json_null_hit_rate_without_lookups(self, tmp_path,
+                                                      capsys,
+                                                      backend_name):
+        store = cli_store_root(tmp_path, backend_name)
+        ResultStore(store).quarantine_add("aa" * 32, {"error": "x"})
+        capsys.readouterr()
+        assert repro_main(["store", "stats", "--json",
+                           "--store", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["hit_rate"] is None
+        assert stats["quarantined"] == 1
+
+    def test_ls_campaign_filters(self, spec_path, tmp_path, capsys,
+                                 backend_name):
+        store = cli_store_root(tmp_path, backend_name)
+        self._run_campaign(spec_path, store)
+        capsys.readouterr()
+        assert repro_main(["store", "ls", "--campaign", "tiny",
+                           "--store", store]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+        assert repro_main(["store", "ls", "--campaign", "absent",
+                           "--store", store]) == 0
+        assert capsys.readouterr().out.splitlines() == []
+        assert repro_main(["store", "ls", "-l", "--campaign", "tiny",
+                           "--store", store]) == 0
+        long_out = capsys.readouterr().out
+        assert "MR-AVG" in long_out and "tiny" in long_out
+
+    def test_migrate_copies_the_corpus(self, spec_path, tmp_path, capsys,
+                                       backend_name):
+        other = "sqlite" if backend_name == "filesystem" else "filesystem"
+        src = cli_store_root(tmp_path, backend_name, "src")
+        dst = cli_store_root(tmp_path, other, "dst")
+        self._run_campaign(spec_path, src)
+        capsys.readouterr()
+        assert repro_main(["store", "migrate", src, dst]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out and "records:     4" in out
+        stats = ResultStore(dst).stats()
+        assert stats["records"] == 4
+        assert stats["puts"] == 4
+        assert stats["backend"] == other
+
+    def test_migrate_onto_itself_is_an_error(self, tmp_path, capsys,
+                                             backend_name):
+        store = cli_store_root(tmp_path, backend_name)
+        ResultStore(store).quarantine_add("aa" * 32, {"error": "x"})
+        capsys.readouterr()
+        assert repro_main(["store", "migrate", store, store]) == 2
+        assert "same store" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Cross-backend parity fixtures for the store test suite.
+
+Most store tests run twice — once per backend (``filesystem`` and
+``sqlite``) — via the ``backend_name`` fixture. Roots are built with
+explicit ``file:`` / ``sqlite:`` prefixes so the parameterization holds
+even when ``$REPRO_STORE_BACKEND`` forces a default (the CI sqlite
+matrix leg sets it for the whole run).
+
+The raw-tampering helpers (``record_text`` / ``rewrite_record`` /
+``break_writes`` / ``corrupt_checkpoint``) hide where a backend
+actually keeps a record, so corruption and degradation tests state the
+*contract* once and exercise both backings.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store import ResultStore
+
+#: The backends every parity test must pass on.
+BACKENDS = ("filesystem", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request):
+    """Parameterizes a test over both store backends."""
+    return request.param
+
+
+def store_root(tmp_path, backend_name, name="store"):
+    """An explicit-backend store root string under ``tmp_path``."""
+    if backend_name == "sqlite":
+        return f"sqlite:{tmp_path / (name + '.sqlite')}"
+    return f"file:{tmp_path / name}"
+
+
+@pytest.fixture
+def make_store(tmp_path, backend_name):
+    """Factory for stores of the current backend under ``tmp_path``."""
+    def make(name="store"):
+        return ResultStore(store_root(tmp_path, backend_name, name))
+    return make
+
+
+@pytest.fixture
+def store_root_str(tmp_path, backend_name):
+    """One ready-made root string for the current backend."""
+    return store_root(tmp_path, backend_name)
+
+
+def record_text(store, key):
+    """The raw stored text of one record, wherever the backend keeps it."""
+    backend = store.backend
+    if backend.scheme == "filesystem":
+        return backend.record_path(key).read_text()
+    rows = backend._db().execute(
+        "SELECT record FROM records WHERE key = ?", (key,)).fetchall()
+    return rows[0][0]
+
+
+def load_record(store, key):
+    """One record parsed from its raw stored text."""
+    return json.loads(record_text(store, key))
+
+
+def rewrite_record(store, key, text):
+    """Overwrite one record's raw stored text (simulates corruption).
+
+    Mirrors what a real (possibly buggy or interrupted) writer would
+    leave behind: the filesystem backend gets the bytes in the record
+    file, the sqlite backend gets them in the record column (with the
+    schema index column kept consistent, as any real writer would).
+    """
+    backend = store.backend
+    if backend.scheme == "filesystem":
+        backend.record_path(key).write_text(text)
+        return
+    try:
+        schema = json.loads(text).get("schema")
+    except (ValueError, AttributeError):
+        schema = None
+    db = backend._db()
+    with db:
+        db.execute(
+            "INSERT INTO records (key, schema, record) VALUES (?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET schema = excluded.schema, "
+            "record = excluded.record",
+            (key, schema, text))
+
+
+def break_writes(store_or_backend_name, monkeypatch):
+    """Make every write of one backend fail like a full disk.
+
+    Accepts a store, a backend instance, or a backend name. The
+    container runs as root, so chmod tricks can't produce EACCES —
+    instead the write seams are patched: ``atomic_write_json`` for the
+    filesystem backend, the ``_execute`` statement funnel (non-SELECT
+    statements only) for sqlite.
+    """
+    name = store_or_backend_name
+    if not isinstance(name, str):
+        name = getattr(name, "backend", name).scheme
+    if name == "filesystem":
+        import repro.store.fs as fs_mod
+
+        def disk_full(path, payload, durable=True):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(fs_mod, "atomic_write_json", disk_full)
+        return
+    import repro.store.sqlite as sqlite_mod
+
+    real_execute = sqlite_mod._execute
+
+    def failing_execute(db, sql, params=()):
+        head = sql.lstrip().split(None, 1)[0].upper()
+        if head in ("SELECT", "PRAGMA"):
+            return real_execute(db, sql, params)
+        raise sqlite3.OperationalError("database or disk is full")
+
+    monkeypatch.setattr(sqlite_mod, "_execute", failing_execute)
+
+
+def corrupt_checkpoint(store, campaign):
+    """Leave one campaign's checkpoint unparsable, backend-appropriately."""
+    backend = store.backend
+    if backend.scheme == "filesystem":
+        path = backend.checkpoint_path(campaign)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ nope")
+        return
+    db = backend._db()
+    with db:
+        db.execute(
+            "INSERT INTO checkpoints (campaign, payload) VALUES (?, ?) "
+            "ON CONFLICT(campaign) DO UPDATE SET payload = excluded.payload",
+            (campaign, "{ nope"))
+
+
+def corrupt_metadata(store):
+    """Corrupt the backend's metadata (counter file / database header)."""
+    backend = store.backend
+    if backend.scheme == "filesystem":
+        backend.meta_path.write_text('{"puts": 2, "hi')  # killed mid-write
+        return
+    # Fold the WAL back into the main file first, or a fresh reader
+    # would transparently recover page 1 from it and mask the damage.
+    db = backend._db()
+    db.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    db.close()
+    backend._conn = None
+    with open(backend.location, "r+b") as handle:
+        handle.write(b"this is not a sqlite database header")
+    for suffix in ("-wal", "-shm"):
+        sidecar = backend.location.with_name(backend.location.name + suffix)
+        if sidecar.exists():
+            sidecar.unlink()

@@ -1,0 +1,182 @@
+"""Cross-backend parity: golden warm starts and lossless migration.
+
+The acceptance bar for the pluggable-backend refactor: all 40 golden
+points warm-start hex-exact through *each* backend, and ``repro store
+migrate`` moves a corpus between backends key-for-key with
+byte-identical record text and exact counter totals — in both
+directions, including a full round trip back onto the original
+backend.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.suite import MicroBenchmarkSuite, clear_result_cache
+from repro.hadoop.cluster import cluster_a
+from repro.hadoop.job import JobConf
+from repro.store import ResultStore, StoredResult, migrate_store
+
+from tests.store.conftest import record_text, store_root
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_times.json"
+
+with GOLDEN_PATH.open() as _handle:
+    GOLDEN = json.load(_handle)
+
+POINTS = GOLDEN["points"]
+
+assert len(POINTS) == 40, "golden file must pin exactly 40 points"
+
+
+def golden_config(point):
+    """The BenchmarkConfig of one golden point."""
+    return BenchmarkConfig.from_shuffle_size(
+        point["shuffle_gb"] * 1e9,
+        pattern=point["pattern"],
+        network=point["network"],
+        num_maps=GOLDEN["num_maps"],
+        num_reduces=GOLDEN["num_reduces"],
+        key_size=GOLDEN["key_size"],
+        value_size=GOLDEN["value_size"],
+    )
+
+
+def _suites(root):
+    """One suite per framework version, all sharing one store root."""
+    versions = sorted({p["version"] for p in POINTS})
+    return {
+        version: MicroBenchmarkSuite(cluster=cluster_a(2),
+                                     jobconf=JobConf(version=version),
+                                     store=root)
+        for version in versions
+    }
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+class TestGoldenWarmStarts:
+    """ISSUE acceptance: 40/40 golden points hex-exact per backend."""
+
+    def test_all_40_points_warm_start_hex_exact(self, tmp_path,
+                                                backend_name):
+        root = store_root(tmp_path, backend_name)
+
+        # Cold pass: simulate and record every golden point.
+        cold = _suites(root)
+        for point in POINTS:
+            result = cold[point["version"]].run_config(golden_config(point))
+            assert (result.execution_time.hex()
+                    == point["execution_time_hex"])
+        puts_after_cold = ResultStore(root).stats()["puts"]
+        assert puts_after_cold == 40
+
+        # Warm pass, fresh process (memo cleared): every point must be
+        # served from the store, hex-exact, with zero new simulations.
+        clear_result_cache()
+        warm = _suites(root)
+        for point in POINTS:
+            stored = warm[point["version"]].run_config(golden_config(point))
+            assert isinstance(stored, StoredResult)
+            assert stored.cached is True
+            assert (stored.execution_time.hex()
+                    == point["execution_time_hex"])
+        assert ResultStore(root).stats()["puts"] == puts_after_cold
+
+
+def _populate(root, n=4):
+    """A store with n golden records, tags, quarantine, checkpoint."""
+    suites = _suites(root)
+    keys = []
+    for point in POINTS[:n]:
+        suite = suites[point["version"]]
+        config = golden_config(point)
+        suite.run_config(config)
+        keys.append(suite.store_key(config))
+    clear_result_cache()
+    store = ResultStore(root)
+    store.tag(keys[0], "mig-camp", {"trial": 0})
+    store.tag(keys[1], "mig-camp", {"trial": 1})
+    store.quarantine_add("ab" * 32, {"error": "boom", "attempts": 3})
+    store.write_checkpoint("mig-camp", {"total": n,
+                                        "completed": keys[:2]})
+    return store, keys
+
+
+class TestMigration:
+    """`repro store migrate` is lossless across backends, both ways."""
+
+    def test_round_trip_is_byte_identical(self, tmp_path, backend_name):
+        other = "sqlite" if backend_name == "filesystem" else "filesystem"
+        root_a = store_root(tmp_path, backend_name, "a")
+        root_b = store_root(tmp_path, other, "b")
+        root_c = store_root(tmp_path, backend_name, "c")
+        source, keys = _populate(root_a)
+
+        first = migrate_store(root_a, root_b)
+        second = migrate_store(root_b, root_c)
+        assert first.records == len(keys) == second.records
+        assert first.quarantined == 1 == second.quarantined
+        assert first.checkpoints == 1 == second.checkpoints
+
+        stores = [source, ResultStore(root_b), ResultStore(root_c)]
+        expected_keys = sorted(keys)
+        for store in stores:
+            assert list(store.keys()) == expected_keys
+        # Key-for-key byte-identical record text across every hop.
+        for key in keys:
+            texts = {record_text(store, key) for store in stores}
+            assert len(texts) == 1
+        # Exact counter totals, quarantine and checkpoints preserved.
+        reference = stores[0].backend.counters()
+        assert any(reference.values())  # the comparison is non-vacuous
+        for store in stores[1:]:
+            assert store.backend.counters() == reference
+            assert store.quarantine() == stores[0].quarantine()
+            assert (store.backend.checkpoints()
+                    == stores[0].backend.checkpoints())
+
+    def test_round_trip_reproduces_record_files(self, tmp_path):
+        """fs -> sqlite -> fs ends with byte-identical record *files*."""
+        root_a = store_root(tmp_path, "filesystem", "a")
+        root_b = store_root(tmp_path, "sqlite", "b")
+        root_c = store_root(tmp_path, "filesystem", "c")
+        source, keys = _populate(root_a, n=2)
+        migrate_store(root_a, root_b)
+        migrate_store(root_b, root_c)
+        copy = ResultStore(root_c)
+        for key in keys:
+            assert (copy.backend.record_path(key).read_bytes()
+                    == source.backend.record_path(key).read_bytes())
+
+    def test_warm_start_through_migrated_copy(self, tmp_path,
+                                              backend_name):
+        other = "sqlite" if backend_name == "filesystem" else "filesystem"
+        root_a = store_root(tmp_path, backend_name, "a")
+        root_b = store_root(tmp_path, other, "b")
+        _populate(root_a, n=2)
+        migrate_store(root_a, root_b)
+
+        clear_result_cache()
+        warm = _suites(root_b)
+        puts_before = ResultStore(root_b).stats()["puts"]
+        for point in POINTS[:2]:
+            stored = warm[point["version"]].run_config(golden_config(point))
+            assert isinstance(stored, StoredResult)
+            assert (stored.execution_time.hex()
+                    == point["execution_time_hex"])
+        assert ResultStore(root_b).stats()["puts"] == puts_before
+
+    def test_migrating_onto_itself_is_refused(self, tmp_path,
+                                              backend_name):
+        root = store_root(tmp_path, backend_name)
+        ResultStore(root).quarantine_add("aa" * 32, {"error": "x"})
+        with pytest.raises(ValueError, match="same store"):
+            migrate_store(root, root)

@@ -1,4 +1,9 @@
-"""ResultStore behavior: round-trips, counters, corruption, gc."""
+"""ResultStore behavior: round-trips, counters, corruption, gc.
+
+Every class here runs against both backends (``backend_name`` /
+``make_store`` from ``conftest.py``): the facade contract — not the
+backing — is what these tests pin down.
+"""
 
 import json
 
@@ -13,6 +18,8 @@ from repro.store import (
     StoredResult,
     point_key,
 )
+
+from tests.store.conftest import load_record, rewrite_record, store_root
 
 
 def tiny_config(network="1GigE", **overrides):
@@ -30,8 +37,8 @@ def sim_result():
 
 
 class TestRoundTrip:
-    def test_put_get_round_trip(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_put_get_round_trip(self, make_store, sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
         loaded = store.get(key)
@@ -43,8 +50,8 @@ class TestRoundTrip:
         assert loaded.interconnect_name == sim_result.interconnect_name
         assert loaded.config == sim_result.config
 
-    def test_phase_breakdown_survives(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_phase_breakdown_survives(self, make_store, sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
         loaded = store.get(key)
@@ -61,8 +68,8 @@ class TestRoundTrip:
 
 
 class TestCounters:
-    def test_stats_progression(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_stats_progression(self, make_store, sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         assert store.get(key) is None
         store.put(key, StoredResult.from_sim_result(sim_result))
@@ -73,15 +80,15 @@ class TestCounters:
         assert stats["misses"] == 1
         assert stats["records"] == 1
 
-    def test_counters_persist_across_instances(self, tmp_path, sim_result):
-        root = tmp_path / "store"
-        store = ResultStore(root)
+    def test_counters_persist_across_instances(self, make_store,
+                                               sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
-        assert ResultStore(root).stats()["puts"] == 1
+        assert make_store().stats()["puts"] == 1
 
-    def test_contains_does_not_bump_counters(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_contains_does_not_bump_counters(self, make_store, sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         assert not store.contains(key)
         store.put(key, StoredResult.from_sim_result(sim_result))
@@ -90,35 +97,41 @@ class TestCounters:
         assert stats["hits"] == 0
         assert stats["misses"] == 0
 
+    def test_stats_name_the_backend(self, make_store, backend_name):
+        assert make_store().stats()["backend"] == backend_name
+
 
 class TestCorruption:
-    def test_corrupted_record_warns_and_misses(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_corrupted_record_warns_and_misses(self, make_store,
+                                               sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
-        store.record_path(key).write_text("{ not json")
+        rewrite_record(store, key, "{ not json")
         with pytest.warns(ResultStoreWarning):
             assert store.get(key) is None
 
-    def test_malformed_payload_warns_and_misses(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_malformed_payload_warns_and_misses(self, make_store,
+                                                sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
-        record = json.loads(store.record_path(key).read_text())
+        record = load_record(store, key)
         del record["result"]["execution_time"]
-        store.record_path(key).write_text(json.dumps(record))
+        rewrite_record(store, key, json.dumps(record))
         with pytest.warns(ResultStoreWarning):
             assert store.get(key) is None
 
-    def test_corruption_never_poisons_the_suite(self, tmp_path):
+    def test_corruption_never_poisons_the_suite(self, tmp_path,
+                                                backend_name):
         """A bad record re-simulates instead of crashing the run."""
-        root = tmp_path / "store"
+        root = store_root(tmp_path, backend_name)
         config = tiny_config()
         clear_result_cache()
         suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         result = suite.run_config(config)
-        store = ResultStore(root)
-        store.record_path(suite.store_key(config)).write_text("garbage")
+        rewrite_record(ResultStore(root), suite.store_key(config),
+                       "garbage")
         clear_result_cache()
         suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         with pytest.warns(ResultStoreWarning):
@@ -126,20 +139,20 @@ class TestCorruption:
         assert again.execution_time.hex() == result.execution_time.hex()
         clear_result_cache()
 
-    def test_wrong_schema_is_a_clean_miss(self, tmp_path, sim_result):
-        store = ResultStore(tmp_path / "store")
+    def test_wrong_schema_is_a_clean_miss(self, make_store, sim_result):
+        store = make_store()
         key = point_key(sim_result.config, cluster_a(2))
         store.put(key, StoredResult.from_sim_result(sim_result))
-        record = json.loads(store.record_path(key).read_text())
+        record = load_record(store, key)
         record["schema"] = 999
-        store.record_path(key).write_text(json.dumps(record))
+        rewrite_record(store, key, json.dumps(record))
         assert store.get(key) is None  # no warning: just stale
         assert store.stats()["stale_records"] == 1
 
 
 class TestMaintenance:
-    def _fill(self, tmp_path, sim_result, n=2):
-        store = ResultStore(tmp_path / "store")
+    def _fill(self, make_store, sim_result, n=2):
+        store = make_store()
         keys = []
         for seed in range(n):
             config = tiny_config(seed=seed + 1)
@@ -148,34 +161,40 @@ class TestMaintenance:
             keys.append(key)
         return store, keys
 
-    def test_keys_and_records(self, tmp_path, sim_result):
-        store, keys = self._fill(tmp_path, sim_result)
+    def test_keys_and_records(self, make_store, sim_result):
+        store, keys = self._fill(make_store, sim_result)
         assert list(store.keys()) == sorted(keys)
         assert {k for k, _rec in store.records()} == set(keys)
 
-    def test_gc_removes_only_stale(self, tmp_path, sim_result):
-        store, keys = self._fill(tmp_path, sim_result)
-        record = json.loads(store.record_path(keys[0]).read_text())
+    def test_gc_removes_only_stale(self, make_store, sim_result):
+        store, keys = self._fill(make_store, sim_result)
+        record = load_record(store, keys[0])
         record["schema"] = 999
-        store.record_path(keys[0]).write_text(json.dumps(record))
+        rewrite_record(store, keys[0], json.dumps(record))
         assert store.gc() == 1
         assert list(store.keys()) == sorted(keys[1:])
 
-    def test_gc_all(self, tmp_path, sim_result):
-        store, _keys = self._fill(tmp_path, sim_result)
+    def test_gc_all(self, make_store, sim_result):
+        store, _keys = self._fill(make_store, sim_result)
         assert store.gc(remove_all=True) == 2
         assert list(store.keys()) == []
 
-    def test_export_jsonl(self, tmp_path, sim_result):
-        store, keys = self._fill(tmp_path, sim_result)
+    def test_export_jsonl(self, make_store, sim_result):
+        store, keys = self._fill(make_store, sim_result)
         lines = list(store.export())
         assert len(lines) == 2
         exported = {json.loads(line)["key"] for line in lines}
         assert exported == set(keys)
 
-    def test_tag_merges(self, tmp_path, sim_result):
-        store, keys = self._fill(tmp_path, sim_result, n=1)
+    def test_tag_merges(self, make_store, sim_result):
+        store, keys = self._fill(make_store, sim_result, n=1)
         store.tag(keys[0], "camp-a", {"trial": 0})
         store.tag(keys[0], "camp-b", {"trial": 1})
         record = dict(store.records())[keys[0]]
         assert set(record["tags"]) == {"camp-a", "camp-b"}
+
+    def test_campaign_keys_filters(self, make_store, sim_result):
+        store, keys = self._fill(make_store, sim_result, n=2)
+        store.tag(keys[0], "camp-a", {"trial": 0})
+        assert store.campaign_keys("camp-a") == [keys[0]]
+        assert store.campaign_keys("camp-b") == []

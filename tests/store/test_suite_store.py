@@ -4,7 +4,8 @@ The disk store backs the in-process memo cache: a fresh process (here
 simulated with ``clear_result_cache``, and proven for real processes by
 the PYTHONHASHSEED subprocess test in ``test_keys.py`` plus the CLI
 acceptance test) serves previously-simulated points from disk,
-bit-identically, executing zero simulations.
+bit-identically, executing zero simulations. Every test runs against
+both store backends.
 """
 
 import pytest
@@ -14,6 +15,8 @@ from repro.core.suite import MicroBenchmarkSuite, clear_result_cache
 from repro.hadoop.cluster import cluster_a
 from repro.hadoop.result import SimJobResult
 from repro.store import ResultStore, StoredResult
+
+from tests.store.conftest import store_root
 
 
 def tiny_config(network="1GigE", **overrides):
@@ -31,8 +34,9 @@ def fresh_memo():
 
 
 class TestWarmStart:
-    def test_cold_run_is_live_then_warm_run_is_stored(self, tmp_path):
-        root = tmp_path / "store"
+    def test_cold_run_is_live_then_warm_run_is_stored(self, tmp_path,
+                                                      backend_name):
+        root = store_root(tmp_path, backend_name)
         cold = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         live = cold.run_config(tiny_config())
         assert isinstance(live, SimJobResult)
@@ -44,8 +48,9 @@ class TestWarmStart:
         assert stored.cached is True
         assert stored.execution_time.hex() == live.execution_time.hex()
 
-    def test_warm_run_executes_zero_simulations(self, tmp_path):
-        root = tmp_path / "store"
+    def test_warm_run_executes_zero_simulations(self, tmp_path,
+                                                backend_name):
+        root = store_root(tmp_path, backend_name)
         configs = [tiny_config(), tiny_config(network="ipoib-qdr")]
         cold = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         for config in configs:
@@ -60,8 +65,9 @@ class TestWarmStart:
         # puts unmoved = nothing was simulated on the warm pass.
         assert ResultStore(root).stats()["puts"] == puts_after_cold
 
-    def test_alias_network_hits_canonical_record(self, tmp_path):
-        root = tmp_path / "store"
+    def test_alias_network_hits_canonical_record(self, tmp_path,
+                                                 backend_name):
+        root = store_root(tmp_path, backend_name)
         cold = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         live = cold.run_config(tiny_config(network="IPoIB-QDR(32Gbps)"))
 
@@ -71,13 +77,16 @@ class TestWarmStart:
         assert isinstance(stored, StoredResult)
         assert stored.execution_time.hex() == live.execution_time.hex()
 
-    def test_store_path_is_coerced(self, tmp_path):
-        suite = MicroBenchmarkSuite(cluster=cluster_a(2),
-                                    store=str(tmp_path / "store"))
+    def test_store_path_is_coerced(self, tmp_path, backend_name):
+        suite = MicroBenchmarkSuite(
+            cluster=cluster_a(2),
+            store=store_root(tmp_path, backend_name))
         assert isinstance(suite.store, ResultStore)
+        assert suite.store.stats()["backend"] == backend_name
 
-    def test_memo_hit_short_circuits_the_store(self, tmp_path):
-        root = tmp_path / "store"
+    def test_memo_hit_short_circuits_the_store(self, tmp_path,
+                                               backend_name):
+        root = store_root(tmp_path, backend_name)
         suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         suite.run_config(tiny_config())
         suite.run_config(tiny_config())  # memo hit, no store read
@@ -85,15 +94,17 @@ class TestWarmStart:
 
 
 class TestBypasses:
-    def test_memoize_false_bypasses_the_store(self, tmp_path):
-        root = tmp_path / "store"
+    def test_memoize_false_bypasses_the_store(self, tmp_path,
+                                              backend_name):
+        root = store_root(tmp_path, backend_name)
         suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         result = suite.run_config(tiny_config(), memoize=False)
         assert isinstance(result, SimJobResult)
         assert ResultStore(root).stats()["puts"] == 0
 
-    def test_monitored_runs_are_never_stored(self, tmp_path):
-        root = tmp_path / "store"
+    def test_monitored_runs_are_never_stored(self, tmp_path,
+                                             backend_name):
+        root = store_root(tmp_path, backend_name)
         suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
         result = suite.run_config(tiny_config(), monitor_interval=1.0)
         assert isinstance(result, SimJobResult)
@@ -101,8 +112,9 @@ class TestBypasses:
 
 
 class TestSweepThroughStore:
-    def test_sweep_warm_start_is_bit_identical(self, tmp_path):
-        root = tmp_path / "store"
+    def test_sweep_warm_start_is_bit_identical(self, tmp_path,
+                                               backend_name):
+        root = store_root(tmp_path, backend_name)
         kwargs = dict(num_maps=4, num_reduces=2,
                       key_size=256, value_size=256)
         cold = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)

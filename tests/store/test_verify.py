@@ -1,4 +1,10 @@
-"""Store hardening: verify fsck, degradation, truncation, quarantine."""
+"""Store hardening: verify fsck, degradation, truncation, quarantine.
+
+The contract classes run against both backends; the two classes pinned
+to one backend (``TestTruncatedMetadata``, sharded counter files;
+``TestUnreadableLedgerFile``, the quarantine JSON file) exercise
+filesystem-layout failure modes that have no sqlite equivalent.
+"""
 
 import json
 
@@ -12,6 +18,15 @@ from repro.store import (
     ResultStoreWarning,
     StoredResult,
     point_key,
+)
+
+from tests.store.conftest import (
+    break_writes,
+    corrupt_checkpoint,
+    corrupt_metadata,
+    load_record,
+    rewrite_record,
+    store_root,
 )
 
 
@@ -28,122 +43,156 @@ def sim_result():
     return suite.run_config(tiny_config(), memoize=False)
 
 
-def _fill(tmp_path, sim_result, n=2):
+def _fill(tmp_path, backend_name, n=2):
     """A store with n records written the real way (with provenance)."""
+    root = store_root(tmp_path, backend_name)
     clear_result_cache()
-    suite = MicroBenchmarkSuite(cluster=cluster_a(2),
-                                store=tmp_path / "store")
+    suite = MicroBenchmarkSuite(cluster=cluster_a(2), store=root)
     keys = []
     for seed in range(n):
         config = tiny_config(seed=seed + 1)
         suite.run_config(config)
         keys.append(suite.store_key(config))
     clear_result_cache()
-    return ResultStore(tmp_path / "store"), keys
+    return ResultStore(root), keys
 
 
 class TestVerify:
-    def test_clean_store_verifies(self, tmp_path, sim_result):
-        store, _keys = _fill(tmp_path, sim_result)
+    def test_clean_store_verifies(self, tmp_path, backend_name):
+        store, _keys = _fill(tmp_path, backend_name)
         report = store.verify()
         assert report.clean
         assert report.checked == 2 and report.ok == 2
         assert report.problems == []
 
-    def test_unparsable_record_is_reported(self, tmp_path, sim_result):
-        store, keys = _fill(tmp_path, sim_result)
-        store.record_path(keys[0]).write_text("{ nope")
+    def test_unparsable_record_is_reported(self, tmp_path, backend_name):
+        store, keys = _fill(tmp_path, backend_name)
+        rewrite_record(store, keys[0], "{ nope")
         report = store.verify()
         assert not report.clean
         assert len(report.problems) == 1
         assert "unparsable" in report.problems[0].problem
 
-    def test_key_mismatch_is_reported(self, tmp_path, sim_result):
-        store, keys = _fill(tmp_path, sim_result)
-        record = json.loads(store.record_path(keys[0]).read_text())
+    def test_key_mismatch_is_reported(self, tmp_path, backend_name):
+        store, keys = _fill(tmp_path, backend_name)
+        record = load_record(store, keys[0])
         record["key"] = "f" * 64
-        store.record_path(keys[0]).write_text(json.dumps(record))
+        rewrite_record(store, keys[0], json.dumps(record))
         report = store.verify()
         assert any("key mismatch" in p.problem for p in report.problems)
 
-    def test_stale_schema_is_reported(self, tmp_path, sim_result):
-        store, keys = _fill(tmp_path, sim_result)
-        record = json.loads(store.record_path(keys[0]).read_text())
+    def test_stale_schema_is_reported(self, tmp_path, backend_name):
+        store, keys = _fill(tmp_path, backend_name)
+        record = load_record(store, keys[0])
         record["schema"] = 999
-        store.record_path(keys[0]).write_text(json.dumps(record))
+        rewrite_record(store, keys[0], json.dumps(record))
         report = store.verify()
         assert any("stale schema" in p.problem for p in report.problems)
 
-    def test_malformed_payload_is_reported(self, tmp_path, sim_result):
-        store, keys = _fill(tmp_path, sim_result)
-        record = json.loads(store.record_path(keys[0]).read_text())
+    def test_malformed_payload_is_reported(self, tmp_path, backend_name):
+        store, keys = _fill(tmp_path, backend_name)
+        record = load_record(store, keys[0])
         del record["result"]["execution_time"]
-        store.record_path(keys[0]).write_text(json.dumps(record))
+        rewrite_record(store, keys[0], json.dumps(record))
         report = store.verify()
         assert any("malformed result" in p.problem for p in report.problems)
 
-    def test_tampered_provenance_is_reported(self, tmp_path, sim_result):
+    def test_tampered_provenance_is_reported(self, tmp_path, backend_name):
         """The content-address must actually address the content."""
-        store, keys = _fill(tmp_path, sim_result)
-        record = json.loads(store.record_path(keys[0]).read_text())
+        store, keys = _fill(tmp_path, backend_name)
+        record = load_record(store, keys[0])
         record["provenance"]["config"]["seed"] = 424242
-        store.record_path(keys[0]).write_text(json.dumps(record))
+        rewrite_record(store, keys[0], json.dumps(record))
         report = store.verify()
         assert any("provenance does not hash" in p.problem
                    for p in report.problems)
 
-    def test_verify_gc_sweeps_only_problems(self, tmp_path, sim_result):
-        store, keys = _fill(tmp_path, sim_result)
-        store.record_path(keys[0]).write_text("garbage")
+    def test_verify_gc_sweeps_only_problems(self, tmp_path, backend_name):
+        store, keys = _fill(tmp_path, backend_name)
+        rewrite_record(store, keys[0], "garbage")
         report = store.verify(gc=True)
         assert report.swept == 1
         assert list(store.keys()) == sorted(keys[1:])
         assert store.verify().clean
 
-    def test_corrupt_metadata_flagged(self, tmp_path, sim_result):
-        store, _keys = _fill(tmp_path, sim_result)
-        store.meta_path.write_text('{"puts": 2, "hi')  # killed mid-write
-        report = store.verify()
+    def test_corrupt_metadata_flagged(self, tmp_path, backend_name):
+        store, _keys = _fill(tmp_path, backend_name)
+        corrupt_metadata(store)
+        # A fresh handle, as a later inspection process would open.
+        fresh = ResultStore(store_root(tmp_path, backend_name))
+        with pytest.warns(ResultStoreWarning) if backend_name == "sqlite" \
+                else _no_warning_needed():
+            report = fresh.verify()
         assert report.meta_ok is False
 
 
-class TestTruncatedMetadata:
-    """Satellite: truncated store.json must warn + reinit, not raise."""
+def _no_warning_needed():
+    """Placeholder context for the branch that warns nothing."""
+    import contextlib
 
-    def test_truncated_meta_reinitializes_counters(self, tmp_path,
-                                                   sim_result):
-        store, _keys = _fill(tmp_path, sim_result)
-        store.meta_path.write_text('{"puts": 2, "hi')
-        fresh = ResultStore(store.root)
+    return contextlib.nullcontext()
+
+
+class TestTruncatedMetadata:
+    """Truncated counter files must warn + reinit, not raise.
+
+    Filesystem-backend specific: counters live in sharded JSON files
+    (``counters/shard-NN.json``); this pins the truncation tolerance of
+    that layout. (SQLite metadata corruption is covered by
+    ``test_corrupt_metadata_flagged``.)
+    """
+
+    def _shard_path(self, store):
+        """The counter shard this process's bumps land in."""
+        backend = store.backend
+        return backend.shard_path(backend._counter_shard())
+
+    def test_truncated_shard_reinitializes_counters(self, tmp_path):
+        store, _keys = _fill(tmp_path, "filesystem")
+        shard = self._shard_path(store)
+        assert json.loads(shard.read_text())["puts"] == 2
+        shard.write_text('{"puts": 2, "hi')  # killed mid-write
+        fresh = ResultStore(store_root(tmp_path, "filesystem"))
         with pytest.warns(ResultStoreWarning, match="reinitializing"):
             stats = fresh.stats()
         assert stats["puts"] == 0  # reinitialized
 
-    def test_next_write_repairs_the_file(self, tmp_path, sim_result):
-        store, _keys = _fill(tmp_path, sim_result)
-        store.meta_path.write_text("")
-        fresh = ResultStore(store.root)
+    def test_truncated_legacy_meta_reinitializes(self, tmp_path):
+        """A corrupt pre-shard ``store.json`` is tolerated the same way."""
+        store, _keys = _fill(tmp_path, "filesystem")
+        store.meta_path.write_text('{"puts": 2, "hi')
+        fresh = ResultStore(store_root(tmp_path, "filesystem"))
         with pytest.warns(ResultStoreWarning, match="reinitializing"):
-            fresh.get("ab" * 32)  # miss -> locked bump rewrites meta
-        data = json.loads(store.meta_path.read_text())
+            stats = fresh.stats()
+        assert stats["puts"] == 2  # legacy file zeroed, shards intact
+
+    def test_next_write_repairs_the_file(self, tmp_path):
+        store, _keys = _fill(tmp_path, "filesystem")
+        shard = self._shard_path(store)
+        shard.write_text("")
+        fresh = ResultStore(store_root(tmp_path, "filesystem"))
+        with pytest.warns(ResultStoreWarning, match="reinitializing"):
+            fresh.get("ab" * 32)  # miss -> locked bump rewrites the shard
+        data = json.loads(shard.read_text())
         assert data["misses"] == 1
+
+    def test_legacy_counters_aggregate_with_shards(self, tmp_path):
+        """A pre-shard store upgrades in place: totals include both."""
+        store, _keys = _fill(tmp_path, "filesystem")
+        store.meta_path.write_text(
+            json.dumps({"schema": 1, "puts": 5, "hits": 1, "misses": 0}))
+        stats = ResultStore(store_root(tmp_path, "filesystem")).stats()
+        assert stats["puts"] == 7  # 5 legacy + 2 sharded
+        assert stats["hits"] == 1
 
 
 class TestReadOnlyDegradation:
     """Unwritable/full roots degrade to read-only; simulation goes on."""
 
-    def _break_writes(self, monkeypatch):
-        import repro.store.store as store_mod
-
-        def disk_full(path, payload):
-            raise OSError(28, "No space left on device")
-
-        monkeypatch.setattr(store_mod, "atomic_write_json", disk_full)
-
-    def test_put_degrades_with_one_warning(self, tmp_path, sim_result,
-                                           monkeypatch):
-        store = ResultStore(tmp_path / "store")
-        self._break_writes(monkeypatch)
+    def test_put_degrades_with_one_warning(self, make_store, backend_name,
+                                           sim_result, monkeypatch):
+        store = make_store()
+        break_writes(backend_name, monkeypatch)
         stored = StoredResult.from_sim_result(sim_result)
         with pytest.warns(ResultStoreWarning, match="read-only"):
             store.put("ab" * 32, stored)
@@ -156,24 +205,27 @@ class TestReadOnlyDegradation:
             store.quarantine_add("ef" * 32, {"error": "x"})
             assert store.write_checkpoint("c", {}) is None
 
-    def test_degraded_store_still_serves_reads(self, tmp_path, sim_result,
+    def test_degraded_store_still_serves_reads(self, make_store,
+                                               backend_name, sim_result,
                                                monkeypatch):
         key = point_key(sim_result.config, cluster_a(2))
-        store = ResultStore(tmp_path / "store")
+        store = make_store()
         store.put(key, StoredResult.from_sim_result(sim_result))
-        self._break_writes(monkeypatch)
+        break_writes(backend_name, monkeypatch)
         with pytest.warns(ResultStoreWarning, match="read-only"):
             store.get("ab" * 32)  # miss-bump write fails -> degrade
         assert store.contains(key)
         assert store.get(key) is not None  # hit served, bump dropped
 
     def test_suite_keeps_simulating_on_degraded_store(self, tmp_path,
+                                                      backend_name,
                                                       monkeypatch):
         """ISSUE: warn, keep simulating, don't crash."""
         clear_result_cache()
-        suite = MicroBenchmarkSuite(cluster=cluster_a(2),
-                                    store=tmp_path / "store")
-        self._break_writes(monkeypatch)
+        suite = MicroBenchmarkSuite(
+            cluster=cluster_a(2),
+            store=store_root(tmp_path, backend_name))
+        break_writes(backend_name, monkeypatch)
         with pytest.warns(ResultStoreWarning, match="read-only"):
             result = suite.run_config(tiny_config())
         assert result.execution_time > 0
@@ -181,8 +233,8 @@ class TestReadOnlyDegradation:
 
 
 class TestQuarantineLedger:
-    def test_add_read_clear_round_trip(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
+    def test_add_read_clear_round_trip(self, make_store):
+        store = make_store()
         assert store.quarantine() == {}
         store.quarantine_add("aa" * 32, {"error": "boom", "attempts": 2})
         store.quarantine_add("bb" * 32, {"error": "bang", "attempts": 1})
@@ -194,35 +246,40 @@ class TestQuarantineLedger:
         assert store.quarantine_clear() == 1
         assert store.quarantine() == {}
 
+    def test_quarantined_count_in_stats(self, make_store):
+        store = make_store()
+        store.quarantine_add("aa" * 32, {"error": "boom"})
+        assert store.stats()["quarantined"] == 1
+
+    def test_quarantine_location_is_reported(self, make_store):
+        assert "quarantine" in make_store().quarantine_location
+
+
+class TestUnreadableLedgerFile:
+    """Filesystem-specific: a garbage quarantine.json is empty + warned."""
+
     def test_unreadable_ledger_is_empty_with_warning(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
+        store = ResultStore(store_root(tmp_path, "filesystem"))
         store.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
         store.quarantine_path.write_text("{ nope")
         with pytest.warns(ResultStoreWarning, match="quarantine"):
             assert store.quarantine() == {}
 
-    def test_quarantined_count_in_stats(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
-        store.quarantine_add("aa" * 32, {"error": "boom"})
-        assert store.stats()["quarantined"] == 1
-
 
 class TestCheckpoints:
-    def test_checkpoint_round_trip(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
+    def test_checkpoint_round_trip(self, make_store):
+        store = make_store()
         path = store.write_checkpoint("fig2", {"total": 4,
                                                "completed": ["a"]})
         assert path is not None and path.exists()
         data = store.read_checkpoint("fig2")
         assert data["total"] == 4 and data["completed"] == ["a"]
 
-    def test_missing_checkpoint_is_none(self, tmp_path):
-        assert ResultStore(tmp_path / "store").read_checkpoint("x") is None
+    def test_missing_checkpoint_is_none(self, make_store):
+        assert make_store().read_checkpoint("x") is None
 
-    def test_corrupt_checkpoint_warns(self, tmp_path):
-        store = ResultStore(tmp_path / "store")
-        path = store.checkpoint_path("fig2")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text("{ nope")
+    def test_corrupt_checkpoint_warns(self, make_store):
+        store = make_store()
+        corrupt_checkpoint(store, "fig2")
         with pytest.warns(ResultStoreWarning, match="checkpoint"):
             assert store.read_checkpoint("fig2") is None

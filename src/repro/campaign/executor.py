@@ -274,8 +274,15 @@ class CampaignExecutor:
         tracer: Optional[Tracer] = None,
         progress=None,
         campaign: str = "",
+        handle_signals: bool = True,
     ):
-        """Bind the executor to a suite and its failure policy."""
+        """Bind the executor to a suite and its failure policy.
+
+        ``handle_signals=False`` leaves the process's SIGINT/SIGTERM
+        handlers alone — for embedding the executor inside a host that
+        owns signal handling (the benchmark service's scheduler thread);
+        the host interrupts a pass via :meth:`request_stop` instead.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.suite = suite
@@ -295,6 +302,7 @@ class CampaignExecutor:
         #: (completion order).
         self.progress = progress
         self.campaign = campaign
+        self.handle_signals = handle_signals
         #: Stage seconds merged into the profile before execution (the
         #: runner seeds campaign-expansion time here).
         self.profile_base: Dict[str, float] = {}
@@ -309,9 +317,21 @@ class CampaignExecutor:
         self.profile: Dict[str, float] = {}
         self._unit_of: Dict[int, Tuple[int, ...]] = {}
         self._stop_signal: Optional[int] = None
+        self._stop_requested = False
         self._abort = False
 
     # -- public surface ----------------------------------------------------
+
+    def request_stop(self, signum: int = signal.SIGINT) -> None:
+        """Interrupt execution as a signal would (thread-safe, sticky).
+
+        The embedding host's replacement for sending a signal: the
+        current :meth:`execute` pass stops launching new units and
+        returns ``interrupted=True``, and every later pass returns
+        interrupted immediately (completed points are already durable).
+        """
+        self._stop_requested = True
+        self._stop_signal = signum
 
     def execute(self, configs: Sequence[BenchmarkConfig],
                 labels: Optional[Sequence[str]] = None) -> ExecutionReport:
@@ -323,7 +343,8 @@ class CampaignExecutor:
             PointOutcome(index=i, label=labels[i], key=keys[i])
             for i in range(len(configs))
         ]
-        self._stop_signal = None
+        self._stop_signal = (signal.SIGINT if self._stop_requested
+                             else None)
         self._abort = False
         self._unit_of = {}
         profile = {"store-lookup": 0.0, "shared-setup": 0.0,
@@ -392,6 +413,8 @@ class CampaignExecutor:
 
     def _install_signal_handlers(self) -> Dict[int, object]:
         handlers: Dict[int, object] = {}
+        if not self.handle_signals:
+            return handlers
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
                 handlers[signum] = signal.signal(signum, self._on_signal)

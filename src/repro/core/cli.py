@@ -434,6 +434,40 @@ def build_repro_parser() -> argparse.ArgumentParser:
                        "or partial failure)")
     add_campaign_exec_args(resume)
 
+    serve = sub.add_parser(
+        "serve", help="run the benchmark service: an HTTP front end "
+                      "answering point queries warm from the store and "
+                      "cold through the campaign executor")
+    add_store_arg(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8713,
+                       help="TCP port to bind; 0 picks a free one "
+                            "(default: 8713)")
+    serve.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="simulate cold points on N worker processes")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry each failing point up to N times "
+                            "before quarantining it (default: 0)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-point wall-clock limit for cold "
+                            "simulations")
+    serve.add_argument("--backoff", type=float, default=0.1, metavar="SEC",
+                       help="base backoff before the first retry "
+                            "(default: 0.1)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="cold-point queue bound; excess queries get "
+                            "a 503 (default: 256)")
+    serve_batching = serve.add_mutually_exclusive_group()
+    serve_batching.add_argument("--batch", dest="batch",
+                                action="store_true", default=None,
+                                help="force the equivalence-class batch "
+                                     "scheduler for cold points "
+                                     "(default: auto)")
+    serve_batching.add_argument("--no-batch", dest="batch",
+                                action="store_false",
+                                help="force the strict per-point loop")
+
     book = sub.add_parser("book", help="render the Experiment Book from "
                                        "store contents")
     book.add_argument("out_dir", metavar="OUT",
@@ -461,17 +495,17 @@ def _cmd_store(args) -> int:
         return _cmd_store_migrate(args)
     store = _repro_store(args)
     if args.store_command == "stats":
+        from repro.store import hit_rate
+
         stats = store.stats()
-        lookups = stats["hits"] + stats["misses"]
+        rate = hit_rate(stats)
         if args.json:
             import json
 
-            stats["hit_rate"] = (100.0 * stats["hits"] / lookups
-                                 if lookups else None)
+            stats["hit_rate"] = rate
             print(json.dumps(stats, indent=1, sort_keys=True))
             return 0
-        stats["hit_rate"] = (f"{100.0 * stats['hits'] / lookups:.1f}%"
-                             if lookups else "n/a")
+        stats["hit_rate"] = f"{rate:.1f}%" if rate is not None else "n/a"
         width = max(len(k) for k in stats)
         for key in ("root", "backend", "schema", "records",
                     "stale_records", "bytes", "puts", "hits", "misses",
@@ -616,6 +650,32 @@ def _campaign_keys(campaign, store):
     return [suite.store_key(p.config) for p in campaign.points()]
 
 
+def _cmd_serve(args) -> int:
+    from repro.campaign import RetryPolicy
+    from repro.service import BenchmarkService, run_server
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        policy = RetryPolicy(retries=args.retries, backoff=args.backoff,
+                             timeout=args.timeout)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.max_queue is not None:
+        kwargs["max_queue"] = args.max_queue
+    service = BenchmarkService(_repro_store(args), policy=policy,
+                               jobs=args.jobs, batch=args.batch, **kwargs)
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving {service.store.describe()} "
+              f"on http://{host}:{port}", flush=True)
+
+    return run_server(service, host=args.host, port=args.port, ready=ready)
+
+
 def _cmd_book(args) -> int:
     from repro.analysis.book import build_book
 
@@ -634,6 +694,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
             return _cmd_store(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "book":
             return _cmd_book(args)
     except (OSError, KeyError, ValueError) as exc:

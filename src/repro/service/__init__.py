@@ -1,0 +1,62 @@
+"""Benchmark-as-a-service: a query front end over the result store.
+
+ROADMAP item 1's "millions of users" shape: a long-running process
+that answers benchmark-point queries — (benchmark, size, network,
+runtime, ...) coordinates, the same vocabulary campaign specs use —
+warm from the :class:`~repro.store.ResultStore` and cold through the
+hardened :class:`~repro.campaign.executor.CampaignExecutor`, so many
+consumers amortize one shared grid of measurements.
+
+The layers, bottom up:
+
+* :mod:`repro.service.query` — request parsing; a query is a
+  degenerate one-point :class:`~repro.campaign.spec.Campaign`, so
+  validation, seeds and store keys match campaign runs exactly.
+* :mod:`repro.service.singleflight` — the in-flight ticket table; N
+  concurrent queries for one cold point cost one simulation.
+* :mod:`repro.service.scheduler` — the background worker batching
+  cold tickets onto the campaign executor (retry/timeout/quarantine
+  and equivalence-class batching reused).
+* :mod:`repro.service.core` — :class:`BenchmarkService`, the
+  transport-independent synchronous core (what the tests drive).
+* :mod:`repro.service.app` — the stdlib asyncio HTTP/1.1 front end:
+  ``repro serve`` (:func:`run_server`) and the in-process
+  :class:`BackgroundServer` for tests/benchmarks.
+
+Warm responses are the record's canonical bytes
+(:func:`~repro.store.dump_record_text`) — byte-identical to
+``repro store export`` — and cold points land in the store exactly as
+a campaign run would write them. See ``docs/SERVICE.md``.
+"""
+
+from repro.service.app import BackgroundServer, run_server
+from repro.service.core import BenchmarkService, ServiceResponse
+from repro.service.query import PointQuery, parse_point_query
+from repro.service.scheduler import DEFAULT_MAX_QUEUE, ColdScheduler
+from repro.service.singleflight import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SingleFlight,
+    Ticket,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "BenchmarkService",
+    "CANCELLED",
+    "ColdScheduler",
+    "DEFAULT_MAX_QUEUE",
+    "DONE",
+    "FAILED",
+    "PointQuery",
+    "QUEUED",
+    "RUNNING",
+    "ServiceResponse",
+    "SingleFlight",
+    "Ticket",
+    "parse_point_query",
+    "run_server",
+]

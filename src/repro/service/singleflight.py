@@ -1,0 +1,137 @@
+"""Single-flight coalescing for in-flight cold points.
+
+Many clients asking for the same cold point must cost one simulation,
+not N: the first request *creates* a :class:`Ticket` (and enqueues the
+point), every duplicate that arrives while the ticket is in flight
+*joins* it. All of them wait on the same :class:`threading.Event`; the
+scheduler resolves the ticket once and everyone re-reads the (single)
+store record — so the 32-client acceptance check ends with store
+``puts == 1`` and hex-identical job times.
+
+Ticket lifecycle::
+
+    queued ──> running ──> done       (dropped from the table;
+        │          │                   the store record answers now)
+        │          └─────> failed     (kept: the point is quarantined,
+        │                              later queries get the 5xx)
+        └──────────┴─────> cancelled  (dropped: shutdown/overflow —
+                                       a re-query starts fresh)
+
+``failed`` tickets are deliberately sticky: the executor already
+retried per its :class:`~repro.campaign.executor.RetryPolicy` and
+quarantined the point, so hammering POST must not re-simulate a known-
+bad point. ``repro campaign resume`` (or a fresh service) clears it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.service.query import PointQuery
+
+#: Ticket states.
+QUEUED = "queued"        #: admitted, waiting for the scheduler
+RUNNING = "running"      #: handed to the campaign executor
+DONE = "done"            #: resolved; the store record is the answer
+FAILED = "failed"        #: exhausted retries; point is quarantined
+CANCELLED = "cancelled"  #: dropped before execution (shutdown/overflow)
+
+#: States a ticket can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class Ticket:
+    """One in-flight (or failed) cold point, shared by its waiters."""
+
+    def __init__(self, key: str, query: PointQuery):
+        """A fresh ``queued`` ticket for one admitted cold point."""
+        self.key = key
+        self.query = query
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self.created_at = time.time()
+        #: Requests answered by this ticket (1 creator + joiners).
+        self.waiters = 1
+        self._event = threading.Event()
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the ticket reached a terminal state."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticket resolves; False on timeout."""
+        return self._event.wait(timeout)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-shaped view of the ticket (202/5xx response bodies)."""
+        out: Dict[str, object] = {
+            "key": self.key,
+            "state": self.state,
+            "point": self.query.describe(),
+            "coalesced": self.waiters - 1,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class SingleFlight:
+    """The in-flight ticket table, keyed by store key (thread-safe)."""
+
+    def __init__(self) -> None:
+        """An empty table."""
+        self._lock = threading.Lock()
+        self._tickets: Dict[str, Ticket] = {}
+
+    def admit(self, key: str, query: PointQuery) -> Tuple[Ticket, bool]:
+        """Join the key's live ticket, or create one.
+
+        Returns ``(ticket, created)``; only the creator enqueues the
+        point. A live ticket is anything still in the table — in-flight
+        work *or* a sticky ``failed`` verdict.
+        """
+        with self._lock:
+            ticket = self._tickets.get(key)
+            if ticket is not None:
+                ticket.waiters += 1
+                return ticket, False
+            ticket = Ticket(key, query)
+            self._tickets[key] = ticket
+            return ticket, True
+
+    def get(self, key: str) -> Optional[Ticket]:
+        """The key's current ticket, if any."""
+        with self._lock:
+            return self._tickets.get(key)
+
+    def resolve(self, ticket: Ticket, state: str,
+                error: Optional[str] = None) -> None:
+        """Seal a ticket and wake its waiters.
+
+        ``done``/``cancelled`` tickets leave the table (the store — or
+        a fresh query — answers from here on); ``failed`` stays so the
+        quarantine verdict keeps answering.
+        """
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal ticket state: {state!r}")
+        with self._lock:
+            ticket.state = state
+            ticket.error = error
+            if state != FAILED and self._tickets.get(ticket.key) is ticket:
+                del self._tickets[ticket.key]
+        ticket._event.set()
+
+    def in_flight(self) -> int:
+        """Tickets currently queued or running."""
+        with self._lock:
+            return sum(1 for t in self._tickets.values()
+                       if t.state not in TERMINAL_STATES)
+
+    def failed(self) -> int:
+        """Sticky failed tickets currently held."""
+        with self._lock:
+            return sum(1 for t in self._tickets.values()
+                       if t.state == FAILED)

@@ -57,6 +57,7 @@ from repro.store.store import (
     STORE_ENV_VAR,
     ResultStore,
     default_store_root,
+    hit_rate,
 )
 
 __all__ = [
@@ -84,6 +85,7 @@ __all__ = [
     "canonical",
     "canonical_json",
     "default_store_root",
+    "hit_rate",
     "point_components",
     "point_key",
     "stable_digest",

@@ -189,6 +189,15 @@ class StoreBackend(ABC):
     def read_only(self) -> bool:
         """Whether the backend degraded to read-only mode."""
 
+    def close(self) -> None:
+        """Release any process-local handles (connections, caches).
+
+        The backend stays usable afterwards — operations transparently
+        reacquire what they need. The filesystem backend holds nothing
+        between operations, so the default is a no-op; the SQLite
+        backend closes every connection this process opened.
+        """
+
     # -- records -----------------------------------------------------------
 
     @abstractmethod

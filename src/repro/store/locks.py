@@ -17,14 +17,28 @@ The lock is intentionally *not* reentrant and is always created fresh
 per critical section (acquisition costs one ``open`` + one syscall).
 Record writes themselves do not need it: they are blind atomic
 ``os.replace`` publishes, safe under concurrency by construction.
+
+**Thread awareness.** ``flock`` conflicts between two file descriptors
+even when both live in the same process, so two *threads* (the
+benchmark service's front end and its scheduler, or an asyncio
+``to_thread`` pool) contending on one lock path used to fall into the
+inter-process sleep/poll loop — cheap exclusion degenerating into a
+busy-wait that could burn the whole ``timeout``. Each lock path is now
+also guarded by an in-process :class:`threading.Lock` (one per path,
+per process — see :func:`_process_lock`): intra-process waiters block
+on it directly and wake the moment the holder releases, and only the
+single thread holding it ever polls the flock against *other*
+processes. The registry is rebuilt after ``fork`` so a child never
+inherits a lock an exited parent thread held.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 try:  # POSIX
     import fcntl
@@ -38,6 +52,32 @@ except ImportError:  # pragma: no cover - platform dependent
 
 #: Lockfile name inside a store root.
 LOCK_FILENAME = "store.lock"
+
+#: Per-process registry of intra-process locks, one per lock path.
+#: Bounded in practice: a store root uses a few hundred distinct lock
+#: paths at most (16 counter shards + 256 tag prefixes + store.lock).
+#: Rebuilt wholesale when the PID changes, so a forked child never
+#: blocks on a ``threading.Lock`` some parent thread held at fork time.
+_REGISTRY: Dict[str, object] = {
+    "pid": os.getpid(),
+    "guard": threading.Lock(),
+    "locks": {},
+}
+
+
+def _process_lock(path: Path) -> threading.Lock:
+    """The in-process lock shared by every :class:`FileLock` on ``path``."""
+    global _REGISTRY
+    if _REGISTRY["pid"] != os.getpid():
+        _REGISTRY = {"pid": os.getpid(), "guard": threading.Lock(),
+                     "locks": {}}
+    registry = _REGISTRY
+    key = str(path)
+    with registry["guard"]:
+        lock = registry["locks"].get(key)
+        if lock is None:
+            lock = registry["locks"][key] = threading.Lock()
+        return lock
 
 
 class FileLock:
@@ -64,22 +104,36 @@ class FileLock:
         #: Whether the exclusive lock is currently held.
         self.acquired = False
         self._handle = None
+        self._thread_locked = False
 
     def acquire(self) -> bool:
-        """Try to take the lock; returns whether exclusion held."""
+        """Try to take the lock; returns whether exclusion held.
+
+        Exclusion is two-level: the path's in-process
+        :class:`threading.Lock` first (so intra-process waiters block
+        cheaply instead of busy-polling the flock), then the advisory
+        file lock against other processes.
+        """
         if self.acquired:
             return True
+        deadline = time.monotonic() + self.timeout
+        thread_lock = _process_lock(self.path)
+        if not thread_lock.acquire(timeout=self.timeout):
+            return False
+        self._thread_locked = True
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a+b")
         except OSError:
             self._handle = None
+            self._unlock_thread()
             return False
         if fcntl is None and msvcrt is None:  # pragma: no cover
-            # No lock primitive on this platform: holding the open
-            # handle is all we can do; report best-effort mode.
+            # No lock primitive on this platform: the in-process lock
+            # and the open handle are all we can do; report best-effort
+            # mode (intra-process exclusion still holds via __exit__).
+            self._unlock_thread()
             return False
-        deadline = time.monotonic() + self.timeout
         while True:
             try:
                 self._try_lock()
@@ -88,6 +142,7 @@ class FileLock:
             except OSError:
                 if time.monotonic() >= deadline:
                     self._close()
+                    self._unlock_thread()
                     return False
                 time.sleep(self.poll_interval)
 
@@ -114,6 +169,16 @@ class FileLock:
                 pass
         self.acquired = False
         self._close()
+        self._unlock_thread()
+
+    def _unlock_thread(self) -> None:
+        """Release the in-process lock if this instance holds it."""
+        if self._thread_locked:
+            self._thread_locked = False
+            try:
+                _process_lock(self.path).release()
+            except RuntimeError:  # pragma: no cover - fork edge case
+                pass
 
     def _close(self) -> None:
         """Close the lockfile handle, swallowing close errors."""

@@ -17,9 +17,17 @@ transaction as every record write.
 Concurrency: WAL journal mode (readers never block the writer),
 ``synchronous=NORMAL`` (safe with WAL), a 30 s busy timeout, and
 counter bumps as single ``UPSERT`` statements — exact under concurrent
-processes without any advisory lock files. Connections are per-process
-(a PID guard reopens after ``fork``; an inherited connection is never
-reused, per the SQLite across-fork rules).
+processes without any advisory lock files. Connections are
+per-(process, thread): a :class:`threading.local` cache hands every
+thread its own connection (sqlite3 connections have thread affinity —
+one shared per-process connection made any second thread, e.g. the
+benchmark service's scheduler or an asyncio ``to_thread`` call, raise
+``sqlite3.ProgrammingError``), a PID guard reopens after ``fork``, and
+an inherited pre-fork connection is never reused, per the SQLite
+across-fork rules. :meth:`SQLiteBackend.close` closes every connection
+this process opened (they are created ``check_same_thread=False``
+precisely so one thread can close all of them; each is still *used*
+only by its owning thread).
 
 Write failures (disk full, read-only database) degrade the backend to
 warn-once read-only mode, same as the filesystem backend: campaigns
@@ -32,6 +40,7 @@ import contextlib
 import json
 import sqlite3
 import os
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -132,22 +141,47 @@ class SQLiteBackend(StoreBackend):
         """
         self.location = Path(location)
         self._read_only = False
-        self._conn: Optional[sqlite3.Connection] = None
-        self._conn_pid: Optional[int] = None
+        self._init_conn_state()
 
     # -- connection --------------------------------------------------------
 
+    def _init_conn_state(self) -> None:
+        """(Re)create the per-thread connection cache, empty."""
+        #: Thread-local slot: each thread caches its own connection
+        #: (plus the pid and generation it was opened under).
+        self._local = threading.local()
+        #: Every connection this process opened, for close(): a list of
+        #: (connection, pid) pairs behind a lock.
+        self._conns: List[Tuple[sqlite3.Connection, int]] = []
+        self._conns_lock = threading.Lock()
+        #: Bumped by close() so threads whose cached connection was
+        #: closed from another thread reconnect instead of using it.
+        self._generation = 0
+
     def _db(self) -> sqlite3.Connection:
-        """This process's connection (reopened after ``fork``)."""
+        """This thread's connection (reopened after ``fork``/``close``).
+
+        sqlite3 connections have thread affinity, so the cache is a
+        :class:`threading.local` keyed by pid and close-generation: a
+        second thread gets its own connection instead of tripping the
+        driver's thread check, a forked child never touches (or even
+        closes) an inherited pre-fork connection — the reference is
+        simply dropped — and a thread whose connection :meth:`close`
+        swept reconnects transparently.
+        """
         pid = os.getpid()
-        if self._conn is not None and self._conn_pid == pid:
-            return self._conn
-        # An inherited (pre-fork) connection must not be touched — not
-        # even closed — so just drop the reference and reconnect.
-        self._conn = None
+        conn = getattr(self._local, "conn", None)
+        if (conn is not None and self._local.pid == pid
+                and self._local.generation == self._generation):
+            return conn
+        self._local.conn = None
         self.location.parent.mkdir(parents=True, exist_ok=True)
+        # check_same_thread=False lets close() finalize connections
+        # opened by other threads; every connection is still *used*
+        # exclusively by the thread that opened it.
         conn = sqlite3.connect(str(self.location),
-                               timeout=BUSY_TIMEOUT_MS / 1000.0)
+                               timeout=BUSY_TIMEOUT_MS / 1000.0,
+                               check_same_thread=False)
         try:
             # Autocommit mode: transactions are managed explicitly via
             # _write_txn (BEGIN IMMEDIATE), never implicitly by the
@@ -161,16 +195,44 @@ class SQLiteBackend(StoreBackend):
         except BaseException:
             conn.close()
             raise
-        self._conn = conn
-        self._conn_pid = pid
+        self._local.conn = conn
+        self._local.pid = pid
+        self._local.generation = self._generation
+        with self._conns_lock:
+            self._conns.append((conn, pid))
         return conn
 
+    def close(self) -> None:
+        """Close every connection this process opened.
+
+        Safe to call from any thread (connections are created
+        ``check_same_thread=False``); threads that keep using the
+        backend afterwards transparently reconnect. Inherited pre-fork
+        connections are skipped — only their opener may touch them.
+        """
+        pid = os.getpid()
+        with self._conns_lock:
+            remaining: List[Tuple[sqlite3.Connection, int]] = []
+            for conn, conn_pid in self._conns:
+                if conn_pid != pid:
+                    remaining.append((conn, conn_pid))
+                    continue
+                with contextlib.suppress(sqlite3.Error):
+                    conn.close()
+            self._conns = remaining
+            self._generation += 1
+
     def __getstate__(self) -> dict:
-        """Pickle without the (unpicklable, unshareable) connection."""
+        """Pickle without the (unpicklable, unshareable) connections."""
         state = dict(self.__dict__)
-        state["_conn"] = None
-        state["_conn_pid"] = None
+        for transient in ("_local", "_conns", "_conns_lock"):
+            state.pop(transient, None)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Unpickle with a fresh, empty connection cache."""
+        self.__dict__.update(state)
+        self._init_conn_state()
 
     def describe(self) -> str:
         """One-line human description of this backend."""
@@ -215,9 +277,10 @@ class SQLiteBackend(StoreBackend):
             except sqlite3.OperationalError as exc:
                 if not _busy(exc) or attempt == BUSY_RETRIES - 1:
                     raise
-                if self._conn is not None:
+                conn = getattr(self._local, "conn", None)
+                if conn is not None:
                     with contextlib.suppress(sqlite3.Error):
-                        self._conn.rollback()
+                        conn.rollback()
                 time.sleep(0.01 * (attempt + 1))
         return None  # pragma: no cover - the loop returns or raises
 

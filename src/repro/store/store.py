@@ -86,6 +86,20 @@ def default_store_root() -> Optional[str]:
     return root or None
 
 
+def hit_rate(stats: Dict[str, object]) -> Optional[float]:
+    """Warm-hit percentage from a stats dict, or ``None``.
+
+    ``None`` (JSON ``null``) when the store has never been looked up —
+    a fresh store has no hit rate, and reporting ``0.0`` would read as
+    "everything missed". Shared by ``repro store stats --json`` and the
+    service's ``/v1/stats`` so the two JSON shapes agree.
+    """
+    lookups = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+    if not lookups:
+        return None
+    return 100.0 * int(stats.get("hits", 0)) / lookups
+
+
 class ResultStore:
     """Content-addressed simulation results over a pluggable backend."""
 
@@ -104,6 +118,7 @@ class ResultStore:
         else:
             self.backend, display = create_backend(root, backend=backend)
             self.root = Path(display)
+        self._stats_cache: Optional[Dict[str, object]] = None
 
     def describe(self) -> str:
         """One-line human description (backend and location)."""
@@ -172,6 +187,20 @@ class ResultStore:
     def contains(self, key: str) -> bool:
         """Whether a usable record exists (no counter side effects)."""
         return self.backend.read_record(key) is not None
+
+    def fetch_record(self, key: str) -> Optional[dict]:
+        """One usable record *document* — no counter side effects.
+
+        The raw envelope dict (``{key, schema, provenance, tags,
+        result}``) whose canonical serialization
+        (:func:`~repro.store.backend.dump_record_text`) is byte-identical
+        to what ``repro store export`` emits; the benchmark service
+        serves these bytes directly. Lookups through this path are the
+        *caller's* to account (the service keeps request-level counters),
+        unlike :meth:`get`, which bumps the store's own hit/miss
+        counters.
+        """
+        return self.backend.read_record(key)
 
     def get(self, key: str) -> Optional[StoredResult]:
         """Look up a result; counts a hit or a miss."""
@@ -333,12 +362,21 @@ class ResultStore:
         """Sorted keys of the records one campaign tagged."""
         return self.backend.campaign_keys(campaign)
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self, cached: bool = False) -> Dict[str, object]:
         """Counters plus storage footprint.
 
-        Counters are re-read from the backend so a long-lived handle
-        sees bumps made by concurrent processes, not a stale cache.
+        By default counters are re-read from the backend so a long-lived
+        handle sees bumps made by concurrent processes, not a stale
+        cache — but the full pass also walks/aggregates every record
+        (the footprint counts), which makes ``stats()`` a disk-heavy
+        call. ``cached=True`` returns the last computed snapshot when
+        one exists (copied, so callers can annotate it freely), only
+        falling back to a fresh read the first time; a hot stats
+        endpoint serves the cache and refreshes on its own schedule via
+        ``stats()`` / :meth:`refresh_stats`.
         """
+        if cached and self._stats_cache is not None:
+            return dict(self._stats_cache)
         counters: Dict[str, object] = dict(self.backend.counters())
         counters.update(self.backend.stats_counts())
         counters.update(
@@ -346,7 +384,16 @@ class ResultStore:
             backend=self.backend.scheme,
             quarantined=len(self.quarantine()),
         )
+        self._stats_cache = dict(counters)
         return counters
+
+    def refresh_stats(self) -> Dict[str, object]:
+        """Force a fresh stats read (and repopulate the cache)."""
+        return self.stats(cached=False)
+
+    def close(self) -> None:
+        """Release backend handles; the store stays usable afterwards."""
+        self.backend.close()
 
     def verify(self, gc: bool = False) -> VerifyReport:
         """Fsck every record; optionally sweep the ones that fail.

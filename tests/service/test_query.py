@@ -1,0 +1,110 @@
+"""Query parsing: vocabulary, validation and store-key parity.
+
+The whole point of :func:`repro.service.parse_point_query` is that a
+service query resolves to *exactly* the key a campaign run computes
+for the same coordinates — that parity is what makes the store a
+shared cache between ``repro serve`` and ``repro campaign run``.
+"""
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.service import parse_point_query
+from repro.store import point_key
+
+from tests.service.conftest import TINY_POINT, tiny_query
+
+
+def campaign_key(trial=0, **campaign_kwargs):
+    """The key a campaign run would compute for the tiny point."""
+    kwargs = dict(name="reference", benchmark=TINY_POINT["benchmark"],
+                  shuffle_gbs=(TINY_POINT["shuffle_gb"],),
+                  networks=(TINY_POINT["network"],),
+                  slaves=TINY_POINT["slaves"],
+                  params=dict(TINY_POINT["params"]),
+                  trials=trial + 1)
+    kwargs.update(campaign_kwargs)
+    campaign = Campaign(**kwargs)
+    point = campaign.points()[trial]
+    return point_key(point.config, campaign.cluster_spec(),
+                     jobconf=campaign.jobconf(),
+                     fault_plan=campaign.fault_plan)
+
+
+class TestKeyParity:
+    def test_key_matches_campaign_run_key(self):
+        assert parse_point_query(tiny_query()).key == campaign_key()
+
+    def test_trial_changes_the_key(self):
+        base = parse_point_query(tiny_query())
+        trial1 = parse_point_query(tiny_query(trial=1))
+        assert trial1.key != base.key
+        assert trial1.key == campaign_key(trial=1)
+
+    def test_runtime_changes_the_key(self):
+        yarn = parse_point_query(tiny_query(runtime="yarn"))
+        assert yarn.key != parse_point_query(tiny_query()).key
+        assert yarn.key == campaign_key(runtime="yarn")
+
+    def test_defaults_match_campaign_defaults(self):
+        """benchmark/cluster/runtime/trial defaults mirror Campaign's."""
+        explicit = parse_point_query(tiny_query(
+            benchmark="MR-AVG", cluster="a", runtime="mrv1", trial=0))
+        minimal = parse_point_query({
+            "shuffle_gb": TINY_POINT["shuffle_gb"],
+            "network": TINY_POINT["network"],
+            "slaves": TINY_POINT["slaves"],
+            "params": dict(TINY_POINT["params"]),
+        })
+        assert minimal.key == explicit.key
+
+
+class TestValidation:
+    @pytest.mark.parametrize("body, fragment", [
+        ("not a dict", "JSON object"),
+        ([1, 2], "JSON object"),
+        ({"network": "1GigE"}, "shuffle_gb"),
+        ({"shuffle_gb": 1.0}, "network"),
+        (tiny_query(flavor="spicy"), "unknown query keys"),
+        (tiny_query(shuffle_gb=0), "> 0"),
+        (tiny_query(shuffle_gb="four"), "must be a number"),
+        (tiny_query(trial=-1), ">= 0"),
+        (tiny_query(trial=True), "integer"),
+        (tiny_query(trial="two"), "integer"),
+        (tiny_query(params=[1]), "params must be an object"),
+        (tiny_query(fault_plan="break stuff"), "fault_plan"),
+    ])
+    def test_malformed_bodies_raise_value_error(self, body, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            parse_point_query(body)
+        assert fragment in str(excinfo.value)
+
+    @pytest.mark.parametrize("overrides", [
+        {"benchmark": "MR-BOGUS"},
+        {"network": "carrier-pigeon"},
+        {"cluster": "z"},
+        {"runtime": "mrv9"},
+    ])
+    def test_unknown_vocabulary_raises_value_error(self, overrides):
+        """Campaign's own vocabulary checks surface as ValueError."""
+        with pytest.raises(ValueError):
+            parse_point_query(tiny_query(**overrides))
+
+
+class TestDescribe:
+    def test_describe_names_the_coordinates(self):
+        query = parse_point_query(tiny_query(trial=2))
+        doc = query.describe()
+        assert doc["benchmark"] == "MR-AVG"
+        assert doc["shuffle_gb"] == pytest.approx(0.02)
+        assert doc["network"] == "1GigE"
+        assert doc["slaves"] == 2
+        assert doc["trial"] == 2
+        assert "faulty" not in doc
+
+    def test_signature_groups_compatible_queries(self):
+        a = parse_point_query(tiny_query())
+        b = parse_point_query(tiny_query(shuffle_gb=0.03, trial=1))
+        other = parse_point_query(tiny_query(runtime="yarn"))
+        assert a.signature == b.signature
+        assert a.signature != other.signature

@@ -147,10 +147,8 @@ def corrupt_metadata(store):
         return
     # Fold the WAL back into the main file first, or a fresh reader
     # would transparently recover page 1 from it and mask the damage.
-    db = backend._db()
-    db.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-    db.close()
-    backend._conn = None
+    backend._db().execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    backend.close()
     with open(backend.location, "r+b") as handle:
         handle.write(b"this is not a sqlite database header")
     for suffix in ("-wal", "-shm"):

@@ -63,6 +63,88 @@ class TestFileLock:
         assert lock.path == tmp_path / "store.lock"
 
 
+class TestThreadAwareness:
+    """Two *threads* on one lock path hand off without flock polling.
+
+    flock conflicts between file descriptors even inside one process,
+    so before the in-process guard this scenario fell into the
+    inter-process sleep/poll loop — with a pathological poll_interval
+    (bigger than the whole timeout), a guaranteed timeout. The
+    ``threading.Lock`` hand-off makes the wake-up immediate, which is
+    what these tests pin: they use poll intervals far beyond their
+    deadlines, so any regression back into polling cannot pass.
+    """
+
+    def test_contending_thread_wakes_on_release(self, tmp_path):
+        import threading
+        import time
+
+        path = tmp_path / "l.lock"
+        held = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def holder():
+            with FileLock(path):
+                held.set()
+                release.wait(30)
+
+        def contender():
+            lock = FileLock(path, timeout=10.0, poll_interval=120.0)
+            start = time.monotonic()
+            outcome["acquired"] = lock.acquire()
+            outcome["elapsed"] = time.monotonic() - start
+            lock.release()
+
+        holder_thread = threading.Thread(target=holder)
+        holder_thread.start()
+        assert held.wait(30)
+        contender_thread = threading.Thread(target=contender)
+        contender_thread.start()
+        time.sleep(0.2)  # let the contender actually block
+        release.set()
+        contender_thread.join(timeout=30)
+        holder_thread.join(timeout=30)
+        assert not contender_thread.is_alive()
+        assert outcome["acquired"] is True
+        assert outcome["elapsed"] < 10.0  # woke, didn't poll or time out
+
+    def test_eight_threads_serialize_exactly(self, tmp_path):
+        import threading
+        import time
+
+        path = tmp_path / "l.lock"
+        counter = {"n": 0}
+        failures = []
+
+        def worker():
+            lock = FileLock(path, timeout=60.0, poll_interval=120.0)
+            if not lock.acquire():
+                failures.append("timed out")
+                return
+            try:  # classic lost-update window without exclusion
+                value = counter["n"]
+                time.sleep(0.002)
+                counter["n"] = value + 1
+            finally:
+                lock.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert failures == []
+        assert counter["n"] == 8
+
+    def test_same_thread_second_instance_still_times_out(self, tmp_path):
+        """The in-process guard keeps FileLock's timeout semantics."""
+        path = tmp_path / "l.lock"
+        with FileLock(path):
+            contender = FileLock(path, timeout=0.1, poll_interval=0.01)
+            assert contender.acquire() is False
+
+
 def _miss_worker(args):
     """Stress worker: each miss is one counted lookup."""
     root, worker_id, count = args

@@ -198,3 +198,56 @@ class TestMaintenance:
         store.tag(keys[0], "camp-a", {"trial": 0})
         assert store.campaign_keys("camp-a") == [keys[0]]
         assert store.campaign_keys("camp-b") == []
+
+
+class TestStatsCache:
+    """stats() caching: explicit snapshot vs explicit refresh.
+
+    The service's /v1/stats endpoint serves the cached snapshot so a
+    hot stats path never walks the store per request; correctness of
+    the snapshot/refresh contract is pinned here, on both backends.
+    """
+
+    def test_default_stats_recompute_and_cache(self, make_store,
+                                               sim_result):
+        store = make_store()
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        assert store.stats()["puts"] == 1
+        store.put("00extra" + key[:8],
+                  StoredResult.from_sim_result(sim_result))
+        assert store.stats()["puts"] == 2  # default path re-reads
+
+    def test_cached_stats_are_a_stable_snapshot(self, make_store,
+                                                sim_result):
+        store = make_store()
+        key = point_key(sim_result.config, cluster_a(2))
+        store.put(key, StoredResult.from_sim_result(sim_result))
+        snapshot = store.stats()
+        store.put("00extra" + key[:8],
+                  StoredResult.from_sim_result(sim_result))
+        assert store.stats(cached=True) == snapshot  # stale by design
+        store.refresh_stats()
+        assert store.stats(cached=True)["puts"] == 2
+
+    def test_cached_without_snapshot_computes_one(self, make_store):
+        assert make_store().stats(cached=True)["puts"] == 0
+
+    def test_returned_dict_is_a_copy(self, make_store):
+        store = make_store()
+        stats = store.stats()
+        stats["puts"] = 999
+        assert store.stats(cached=True)["puts"] == 0
+
+
+class TestHitRate:
+    def test_no_lookups_is_none_not_zero(self):
+        from repro.store import hit_rate
+
+        assert hit_rate({"hits": 0, "misses": 0}) is None
+
+    def test_percentage_of_lookups(self):
+        from repro.store import hit_rate
+
+        assert hit_rate({"hits": 3, "misses": 1}) == 75.0
+        assert hit_rate({"hits": 0, "misses": 5}) == 0.0

@@ -23,6 +23,12 @@ several trials each. This package turns those sweeps into data:
   parallelism for the misses, structured per-point progress, and
   campaign tagging so :mod:`repro.analysis.book` can rebuild every
   figure from store contents alone.
+* :mod:`repro.campaign.backend` / :mod:`repro.campaign.pool` —
+  :class:`ExecutionBackend`, the pluggable "where do cold units run"
+  seam: :class:`LocalBackend` (the default in-process supervised
+  path) and :class:`PoolBackend`, a socket coordinator for
+  ``repro worker`` processes with heartbeat leases and dead-worker
+  failover (see ``docs/DISTRIBUTED.md``).
 
 The ``benchmarks/campaigns/*.json`` specs shipped with the repo are
 the paper figures expressed this way; ``repro campaign run SPEC``
@@ -41,12 +47,19 @@ from repro.campaign.batch import (
     plan_batches,
     residue_signature,
 )
+from repro.campaign.backend import (
+    ExecutionBackend,
+    ExecutionBackendError,
+    LocalBackend,
+    create_execution_backend,
+)
 from repro.campaign.executor import (
     CampaignExecutor,
     ExecutionReport,
     PointOutcome,
     RetryPolicy,
 )
+from repro.campaign.pool import PoolBackend
 from repro.campaign.runner import (
     CampaignPointResult,
     CampaignResult,
@@ -61,11 +74,16 @@ __all__ = [
     "CampaignPoint",
     "CampaignPointResult",
     "CampaignResult",
+    "ExecutionBackend",
+    "ExecutionBackendError",
     "ExecutionReport",
+    "LocalBackend",
     "PointOutcome",
     "PointProgress",
+    "PoolBackend",
     "ResidueGroup",
     "RetryPolicy",
+    "create_execution_backend",
     "load_campaign",
     "load_campaigns",
     "plan_batches",

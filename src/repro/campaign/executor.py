@@ -9,7 +9,10 @@ each point as an independently supervised unit of work:
 * **Retries with exponential backoff** — a point that raises (or whose
   worker dies) is retried up to :attr:`RetryPolicy.retries` times,
   waiting ``backoff * backoff_factor**(attempt-1)`` seconds between
-  attempts (capped at :attr:`RetryPolicy.max_backoff`).
+  attempts (capped at :attr:`RetryPolicy.max_backoff`); execution
+  paths key the wait with the point's store key, decorrelating the
+  jitter so N workers retrying one transient failure don't stampede
+  in lockstep (deterministic per ``(key, attempt)``).
 * **Per-point wall-clock timeouts** — with
   :attr:`RetryPolicy.timeout` set, a worker that exceeds it is
   terminated and the attempt counts as a failure (retryable).
@@ -18,9 +21,10 @@ each point as an independently supervised unit of work:
   the pool is replenished for the next attempt or point.
 * **Quarantine instead of abort** — a point that exhausts its retries
   is recorded in the store's ``quarantine.json`` ledger (exception,
-  traceback, attempts) and the campaign *completes* with a ``failed``
-  count; ``repro campaign resume`` clears the ledger entries and
-  re-runs exactly the missing points.
+  traceback, attempts, and the full per-attempt history: failure
+  kind, worker id, wall time) and the campaign *completes* with a
+  ``failed`` count; ``repro campaign resume`` clears the ledger
+  entries and re-runs exactly the missing points.
 * **Graceful interruption** — SIGINT/SIGTERM stop launching new
   points, terminate in-flight workers (completed points are already
   durably in the store), write a campaign checkpoint, and return with
@@ -29,51 +33,56 @@ each point as an independently supervised unit of work:
   :data:`~repro.sim.trace.CAT_HARNESS` markers (wall-clock times) on
   an optional :class:`~repro.sim.trace.Tracer`.
 
-Determinism is untouched: every point is a seeded, self-contained
-simulation, so a retried, resumed, or differently-scheduled point is
-bit-identical to a clean single-process run (asserted by the chaos
-tests against the 40-point golden suite).
+*Where* units execute is pluggable: the executor drives an
+:class:`~repro.campaign.backend.ExecutionBackend` — by default the
+:class:`~repro.campaign.backend.LocalBackend` (inline or supervised
+``multiprocessing`` workers on this host, the historical behavior),
+optionally the :class:`~repro.campaign.pool.PoolBackend` socket worker
+pool for multi-process / multi-host fan-out with lease-based failover
+(see ``docs/DISTRIBUTED.md``).
 
-Chaos hooks (tests / CI stress job only)
-----------------------------------------
-Worker children honour three environment variables, *only* in
-isolated-execution mode, so the failure paths are exercisable without
-patching production code: ``REPRO_CHAOS_CRASH=<point-index>`` makes
-the worker SIGKILL itself, ``REPRO_CHAOS_HANG=<point-index>`` makes it
-sleep ``$REPRO_CHAOS_HANG_SECS`` (default 3600), and
-``REPRO_CHAOS_ATTEMPTS=<n>`` limits the sabotage to the first *n*
-attempts of that point (default 1, so a retry succeeds). Setting
-either hook forces isolated mode even at ``jobs=1``.
+Determinism is untouched: every point is a seeded, self-contained
+simulation, so a retried, resumed, reassigned or differently-scheduled
+point is bit-identical to a clean single-process run (asserted by the
+chaos tests against the 40-point golden suite).
+
+Chaos hooks (tests / CI stress job only) live in
+:mod:`repro.campaign.backend` — ``REPRO_CHAOS_CRASH``,
+``REPRO_CHAOS_HANG``, ``REPRO_CHAOS_MUTE``, ``REPRO_CHAOS_ATTEMPTS``
+are re-exported here for backwards compatibility. Setting a hook
+forces isolated mode even at ``jobs=1``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
+import hashlib
 import signal
 import time
-import traceback
 from dataclasses import dataclass, field
-from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.backend import (  # noqa: F401  (re-exported surface)
+    ENV_CHAOS_ATTEMPTS,
+    ENV_CHAOS_CRASH,
+    ENV_CHAOS_HANG,
+    ENV_CHAOS_HANG_SECS,
+    ENV_CHAOS_MUTE,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    ExecutionBackend,
+    ExecutionContext,
+    LocalBackend,
+    _chaos_hook,
+    _chaos_hooks_enabled,
+    _child_main,
+)
 from repro.campaign.batch import plan_batches, replicate_result
 from repro.core.config import BenchmarkConfig
 from repro.core.matrix import precompute_matrices
-from repro.core.suite import MicroBenchmarkSuite, ResultLike, _run_point
+from repro.core.suite import MicroBenchmarkSuite, ResultLike
 from repro.sim.trace import CAT_HARNESS, Tracer
-
-#: Chaos hooks (see module docstring). Test/CI surface, env-gated.
-ENV_CHAOS_CRASH = "REPRO_CHAOS_CRASH"
-ENV_CHAOS_HANG = "REPRO_CHAOS_HANG"
-ENV_CHAOS_HANG_SECS = "REPRO_CHAOS_HANG_SECS"
-ENV_CHAOS_ATTEMPTS = "REPRO_CHAOS_ATTEMPTS"
-
-#: Point outcome statuses.
-STATUS_OK = "ok"            #: simulated this run
-STATUS_CACHED = "cached"    #: served from memo cache / disk store
-STATUS_FAILED = "failed"    #: exhausted retries; quarantined
-STATUS_SKIPPED = "skipped"  #: never ran (interrupt or fail-fast abort)
 
 
 @dataclass(frozen=True)
@@ -103,12 +112,26 @@ class RetryPolicy:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before the retry following failed attempt ``attempt``."""
+    def delay(self, attempt: int, key: Optional[str] = None) -> float:
+        """Backoff before the retry following failed attempt ``attempt``.
+
+        Without a ``key`` this is the exact exponential progression
+        (``backoff * backoff_factor**(attempt-1)``, capped). With a
+        ``key`` — execution paths pass the point's store key — the
+        wait is scaled by a deterministic per-``(key, attempt)`` factor
+        in ``[0.5, 1.0)`` (decorrelated jitter): reproducible run to
+        run, but N workers retrying the same transient failure no
+        longer stampede in lockstep.
+        """
         if self.backoff <= 0:
             return 0.0
-        return min(self.backoff * self.backoff_factor ** (attempt - 1),
+        base = min(self.backoff * self.backoff_factor ** (attempt - 1),
                    self.max_backoff)
+        if key is None:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return base * (0.5 + 0.5 * unit)
 
 
 @dataclass
@@ -150,6 +173,8 @@ class ExecutionReport:
     #: simulate / record, plus whatever the caller seeds — the runner
     #: adds expand and tag time).
     profile: Dict[str, float] = field(default_factory=dict)
+    #: Name of the execution backend the cold units ran on.
+    backend: str = "local"
 
     def _count(self, status: str) -> int:
         return sum(1 for o in self.outcomes if o.status == status)
@@ -175,92 +200,15 @@ class ExecutionReport:
         return self._count(STATUS_SKIPPED)
 
 
-@dataclass
-class _Worker:
-    """One live point-attempt process."""
-
-    index: int
-    attempt: int  # 1-based
-    process: object
-    conn: object
-    started: float
-    deadline: Optional[float]
-
-
-@dataclass
-class _Pending:
-    """One queued point attempt (``ready_at`` implements backoff)."""
-
-    index: int
-    attempt: int  # 1-based
-    ready_at: float = 0.0
-
-
-def _chaos_hooks_enabled() -> bool:
-    """Whether any env-gated chaos hook is armed (forces isolation)."""
-    return bool(os.environ.get(ENV_CHAOS_CRASH)
-                or os.environ.get(ENV_CHAOS_HANG))
-
-
-def _chaos_hook(index: int, attempt0: int) -> None:
-    """Sabotage this worker if the chaos env vars target it.
-
-    ``attempt0`` is zero-based; by default only the first attempt of
-    the targeted point misbehaves, so retries demonstrably recover.
-    """
-    try:
-        misbehaving_attempts = int(os.environ.get(ENV_CHAOS_ATTEMPTS, "1"))
-    except ValueError:
-        misbehaving_attempts = 1
-    if attempt0 >= misbehaving_attempts:
-        return
-    if os.environ.get(ENV_CHAOS_CRASH) == str(index):
-        os.kill(os.getpid(), signal.SIGKILL)
-    if os.environ.get(ENV_CHAOS_HANG) == str(index):
-        time.sleep(float(os.environ.get(ENV_CHAOS_HANG_SECS, "3600")))
-
-
-def _child_main(conn, payload: tuple, index: int, attempt0: int) -> None:
-    """Worker-process entry: simulate one point, ship the result back.
-
-    The parent owns shutdown: SIGINT is ignored (the parent decides
-    what dies) and SIGTERM is restored to its default action so
-    ``terminate()`` always works even though the parent's graceful
-    handler was inherited across ``fork``.
-    """
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    except (ValueError, OSError):  # pragma: no cover - exotic platforms
-        pass
-    try:
-        _chaos_hook(index, attempt0)
-        result = _run_point(payload)
-    except BaseException as exc:
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}",
-                       traceback.format_exc()))
-        except (OSError, ValueError):  # pragma: no cover - parent gone
-            pass
-        finally:
-            conn.close()
-        return
-    try:
-        conn.send(("ok", result))
-    except (OSError, ValueError):  # pragma: no cover - parent gone
-        pass
-    finally:
-        conn.close()
-
-
 class CampaignExecutor:
     """Supervised per-point execution over a suite's point hooks.
 
     The executor serves cached points through
     :meth:`~repro.core.suite.MicroBenchmarkSuite.lookup_point`, then
-    drives the misses either inline (fast path: ``jobs=1``, no
-    timeout, no chaos hooks) or through supervised worker processes,
-    applying the :class:`RetryPolicy` uniformly in both modes.
+    drives the misses through an
+    :class:`~repro.campaign.backend.ExecutionBackend` (by default the
+    local inline/supervised-process backend), applying the
+    :class:`RetryPolicy` uniformly on every substrate.
     """
 
     def __init__(
@@ -275,6 +223,7 @@ class CampaignExecutor:
         progress=None,
         campaign: str = "",
         handle_signals: bool = True,
+        backend: Optional[ExecutionBackend] = None,
     ):
         """Bind the executor to a suite and its failure policy.
 
@@ -282,6 +231,11 @@ class CampaignExecutor:
         handlers alone — for embedding the executor inside a host that
         owns signal handling (the benchmark service's scheduler thread);
         the host interrupts a pass via :meth:`request_stop` instead.
+
+        ``backend`` plugs in an execution substrate; None builds the
+        default :class:`~repro.campaign.backend.LocalBackend` from
+        ``jobs``/``isolate``. A caller-supplied backend is *borrowed*:
+        the executor never closes it.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -290,7 +244,8 @@ class CampaignExecutor:
         self.jobs = jobs
         self.fail_fast = fail_fast
         #: None = auto (isolate when jobs>1, a timeout is set, or a
-        #: chaos hook is armed); True/False forces the mode.
+        #: chaos hook is armed); True/False forces the mode. Only
+        #: meaningful for the local backend.
         self.isolate = isolate
         #: None = auto (batch unless a chaos hook is armed or isolation
         #: is forced on); True/False forces the mode. ``False`` is the
@@ -303,6 +258,8 @@ class CampaignExecutor:
         self.progress = progress
         self.campaign = campaign
         self.handle_signals = handle_signals
+        self.backend = (backend if backend is not None
+                        else LocalBackend(jobs=jobs, isolate=isolate))
         #: Stage seconds merged into the profile before execution (the
         #: runner seeds campaign-expansion time here).
         self.profile_base: Dict[str, float] = {}
@@ -392,10 +349,9 @@ class CampaignExecutor:
                 else:
                     units = [(i,) for i in pending]
                     unique = len(units)
-                if self._should_isolate():
-                    self._run_isolated(configs, outcomes, units)
-                else:
-                    self._run_inline(configs, outcomes, units)
+                self._unit_of = {unit[0]: unit for unit in units}
+                self.backend.run(
+                    ExecutionContext(self, configs, outcomes, units))
         finally:
             self._restore_signal_handlers(old_handlers)
         report = ExecutionReport(
@@ -405,6 +361,7 @@ class CampaignExecutor:
             batched=batched,
             unique_simulations=unique,
             profile=dict(profile),
+            backend=self.backend.name,
         )
         self._write_checkpoint(report)
         return report
@@ -436,12 +393,6 @@ class CampaignExecutor:
 
     # -- mode selection ----------------------------------------------------
 
-    def _should_isolate(self) -> bool:
-        if self.isolate is not None:
-            return self.isolate
-        return (self.jobs > 1 or self.policy.timeout is not None
-                or _chaos_hooks_enabled())
-
     def _should_batch(self) -> bool:
         """Whether to run the equivalence-class batch scheduler.
 
@@ -453,234 +404,6 @@ class CampaignExecutor:
         if self.batch is not None:
             return self.batch
         return not _chaos_hooks_enabled() and self.isolate is not True
-
-    # -- inline path -------------------------------------------------------
-
-    def _run_inline(self, configs, outcomes,
-                    units: List[Tuple[int, ...]]) -> None:
-        """Run miss units in-process (no timeout enforcement possible).
-
-        Each unit is one equivalence class: its first member simulates
-        (through :meth:`~repro.core.suite.MicroBenchmarkSuite.\
-simulate_point`, so test wrappers around the suite still intercept),
-        the rest are replicated from that result. Per-point mode passes
-        all-singleton units, making this byte-for-byte the legacy loop.
-        """
-        profile = self.profile
-        for unit in units:
-            if self._stop_signal is not None or self._abort:
-                return
-            rep = unit[0]
-            attempt = 0
-            started = time.monotonic()
-            while True:
-                attempt += 1
-                attempt_started = time.monotonic()
-                try:
-                    result = self.suite.simulate_point(configs[rep])
-                except KeyboardInterrupt:
-                    self._stop_signal = signal.SIGINT
-                    return
-                except Exception as exc:
-                    profile["simulate"] += (time.monotonic()
-                                            - attempt_started)
-                    error = f"{type(exc).__name__}: {exc}"
-                    if (attempt <= self.policy.retries
-                            and self._stop_signal is None):
-                        self._retry_wait(outcomes[rep], attempt, error)
-                        continue
-                    tb = traceback.format_exc()
-                    wall = time.monotonic() - started
-                    for i in unit:
-                        self._finish(outcomes[i], STATUS_FAILED,
-                                     attempts=attempt, error=error,
-                                     tb=tb, wall=wall)
-                    break
-                else:
-                    profile["simulate"] += (time.monotonic()
-                                            - attempt_started)
-                    wall = time.monotonic() - started
-                    self._finish(outcomes[rep], STATUS_OK, result=result,
-                                 attempts=attempt, wall=wall)
-                    if len(unit) > 1:
-                        stage_started = time.monotonic()
-                        self._replicate(configs, outcomes, unit, result,
-                                        attempt, wall)
-                        profile["record"] += (time.monotonic()
-                                              - stage_started)
-                    break
-
-    def _retry_wait(self, outcome: PointOutcome, attempt: int,
-                    error: str) -> None:
-        """Emit the retry marker and sleep the backoff (inline mode)."""
-        delay = self.policy.delay(attempt)
-        self._trace("retry", outcome.label, point=outcome.index,
-                    attempt=attempt, error=error, delay=delay)
-        if delay > 0:
-            time.sleep(delay)
-
-    # -- isolated path -----------------------------------------------------
-
-    def _run_isolated(self, configs, outcomes,
-                      units: List[Tuple[int, ...]]) -> None:
-        """Run miss units in supervised worker processes.
-
-        Each unit's representative is dispatched to a worker; when it
-        reports back, the unit's remaining members are replicated in
-        the parent (see :meth:`_collect`). A crashed/hung/failing
-        representative fails its whole unit — every member is
-        quarantined under its own key, so ``campaign resume`` re-runs
-        exactly those points.
-        """
-        ctx = multiprocessing.get_context()
-        self._unit_of = {unit[0]: unit for unit in units}
-        queue: List[_Pending] = [_Pending(unit[0], 1) for unit in units]
-        live: Dict[int, _Worker] = {}
-        try:
-            while queue or live:
-                if self._stop_signal is not None or self._abort:
-                    break
-                now = time.monotonic()
-                while len(live) < self.jobs and queue:
-                    slot = next((p for p in queue if p.ready_at <= now),
-                                None)
-                    if slot is None:
-                        break
-                    queue.remove(slot)
-                    live[slot.index] = self._spawn(
-                        ctx, configs[slot.index], slot.index, slot.attempt)
-                if live:
-                    self._wait_and_collect(configs, outcomes, queue, live)
-                elif queue:
-                    # Everyone is waiting out a backoff.
-                    next_ready = min(p.ready_at for p in queue)
-                    time.sleep(min(0.2, max(0.005,
-                                            next_ready - time.monotonic())))
-        finally:
-            for worker in live.values():
-                self._kill_worker(worker)
-
-    def _spawn(self, ctx, config, index: int, attempt: int) -> _Worker:
-        payload = self.suite.point_payload(config)
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_child_main, args=(child_conn, payload, index, attempt - 1),
-            daemon=True, name=f"repro-point-{index}",
-        )
-        process.start()
-        child_conn.close()
-        started = time.monotonic()
-        deadline = (started + self.policy.timeout
-                    if self.policy.timeout is not None else None)
-        return _Worker(index=index, attempt=attempt, process=process,
-                       conn=parent_conn, started=started, deadline=deadline)
-
-    def _wait_and_collect(self, configs, outcomes,
-                          queue: List[_Pending],
-                          live: Dict[int, _Worker]) -> None:
-        """One supervision step: wait for results, enforce deadlines."""
-        now = time.monotonic()
-        wait_timeout = 0.2
-        deadlines = [w.deadline for w in live.values()
-                     if w.deadline is not None]
-        if deadlines:
-            wait_timeout = min(wait_timeout, max(0.0, min(deadlines) - now))
-        by_conn = {w.conn: w for w in live.values()}
-        ready = mp_connection.wait(list(by_conn), timeout=wait_timeout)
-        for conn in ready:
-            worker = by_conn[conn]
-            live.pop(worker.index, None)
-            self._collect(worker, configs, outcomes, queue)
-        now = time.monotonic()
-        for worker in list(live.values()):
-            if worker.deadline is not None and now >= worker.deadline:
-                live.pop(worker.index, None)
-                self._kill_worker(worker)
-                self._trace("timeout", outcomes[worker.index].label,
-                            point=worker.index, attempt=worker.attempt,
-                            timeout=self.policy.timeout)
-                self._failure(
-                    worker, outcomes, queue,
-                    f"point timed out after {self.policy.timeout:g} s "
-                    f"(attempt {worker.attempt})", None)
-
-    def _collect(self, worker: _Worker, configs, outcomes,
-                 queue: List[_Pending]) -> None:
-        """Reap one finished (or dead) worker."""
-        message = None
-        try:
-            if worker.conn.poll():
-                message = worker.conn.recv()
-        except (EOFError, OSError):
-            message = None
-        worker.process.join(timeout=5.0)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover
-            pass
-        if message is None:
-            code = worker.process.exitcode
-            if code is not None and code < 0:
-                try:
-                    desc = f"killed by signal {signal.Signals(-code).name}"
-                except ValueError:
-                    desc = f"killed by signal {-code}"
-            else:
-                desc = f"exit code {code}"
-            self._trace("crash", outcomes[worker.index].label,
-                        point=worker.index, attempt=worker.attempt,
-                        exitcode=code)
-            self._failure(worker, outcomes, queue,
-                          f"worker crashed ({desc}) before returning a "
-                          f"result", None)
-        elif message[0] == "ok":
-            result = message[1]
-            wall = time.monotonic() - worker.started
-            self.profile["simulate"] += wall
-            self.suite.record_point(configs[worker.index], result)
-            self._finish(outcomes[worker.index], STATUS_OK, result=result,
-                         attempts=worker.attempt, wall=wall)
-            unit = self._unit_of.get(worker.index, (worker.index,))
-            if len(unit) > 1:
-                stage_started = time.monotonic()
-                self._replicate(configs, outcomes, unit, result,
-                                worker.attempt, wall)
-                self.profile["record"] += time.monotonic() - stage_started
-        else:
-            _tag, error, tb = message
-            self._failure(worker, outcomes, queue, error, tb)
-
-    def _failure(self, worker: _Worker, outcomes, queue: List[_Pending],
-                 error: str, tb: Optional[str]) -> None:
-        """Route one failed attempt: backoff-retry or quarantine."""
-        outcome = outcomes[worker.index]
-        if (worker.attempt <= self.policy.retries
-                and self._stop_signal is None and not self._abort):
-            delay = self.policy.delay(worker.attempt)
-            self._trace("retry", outcome.label, point=worker.index,
-                        attempt=worker.attempt, error=error, delay=delay)
-            queue.append(_Pending(worker.index, worker.attempt + 1,
-                                  time.monotonic() + delay))
-            return
-        wall = time.monotonic() - worker.started
-        for i in self._unit_of.get(worker.index, (worker.index,)):
-            self._finish(outcomes[i], STATUS_FAILED, attempts=worker.attempt,
-                         error=error, tb=tb, wall=wall)
-
-    def _kill_worker(self, worker: _Worker) -> None:
-        """Terminate (then kill) one worker; never raises."""
-        try:
-            worker.process.terminate()
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():  # pragma: no cover - stubborn
-                worker.process.kill()
-                worker.process.join(timeout=2.0)
-        except (OSError, ValueError):  # pragma: no cover
-            pass
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover
-            pass
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -711,7 +434,8 @@ simulate_point`, so test wrappers around the suite still intercept),
     def _finish(self, outcome: PointOutcome, status: str,
                 result: Optional[ResultLike] = None, attempts: int = 0,
                 error: Optional[str] = None, tb: Optional[str] = None,
-                wall: float = 0.0) -> None:
+                wall: float = 0.0,
+                history: Optional[List[dict]] = None) -> None:
         """Seal one outcome, quarantine failures, emit progress."""
         outcome.status = status
         outcome.result = result
@@ -729,6 +453,7 @@ simulate_point`, so test wrappers around the suite still intercept),
                     "error": error,
                     "traceback": tb,
                     "attempts": attempts,
+                    "history": list(history) if history else [],
                     "quarantined_at": time.time(),
                 })
             if self.fail_fast:
@@ -752,6 +477,7 @@ simulate_point`, so test wrappers around the suite still intercept),
                         if o.status == STATUS_SKIPPED],
             "batched": report.batched,
             "unique_simulations": report.unique_simulations,
+            "backend": report.backend,
             "profile": report.profile,
             "written_at": time.time(),
         })

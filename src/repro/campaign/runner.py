@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.suite import MicroBenchmarkSuite, SweepResult, SweepRow
+from repro.campaign.backend import ExecutionBackend
 from repro.campaign.executor import (
     STATUS_CACHED,
     CampaignExecutor,
@@ -110,6 +111,9 @@ class CampaignResult:
     unique_simulations: int = 0
     #: Whether the batch (equivalence-class) scheduler ran.
     batched: bool = False
+    #: Execution backend that simulated the cold points (``local`` or
+    #: ``pool``).
+    backend: str = "local"
 
     @property
     def completed(self) -> bool:
@@ -155,6 +159,7 @@ def run_campaign(
     isolate: Optional[bool] = None,
     batch: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> CampaignResult:
     """Run every point of a campaign, skipping points already stored.
 
@@ -177,6 +182,12 @@ def run_campaign(
     class (bit-identical store contents, large wall-clock wins on
     trial-heavy sweeps); ``batch=False`` forces the strict per-point
     loop, the oracle the batch path is benchmarked against.
+
+    ``backend`` swaps the execution engine the misses run on: ``None``
+    keeps the default in-process :class:`LocalBackend`; a
+    :class:`~repro.campaign.pool.PoolBackend` fans them over a
+    socket-connected worker pool with lease-based failover. A supplied
+    backend is borrowed — the caller owns its lifecycle (``close()``).
     """
     if isinstance(store, str):
         store = ResultStore(store)
@@ -236,6 +247,7 @@ def run_campaign(
         tracer=tracer,
         progress=on_point,
         campaign=campaign.name,
+        backend=backend,
     )
     executor.profile_base = {"expand": expand_seconds}
     # Replicated sibling records are written with their campaign tag in
@@ -280,4 +292,5 @@ def run_campaign(
         profile=profile,
         unique_simulations=report.unique_simulations,
         batched=report.batched,
+        backend=report.backend,
     )

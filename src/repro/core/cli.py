@@ -423,6 +423,30 @@ def build_repro_parser() -> argparse.ArgumentParser:
                        help="print the per-stage wall-clock breakdown "
                             "(expand / store-lookup / shared-setup / "
                             "simulate / record) after the campaign")
+        p.add_argument("--backend", choices=("local", "pool"),
+                       default="local",
+                       help="execution backend for cache misses: "
+                            "'local' supervises worker processes "
+                            "in-process (default); 'pool' coordinates "
+                            "socket-connected `repro worker` processes "
+                            "with lease-based failover")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="[pool] spawn N local workers (default: "
+                            "--jobs); 0 spawns none - print the listen "
+                            "address and wait for external `repro "
+                            "worker --connect` processes")
+        p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="[pool] coordinator listen address "
+                            "(default: 127.0.0.1:0, an ephemeral port)")
+        p.add_argument("--lease", type=float, default=None, metavar="SEC",
+                       help="[pool] heartbeat lease; a worker silent "
+                            "this long is declared dead and its unit "
+                            "reassigned (default: 15)")
+        p.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="[pool] grace for in-flight units after "
+                            "SIGINT before they are abandoned "
+                            "(default: 30)")
 
     run = campaign_sub.add_parser(
         "run", help="execute a campaign spec through the store "
@@ -467,6 +491,25 @@ def build_repro_parser() -> argparse.ArgumentParser:
     serve_batching.add_argument("--no-batch", dest="batch",
                                 action="store_false",
                                 help="force the strict per-point loop")
+    serve.add_argument("--backend", choices=("local", "pool"),
+                       default="local",
+                       help="execution backend for cold points "
+                            "(default: local)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="[pool] spawn N local workers "
+                            "(default: --jobs)")
+
+    worker = sub.add_parser(
+        "worker", help="join a distributed campaign worker pool "
+                       "(dial a `repro campaign run --backend pool` "
+                       "coordinator)")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address printed by "
+                             "`repro campaign run --backend pool`")
+    worker.add_argument("--connect-timeout", type=float, default=30.0,
+                        metavar="SEC",
+                        help="give up if the coordinator is "
+                             "unreachable (default: 30)")
 
     book = sub.add_parser("book", help="render the Experiment Book from "
                                        "store contents")
@@ -490,6 +533,24 @@ def _repro_store(args):
     return ResultStore(root)
 
 
+def _render_quarantine_entry(key: str, entry: dict) -> str:
+    """One quarantine-ledger line with its per-attempt history."""
+    label = entry.get("label") or key[:16]
+    attempts = entry.get("attempts") or 0
+    line = f"{label}: {attempts} attempt(s)"
+    history = entry.get("history") or []
+    for event in history:
+        kind = event.get("kind", "error")
+        worker = event.get("worker") or "?"
+        wall = event.get("wall_time") or 0.0
+        line += (f"\n    attempt {event.get('attempt', '?')}: {kind} "
+                 f"on {worker} after {wall:.2f}s"
+                 + (f" - {event['error']}" if event.get("error") else ""))
+    if not history and entry.get("error"):
+        line += f" - {entry['error']}"
+    return line
+
+
 def _cmd_store(args) -> int:
     if args.store_command == "migrate":
         return _cmd_store_migrate(args)
@@ -509,13 +570,18 @@ def _cmd_store(args) -> int:
         width = max(len(k) for k in stats)
         for key in ("root", "backend", "schema", "records",
                     "stale_records", "bytes", "puts", "hits", "misses",
-                    "hit_rate", "quarantined"):
+                    "hit_rate", "quarantined", "leases"):
             print(f"{key.ljust(width)} : {stats[key]}")
         return 0
     if args.store_command == "verify":
         report = store.verify(gc=args.gc)
         for problem in report.problems:
             print(problem.render())
+        quarantined = store.quarantine()
+        if quarantined:
+            print(f"{len(quarantined)} quarantined point(s):")
+            for key, entry in sorted(quarantined.items()):
+                print("  " + _render_quarantine_entry(key, entry))
         state = "OK" if report.clean else "PROBLEMS FOUND"
         print(f"verified {report.checked} record(s): {report.ok} ok, "
               f"{len(report.problems)} bad"
@@ -581,8 +647,33 @@ def _cmd_store_migrate(args) -> int:
     return 0
 
 
+def _make_pool_backend(args):
+    """A started PoolBackend per the campaign/serve CLI flags."""
+    from repro.campaign.pool import PoolBackend
+    from repro.campaign.worker import _parse_endpoint
+
+    workers = args.workers if args.workers is not None else args.jobs
+    if workers < 0:
+        raise ValueError("--workers must be >= 0")
+    kwargs = {}
+    if args.lease is not None:
+        kwargs["lease"] = args.lease
+    if args.drain_timeout is not None:
+        kwargs["drain_timeout"] = args.drain_timeout
+    backend = PoolBackend(bind=_parse_endpoint(args.bind),
+                          workers=workers, **kwargs)
+    backend.ensure_started()
+    host, port = backend.address
+    print(f"pool coordinator listening on {host}:{port}"
+          + ("" if workers else
+             f" - join with: repro worker --connect {host}:{port}"),
+          flush=True)
+    return backend
+
+
 def _cmd_campaign(args) -> int:
-    from repro.campaign import RetryPolicy, load_campaign, run_campaign
+    from repro.campaign import (ExecutionBackendError, RetryPolicy,
+                                load_campaign, run_campaign)
 
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -592,21 +683,37 @@ def _cmd_campaign(args) -> int:
     try:
         policy = RetryPolicy(retries=args.retries, backoff=args.backoff,
                              timeout=args.timeout)
+        backend = (_make_pool_backend(args)
+                   if args.backend == "pool" else None)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.campaign_command == "resume":
         # Quarantined points get a fresh set of attempts; completed
         # points are served from the store (skip-on-hit), so only the
-        # gap re-runs.
-        cleared = store.quarantine_clear(_campaign_keys(campaign, store))
+        # gap re-runs. Print each point's attempt history first — the
+        # post-mortem would be gone after the clear.
+        keys = _campaign_keys(campaign, store)
+        ledger = store.quarantine()
+        held = {key: ledger[key] for key in keys if key in ledger}
+        for key, entry in held.items():
+            print("quarantined " + _render_quarantine_entry(key, entry))
+        cleared = store.quarantine_clear(keys)
         if cleared:
             print(f"cleared {cleared} quarantined point(s); retrying")
     progress = None if args.quiet else (
         lambda p: print(p.render(), flush=True))
-    outcome = run_campaign(campaign, store=store, jobs=args.jobs,
-                           progress=progress, policy=policy,
-                           fail_fast=args.fail_fast, batch=args.batch)
+    try:
+        outcome = run_campaign(campaign, store=store, jobs=args.jobs,
+                               progress=progress, policy=policy,
+                               fail_fast=args.fail_fast, batch=args.batch,
+                               backend=backend)
+    except ExecutionBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if backend is not None:
+            backend.close()
     print(f"campaign {campaign.name}: {len(outcome.outcomes)} points, "
           f"{outcome.executed} simulated, {outcome.from_store} from "
           f"the store, {outcome.failed} failed"
@@ -657,9 +764,14 @@ def _cmd_serve(args) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    backend = None
     try:
         policy = RetryPolicy(retries=args.retries, backoff=args.backoff,
                              timeout=args.timeout)
+        if args.backend == "pool":
+            args.bind = "127.0.0.1:0"
+            args.lease = args.drain_timeout = None
+            backend = _make_pool_backend(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -667,13 +779,26 @@ def _cmd_serve(args) -> int:
     if args.max_queue is not None:
         kwargs["max_queue"] = args.max_queue
     service = BenchmarkService(_repro_store(args), policy=policy,
-                               jobs=args.jobs, batch=args.batch, **kwargs)
+                               jobs=args.jobs, batch=args.batch,
+                               execution_backend=backend, **kwargs)
 
     def ready(host: str, port: int) -> None:
         print(f"serving {service.store.describe()} "
               f"on http://{host}:{port}", flush=True)
 
-    return run_server(service, host=args.host, port=args.port, ready=ready)
+    try:
+        return run_server(service, host=args.host, port=args.port,
+                          ready=ready)
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+def _cmd_worker(args) -> int:
+    from repro.campaign.worker import main as worker_main
+
+    return worker_main(["--connect", args.connect,
+                        "--connect-timeout", str(args.connect_timeout)])
 
 
 def _cmd_book(args) -> int:
@@ -696,6 +821,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "book":
             return _cmd_book(args)
     except (OSError, KeyError, ValueError) as exc:

@@ -77,14 +77,21 @@ class BenchmarkService:
         jobs: int = 1,
         batch: Optional[bool] = None,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        execution_backend=None,
     ):
-        """Bind the service to a store root (either backend)."""
+        """Bind the service to a store root (either backend).
+
+        ``execution_backend`` is handed to the cold scheduler (e.g. a
+        started :class:`~repro.campaign.pool.PoolBackend`); it is
+        borrowed — the caller closes it after :meth:`stop`.
+        """
         self.store = (store if isinstance(store, ResultStore)
                       else ResultStore(store))
         self.flight = SingleFlight()
         self.scheduler = ColdScheduler(
             self.store, self.flight, policy=policy, jobs=jobs,
-            batch=batch, max_queue=max_queue)
+            batch=batch, max_queue=max_queue,
+            execution_backend=execution_backend)
         self.started_at = time.time()
         self._counter_lock = threading.Lock()
         self._counters: Dict[str, int] = {
@@ -263,6 +270,7 @@ class BenchmarkService:
             queue_depth=self.scheduler.depth,
             resolved=dict(self.scheduler.resolved),
             uptime_seconds=round(time.time() - self.started_at, 3),
+            scheduler=self.scheduler.scheduler_stats(),
         )
         stats["service"] = service
         return stats

@@ -28,6 +28,7 @@ import queue
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaign.backend import ExecutionBackend
 from repro.campaign.executor import (
     STATUS_FAILED,
     CampaignExecutor,
@@ -62,21 +63,32 @@ class ColdScheduler:
         jobs: int = 1,
         batch: Optional[bool] = None,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        execution_backend: Optional[ExecutionBackend] = None,
     ):
-        """Wire the scheduler to a store and the single-flight table."""
+        """Wire the scheduler to a store and the single-flight table.
+
+        ``execution_backend`` swaps the engine cold units run on
+        (default: a per-pass :class:`LocalBackend`); a supplied backend
+        is shared across drain passes and *borrowed* — the caller owns
+        its lifecycle.
+        """
         self.store = store
         self.flight = flight
         self.policy = policy if policy is not None else RetryPolicy()
         self.jobs = jobs
         self.batch = batch
+        self.execution_backend = execution_backend
         self._queue: "queue.Queue[Ticket]" = queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
         self._drain = True
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._executor: Optional[CampaignExecutor] = None
+        self._running = 0
         #: Points this scheduler resolved, by terminal state.
         self.resolved: Dict[str, int] = {DONE: 0, FAILED: 0, CANCELLED: 0}
+        #: Cold units simulated over the scheduler's lifetime.
+        self.cold_units = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -115,6 +127,22 @@ class ColdScheduler:
     def alive(self) -> bool:
         """Whether the worker thread is running."""
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def running(self) -> int:
+        """Tickets currently inside an executor pass."""
+        with self._lock:
+            return self._running
+
+    def scheduler_stats(self) -> Dict[str, object]:
+        """Execution-depth snapshot for ``BenchmarkService.stats()``."""
+        backend = self.execution_backend
+        return {
+            "queued": self.depth,
+            "running": self.running,
+            "cold_units": self.cold_units,
+            "backend": backend.name if backend is not None else "local",
+        }
 
     # -- admission ---------------------------------------------------------
 
@@ -177,9 +205,11 @@ class ColdScheduler:
             batch=self.batch,
             campaign="",            # no checkpoint churn per drain pass
             handle_signals=False,   # the service owns signal handling
+            backend=self.execution_backend,
         )
         with self._lock:
             self._executor = executor
+            self._running = len(tickets)
         for ticket in tickets:
             ticket.state = RUNNING
         try:
@@ -194,6 +224,8 @@ class ColdScheduler:
         finally:
             with self._lock:
                 self._executor = None
+                self._running = 0
+        self.cold_units += report.unique_simulations
         for ticket, outcome in zip(tickets, report.outcomes):
             if outcome.succeeded:
                 self._resolve(ticket, DONE)

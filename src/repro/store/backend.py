@@ -256,6 +256,26 @@ class StoreBackend(ABC):
     def quarantine_location(self) -> str:
         """Human pointer to where the ledger lives (CLI messages)."""
 
+    # -- lease ledger ------------------------------------------------------
+
+    @abstractmethod
+    def leases(self) -> Dict[str, dict]:
+        """Active distributed-execution leases: point key → entry.
+
+        Maintained by the pool coordinator (see
+        :mod:`repro.campaign.pool`): an entry appears when a unit is
+        dispatched to a worker and disappears when it completes, is
+        quarantined, or is reassigned. Normally empty between runs.
+        """
+
+    @abstractmethod
+    def lease_update(self, key: str, entry: dict) -> None:
+        """Record (or refresh) one point's lease."""
+
+    @abstractmethod
+    def lease_release(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop leases (all, or just ``keys``); returns count."""
+
     # -- campaign checkpoints ----------------------------------------------
 
     @abstractmethod

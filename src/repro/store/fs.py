@@ -55,6 +55,9 @@ from repro.store.records import StoredResult
 #: Filename of the quarantine ledger inside a store root.
 QUARANTINE_FILENAME = "quarantine.json"
 
+#: Filename of the distributed-execution lease ledger.
+LEASES_FILENAME = "leases.json"
+
 #: Directory of per-campaign checkpoint files inside a store root.
 CHECKPOINT_DIRNAME = "checkpoints"
 
@@ -115,6 +118,11 @@ class FilesystemBackend(StoreBackend):
     def quarantine_path(self) -> Path:
         """Path of the quarantine ledger."""
         return self.root / QUARANTINE_FILENAME
+
+    @property
+    def leases_path(self) -> Path:
+        """Path of the distributed-execution lease ledger."""
+        return self.root / LEASES_FILENAME
 
     def checkpoint_path(self, campaign: str) -> Path:
         """Path of one campaign's progress checkpoint."""
@@ -366,6 +374,64 @@ class FilesystemBackend(StoreBackend):
                     atomic_write_json(self.quarantine_path,
                                       {"schema": SCHEMA_VERSION,
                                        "points": entries})
+                return removed
+        except OSError as exc:
+            self._degrade(exc)
+            return 0
+
+    # -- lease ledger ------------------------------------------------------
+
+    def leases(self) -> Dict[str, dict]:
+        """Active distributed-execution leases: point key → entry."""
+        try:
+            data = json.loads(self.leases_path.read_text())
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable lease ledger {self.leases_path}: "
+                f"{exc}; treating as empty",
+                ResultStoreWarning, stacklevel=3,
+            )
+            return {}
+        entries = data.get("points") if isinstance(data, dict) else None
+        return entries if isinstance(entries, dict) else {}
+
+    def lease_update(self, key: str, entry: dict) -> None:
+        """Record (or refresh) one point's lease (locked RMW)."""
+        if self._read_only:
+            return
+        try:
+            with store_lock(self.root):
+                entries = self.leases()
+                entries[key] = entry
+                atomic_write_json(self.leases_path,
+                                  {"schema": SCHEMA_VERSION,
+                                   "points": entries},
+                                  durable=False)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def lease_release(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop leases (all of them, or just ``keys``)."""
+        if self._read_only:
+            return 0
+        try:
+            with store_lock(self.root):
+                entries = self.leases()
+                if keys is None:
+                    removed = len(entries)
+                    entries = {}
+                else:
+                    removed = 0
+                    for key in keys:
+                        if entries.pop(key, None) is not None:
+                            removed += 1
+                if removed:
+                    atomic_write_json(self.leases_path,
+                                      {"schema": SCHEMA_VERSION,
+                                       "points": entries},
+                                      durable=False)
                 return removed
         except OSError as exc:
             self._degrade(exc)

@@ -17,8 +17,8 @@ What migrates:
   accounting;
 * **counters** — added onto the destination's totals, so migrating
   into an empty store reproduces the source totals exactly;
-* **quarantine ledger** and **campaign checkpoints** — copied entry
-  for entry.
+* **quarantine ledger**, **lease ledger** and **campaign
+  checkpoints** — copied entry for entry.
 """
 
 from __future__ import annotations
@@ -38,6 +38,7 @@ class MigrationReport:
     records: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
     quarantined: int = 0
+    leases: int = 0
     checkpoints: int = 0
 
     def render(self) -> str:
@@ -49,6 +50,7 @@ class MigrationReport:
             f"  records:     {self.records}\n"
             f"  counters:    {totals or '(none)'}\n"
             f"  quarantined: {self.quarantined}\n"
+            f"  leases:      {self.leases}\n"
             f"  checkpoints: {self.checkpoints}"
         )
 
@@ -84,6 +86,9 @@ def migrate_store(
     for key, entry in src.quarantine().items():
         dst.quarantine_add(key, entry)
         report.quarantined += 1
+    for key, entry in src.leases().items():
+        dst.lease_update(key, entry)
+        report.leases += 1
     for campaign, payload in src.checkpoints().items():
         if dst.write_checkpoint(campaign, payload):
             report.checkpoints += 1

@@ -83,6 +83,10 @@ CREATE TABLE IF NOT EXISTS quarantine (
     key   TEXT PRIMARY KEY,
     entry TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS leases (
+    key   TEXT PRIMARY KEY,
+    entry TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS checkpoints (
     campaign TEXT PRIMARY KEY,
     payload  TEXT NOT NULL
@@ -497,6 +501,63 @@ class SQLiteBackend(StoreBackend):
 
         try:
             return self._write(clear)
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade(exc)
+            return 0
+
+    # -- lease ledger ------------------------------------------------------
+
+    def leases(self) -> Dict[str, dict]:
+        """Active distributed-execution leases: point key → entry."""
+        out: Dict[str, dict] = {}
+        for key, text in self._rows(
+                "SELECT key, entry FROM leases ORDER BY key"):
+            try:
+                entry = json.loads(text)
+            except ValueError:
+                entry = {}
+            out[key] = entry if isinstance(entry, dict) else {}
+        return out
+
+    def lease_update(self, key: str, entry: dict) -> None:
+        """Record (or refresh) one point's lease (upsert)."""
+        if self._read_only:
+            return
+
+        def update() -> None:
+            db = self._db()
+            with _write_txn(db):
+                _execute(
+                    db,
+                    "INSERT INTO leases (key, entry) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET entry = excluded.entry",
+                    (key, json.dumps(entry, sort_keys=True)))
+
+        try:
+            self._write(update)
+        except (sqlite3.Error, OSError) as exc:
+            self._degrade(exc)
+
+    def lease_release(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop leases (all of them, or just ``keys``)."""
+        if self._read_only:
+            return 0
+        targets = None if keys is None else list(keys)
+
+        def release() -> int:
+            db = self._db()
+            with _write_txn(db):
+                if targets is None:
+                    return _execute(db, "DELETE FROM leases").rowcount
+                removed = 0
+                for key in targets:
+                    cursor = _execute(
+                        db, "DELETE FROM leases WHERE key = ?", (key,))
+                    removed += cursor.rowcount
+                return removed
+
+        try:
+            return self._write(release)
         except (sqlite3.Error, OSError) as exc:
             self._degrade(exc)
             return 0

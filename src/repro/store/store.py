@@ -331,6 +331,27 @@ class ResultStore:
         """
         return self.backend.quarantine_clear(keys)
 
+    # -- lease ledger ------------------------------------------------------
+
+    def leases(self) -> Dict[str, dict]:
+        """Active distributed-execution leases: point key → entry.
+
+        Written by the pool coordinator
+        (:mod:`repro.campaign.pool`) when units are dispatched to
+        workers; released on completion, quarantine or reassignment.
+        Non-empty between runs means a coordinator died hard — the
+        entries say which worker held which point.
+        """
+        return self.backend.leases()
+
+    def lease_update(self, key: str, entry: dict) -> None:
+        """Record (or refresh) one point's lease."""
+        self.backend.lease_update(key, entry)
+
+    def lease_release(self, keys: Optional[Iterable[str]] = None) -> int:
+        """Drop leases (all of them, or just ``keys``)."""
+        return self.backend.lease_release(keys)
+
     # -- campaign checkpoints ----------------------------------------------
 
     def write_checkpoint(self, campaign: str,
@@ -383,6 +404,7 @@ class ResultStore:
             root=str(self.root), schema=SCHEMA_VERSION,
             backend=self.backend.scheme,
             quarantined=len(self.quarantine()),
+            leases=len(self.leases()),
         )
         self._stats_cache = dict(counters)
         return counters

@@ -95,6 +95,23 @@ class TestRetryPolicy:
     def test_zero_backoff_means_no_wait(self):
         assert RetryPolicy(retries=2, backoff=0.0).delay(3) == 0.0
 
+    def test_keyed_delay_is_deterministic_decorrelated_jitter(self):
+        """Same (key, attempt) → same delay; different keys differ."""
+        policy = RetryPolicy(retries=5, backoff=1.0, backoff_factor=2.0,
+                             max_backoff=8.0)
+        for attempt in (1, 2, 3):
+            base = policy.delay(attempt)
+            jittered = policy.delay(attempt, key="point-a")
+            # Pinned to [base/2, base]: never longer than the legacy
+            # wait, never less than half of it.
+            assert base / 2 <= jittered <= base
+            assert jittered == policy.delay(attempt, key="point-a")
+        spread = {policy.delay(2, key=f"point-{i}") for i in range(16)}
+        assert len(spread) > 8  # the whole point: keys decorrelate
+
+    def test_keyed_delay_with_zero_backoff_stays_zero(self):
+        assert RetryPolicy(retries=1, backoff=0.0).delay(1, key="k") == 0.0
+
 
 class TestInlineExecution:
     def test_all_points_succeed(self, tmp_path):

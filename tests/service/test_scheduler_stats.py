@@ -1,0 +1,46 @@
+"""Scheduler execution-depth stats and pluggable service backends.
+
+``BenchmarkService.stats()`` must expose how deep the cold pipeline is
+(queued / running / lifetime cold units) and which execution backend
+is simulating — ``local`` by default, ``pool`` when the service was
+started with a ``PoolBackend`` — so operators can see a distributed
+service working without scraping logs.
+"""
+
+from repro.campaign import PoolBackend
+from repro.service import BenchmarkService
+
+from tests.service.conftest import tiny_query
+
+
+def test_stats_expose_scheduler_depth_local(tmp_path):
+    service = BenchmarkService(str(tmp_path / "store"))
+    try:
+        service.start()
+        response = service.query_point(tiny_query(wait=True))
+        assert response.status == 200
+        sched = service.stats()["service"]["scheduler"]
+    finally:
+        service.stop()
+    assert sched["backend"] == "local"
+    assert sched["queued"] == 0 and sched["running"] == 0
+    assert sched["cold_units"] == 1
+
+
+def test_pool_backed_service_resolves_cold_points(tmp_path):
+    backend = PoolBackend(workers=1, lease=5.0)
+    service = BenchmarkService(str(tmp_path / "store"),
+                               execution_backend=backend)
+    try:
+        service.start()
+        response = service.query_point(tiny_query(wait=True))
+        assert response.status == 200
+        sched = service.stats()["service"]["scheduler"]
+        assert sched["backend"] == "pool"
+        assert sched["cold_units"] == 1
+        # Warm re-query: identical bytes, straight from the store.
+        assert service.query_point(tiny_query(wait=True)
+                                   ).payload == response.payload
+    finally:
+        service.stop()
+        backend.close()
